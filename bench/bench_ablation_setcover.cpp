@@ -1,0 +1,97 @@
+/// Ablation — the paper's key design choice: maintain a *stable* set-cover
+/// solution incrementally (Algorithm 1) instead of re-running greedy set
+/// cover from scratch after every change in Σ.
+///
+/// We replay identical membership-churn streams into (a) the dynamic
+/// stable-cover structure and (b) a from-scratch greedy per batch, and
+/// report per-operation cost and solution sizes. Shape: the dynamic
+/// structure is orders of magnitude cheaper per operation at equal
+/// solution quality (within the O(log m) band).
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "setcover/dynamic_set_cover.h"
+
+using namespace fdrms;
+
+int main() {
+  Rng rng(13);
+  std::cout << "Ablation: stable dynamic set cover vs greedy-from-scratch\n\n";
+  TablePrinter table({"m", "sets", "ops", "dynamic(us/op)", "greedy(us/op)",
+                      "|C| dyn", "|C| greedy", "speedup"});
+  bool always_faster = true;
+  bool quality_band = true;
+  for (int m : {128, 512, 2048}) {
+    const int num_sets = m * 2;
+    const int ops = 4000;
+    DynamicSetCover dynamic(m);
+    // Initial incidence: each element in ~8 random sets.
+    std::vector<std::pair<int, int>> memberships;
+    for (int e = 0; e < m; ++e) {
+      for (int j = 0; j < 8; ++j) {
+        memberships.emplace_back(e, rng.UniformInt(num_sets));
+      }
+    }
+    for (auto [e, s] : memberships) dynamic.AddMembership(e, s);
+    std::vector<int> universe(m);
+    for (int i = 0; i < m; ++i) universe[i] = i;
+    dynamic.InitializeGreedy(universe);
+    // Pre-generate the churn stream.
+    std::vector<std::tuple<bool, int, int>> stream;
+    for (int i = 0; i < ops; ++i) {
+      stream.emplace_back(rng.Uniform() < 0.5, rng.UniformInt(m),
+                          rng.UniformInt(num_sets));
+    }
+    // (a) dynamic maintenance.
+    Stopwatch dyn_watch;
+    for (auto [add, e, s] : stream) {
+      if (add) {
+        dynamic.AddMembership(e, s);
+      } else {
+        dynamic.RemoveMembership(e, s);
+      }
+    }
+    double dyn_us = dyn_watch.ElapsedMicros() / ops;
+    int dyn_size = dynamic.CoverSize();
+    // (b) greedy from scratch after every op (measured on a sample of the
+    // stream, then charged per op — running all 4000 would take minutes).
+    DynamicSetCover greedy_state(m);
+    for (auto [e, s] : memberships) greedy_state.AddMembership(e, s);
+    const int sample = 40;
+    Stopwatch greedy_watch;
+    int done = 0;
+    for (int i = 0; i < ops && done < sample; i += ops / sample, ++done) {
+      auto [add, e, s] = stream[i];
+      if (add) {
+        greedy_state.AddMembership(e, s);
+      } else {
+        greedy_state.RemoveMembership(e, s);
+      }
+      greedy_state.InitializeGreedy(universe);
+    }
+    double greedy_us = greedy_watch.ElapsedMicros() / done;
+    int greedy_size = greedy_state.CoverSize();
+    always_faster &= dyn_us < greedy_us;
+    quality_band &= dyn_size <= (2 + 2 * std::log2(m)) *
+                                    std::max(1, greedy_size);
+    table.BeginRow();
+    table.AddInt(m);
+    table.AddInt(num_sets);
+    table.AddInt(ops);
+    table.AddNumber(dyn_us, 2);
+    table.AddNumber(greedy_us, 2);
+    table.AddInt(dyn_size);
+    table.AddInt(greedy_size);
+    table.AddNumber(greedy_us / std::max(1e-9, dyn_us), 1);
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+  bench::ShapeCheck(always_faster,
+                    "incremental stable cover beats greedy-from-scratch per "
+                    "operation at every scale");
+  bench::ShapeCheck(quality_band,
+                    "dynamic solution stays within the Theorem-1 O(log m) "
+                    "band of the greedy solution");
+  return 0;
+}

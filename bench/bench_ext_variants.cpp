@@ -1,0 +1,94 @@
+/// Extension bench — the problem variants the paper's Related Work section
+/// situates k-RMS among:
+///  * min-size RMS / α-happiness [3, 19, 33]: |Q| as a function of the
+///    regret budget ε (native min-size form, no binary search);
+///  * average regret minimization [26, 28, 35]: the max-regret/avg-regret
+///    trade-off between ARM-greedy and the RMS algorithms.
+///
+/// Shapes: min-size |Q| decreases steeply as ε loosens; ARM wins on the
+/// average objective while an RMS algorithm wins on the max objective.
+
+#include <iostream>
+#include <unordered_set>
+
+#include "baselines/average_regret.h"
+#include "baselines/greedy.h"
+#include "baselines/minsize.h"
+#include "bench_common.h"
+#include "geometry/sampling.h"
+
+using namespace fdrms;
+
+int main() {
+  const int n = bench::ScaledN(100000);
+  PointSet ps = GenerateAntiCor(n, 6, 21);
+  Database db;
+  db.dim = ps.dim();
+  for (int i = 0; i < ps.size(); ++i) {
+    db.ids.push_back(i);
+    db.points.push_back(ps.Get(i));
+  }
+  Rng rng(3);
+
+  std::cout << "Extension: min-size RMS / alpha-happiness on AntiCor (n=" << n
+            << ", d=6)\n\n";
+  TablePrinter minsize({"eps", "alpha", "|Q| HS", "|Q| eps-kernel"});
+  size_t prev_hs = 0;
+  bool shrinks = true;
+  for (double eps : {0.02, 0.05, 0.10, 0.20, 0.40}) {
+    auto hs = MinSizeHittingSet(db, 1, eps, 512, &rng);
+    auto kernel = MinSizeEpsKernel(db, eps, &rng);
+    if (prev_hs > 0 && hs.size() > prev_hs) shrinks = false;
+    prev_hs = hs.size();
+    minsize.BeginRow();
+    minsize.AddNumber(eps, 2);
+    minsize.AddNumber(1.0 - eps, 2);
+    minsize.AddInt(static_cast<long>(hs.size()));
+    minsize.AddInt(static_cast<long>(kernel.size()));
+  }
+  minsize.Print(std::cout);
+  std::cout << "\n";
+  bench::ShapeCheck(shrinks, "min-size |Q| is non-increasing in eps");
+
+  std::cout << "\nExtension: ARM vs max-regret greedy (r=20)\n\n";
+  // Shared evaluation sample.
+  Rng eval_rng(9);
+  auto dirs = SampleDirections(8000, db.dim, &eval_rng);
+  auto omega = OmegaKForDirections(dirs, db.points, 1);
+  auto max_regret_of = [&](const std::vector<int>& ids) {
+    std::unordered_set<int> chosen(ids.begin(), ids.end());
+    std::vector<int> indices;
+    for (int i = 0; i < db.size(); ++i) {
+      if (chosen.count(db.ids[i]) > 0) indices.push_back(i);
+    }
+    return SampledMaxRegret(dirs, omega, db.points, indices);
+  };
+  auto avg_regret_of = [&](const std::vector<int>& ids) {
+    Rng r2(9);
+    return AverageRegretGreedy::AverageRegret(db, ids, 1, 8000, &r2);
+  };
+  AverageRegretGreedy arm;
+  GreedyStarRms rms(1024);
+  auto arm_q = arm.Compute(db, 1, 20, &rng);
+  auto rms_q = rms.Compute(db, 1, 20, &rng);
+  TablePrinter trade({"algorithm", "avg regret", "max regret"});
+  trade.BeginRow();
+  trade.AddCell("ARM-Greedy");
+  trade.AddNumber(avg_regret_of(arm_q), 5);
+  trade.AddNumber(max_regret_of(arm_q), 4);
+  trade.BeginRow();
+  trade.AddCell("Greedy* (max-regret)");
+  trade.AddNumber(avg_regret_of(rms_q), 5);
+  trade.AddNumber(max_regret_of(rms_q), 4);
+  trade.Print(std::cout);
+  std::cout << "\n";
+  bench::ShapeCheck(avg_regret_of(arm_q) <= avg_regret_of(rms_q) + 1e-4,
+                    "ARM at least matches the max-regret algorithm on the "
+                    "average objective");
+  // Both optimize different objectives with sampled heuristics; the
+  // defensible claim is only that neither collapses on the other's metric.
+  bench::ShapeCheck(max_regret_of(rms_q) <= max_regret_of(arm_q) + 0.05,
+                    "the max-regret algorithm stays competitive with ARM on "
+                    "the max objective");
+  return 0;
+}

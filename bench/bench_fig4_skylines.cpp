@@ -1,0 +1,61 @@
+/// Figure 4 — skyline sizes of the synthetic datasets, varying the
+/// dimensionality d in [4, 10] (left) and the dataset size n (right).
+///
+/// Shape to reproduce: #skylines grows steeply with d and (sub-linearly)
+/// with n, and AntiCor dominates Indep everywhere.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "skyline/skyline.h"
+
+using namespace fdrms;
+
+int main() {
+  const int base_n = bench::ScaledN(100000);
+  std::cout << "Fig. 4 (left): #skylines vs d (n=" << base_n << ")\n\n";
+  TablePrinter by_d({"d", "Indep", "AntiCor"});
+  long indep_d4 = 0, indep_d10 = 0, anti_d10 = 0;
+  for (int d = 4; d <= 10; ++d) {
+    long indep = static_cast<long>(ComputeSkyline(GenerateIndep(base_n, d, 7)).size());
+    long anti =
+        static_cast<long>(ComputeSkyline(GenerateAntiCor(base_n, d, 7)).size());
+    if (d == 4) indep_d4 = indep;
+    if (d == 10) {
+      indep_d10 = indep;
+      anti_d10 = anti;
+    }
+    by_d.BeginRow();
+    by_d.AddInt(d);
+    by_d.AddInt(indep);
+    by_d.AddInt(anti);
+  }
+  by_d.Print(std::cout);
+
+  std::cout << "\nFig. 4 (right): #skylines vs n (d=6)\n\n";
+  TablePrinter by_n({"n", "Indep", "AntiCor"});
+  bool anti_dominates = true;
+  long indep_small = 0, indep_large = 0;
+  for (int i = 1; i <= 10; ++i) {
+    int n = base_n * i / 10 + 100;
+    long indep = static_cast<long>(ComputeSkyline(GenerateIndep(n, 6, 9)).size());
+    long anti =
+        static_cast<long>(ComputeSkyline(GenerateAntiCor(n, 6, 9)).size());
+    if (i == 1) indep_small = indep;
+    if (i == 10) indep_large = indep;
+    anti_dominates &= anti > indep;
+    by_n.BeginRow();
+    by_n.AddInt(n);
+    by_n.AddInt(indep);
+    by_n.AddInt(anti);
+  }
+  by_n.Print(std::cout);
+  std::cout << "\n";
+  bench::ShapeCheck(indep_d10 > 10 * indep_d4,
+                    "skyline size grows steeply with d (Fig. 4 left)");
+  bench::ShapeCheck(anti_d10 > indep_d10,
+                    "AntiCor skyline exceeds Indep at high d");
+  bench::ShapeCheck(anti_dominates && indep_large > indep_small,
+                    "skyline grows with n and AntiCor > Indep (Fig. 4 right)");
+  return 0;
+}

@@ -1,0 +1,54 @@
+/// Figure 5 — effect of the parameter ε on FD-RMS: per-operation update
+/// time and maximum regret ratio for k = 1 (r = 20 on BB, 50 elsewhere),
+/// sweeping ε over powers of two like the paper's [2^0 … 2^10] × 1e-4 grid.
+///
+/// Shape to reproduce: update time grows markedly with ε (denser Φ sets,
+/// larger m); regret first improves with ε then flattens/degrades once
+/// ε approaches the optimal regret ε*_{k,r}.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace fdrms;
+
+int main() {
+  const std::vector<double> eps_grid = {0.0001, 0.0016, 0.0032, 0.0064,
+                                        0.0128, 0.0256, 0.0512};
+  bool time_grows_everywhere = true;
+  for (const auto& spec : PaperDatasets()) {
+    int n = bench::ScaledN(spec.paper_n);
+    int r = spec.name == "BB" ? 20 : 50;
+    PointSet ps = std::move(GenerateByName(spec.name, n, 101)).ValueOr(PointSet(1));
+    Workload wl(&ps, 2020);
+    WorkloadRunner runner(&wl, /*k=*/1, bench::EvalVectors(), 3);
+    std::cout << "Fig. 5 (" << spec.name << "): FD-RMS vs eps  (n=" << n
+              << ", d=" << spec.dim << ", k=1, r=" << r << ")\n\n";
+    TablePrinter table({"eps", "m", "time(ms)", "mrr"});
+    double first_time = -1.0, last_time = 0.0;
+    for (double eps : eps_grid) {
+      FdRmsOptions opt;
+      opt.k = 1;
+      opt.r = r;
+      opt.eps = eps;
+      opt.max_utilities =
+          static_cast<int>(GetEnvLong("FDRMS_MAX_UTILITIES", 2048));
+      opt.seed = 97;
+      RunResult res = runner.RunFdRms(opt);
+      if (first_time < 0) first_time = res.mean_update_ms;
+      last_time = res.mean_update_ms;
+      table.BeginRow();
+      table.AddNumber(eps, 4);
+      table.AddInt(res.final_m);
+      table.AddNumber(res.mean_update_ms, 4);
+      table.AddNumber(res.mean_regret, 4);
+    }
+    table.Print(std::cout);
+    std::cout << "\n";
+    time_grows_everywhere &= last_time > first_time;
+  }
+  bench::ShapeCheck(time_grows_everywhere,
+                    "FD-RMS update time increases with eps on every dataset "
+                    "(Fig. 5 red lines)");
+  return 0;
+}

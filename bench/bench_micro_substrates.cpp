@@ -1,0 +1,151 @@
+/// Google-benchmark microbenchmarks of the substrates: kd-tree queries,
+/// cone-tree pruning, LP solves, skyline maintenance, and dynamic set-cover
+/// operations. These are the per-operation costs the complexity analysis of
+/// Section III-B reasons about.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "data/generators.h"
+#include "geometry/sampling.h"
+#include "index/conetree.h"
+#include "index/kdtree.h"
+#include "lp/simplex.h"
+#include "setcover/dynamic_set_cover.h"
+#include "skyline/skyline.h"
+#include "topk/topk_maintainer.h"
+
+namespace fdrms {
+namespace {
+
+void BM_KdTreeTopK(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int d = static_cast<int>(state.range(1));
+  PointSet data = GenerateIndep(n, d, 1);
+  KdTree tree(d);
+  for (int i = 0; i < n; ++i) (void)tree.Insert(i, data.Get(i));
+  Rng rng(2);
+  std::vector<Point> queries = SampleDirections(64, d, &rng);
+  size_t qi = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.TopK(queries[qi++ % queries.size()], 5));
+  }
+}
+BENCHMARK(BM_KdTreeTopK)->Args({1000, 4})->Args({10000, 4})->Args({10000, 8});
+
+void BM_KdTreeInsertDelete(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  PointSet data = GenerateIndep(n + 100000, 6, 3);
+  KdTree tree(6);
+  for (int i = 0; i < n; ++i) (void)tree.Insert(i, data.Get(i));
+  int next = n;
+  for (auto _ : state) {
+    (void)tree.Insert(next, data.Get(next));
+    (void)tree.Delete(next - n);
+    ++next;
+  }
+}
+BENCHMARK(BM_KdTreeInsertDelete)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_ConeTreeFindReached(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  Rng rng(4);
+  auto utils = SampleUtilityVectors(m, 6, &rng);
+  ConeTree cone(utils);
+  // Realistic thresholds: most utilities unreachable by a random point.
+  for (int i = 0; i < m; ++i) cone.SetThreshold(i, 0.9 + 0.1 * rng.Uniform());
+  PointSet data = GenerateIndep(256, 6, 5);
+  int pi = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cone.FindReached(data.Get(pi++ % 256)));
+  }
+}
+BENCHMARK(BM_ConeTreeFindReached)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_ConeTreeBruteForce(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  Rng rng(4);
+  auto utils = SampleUtilityVectors(m, 6, &rng);
+  ConeTree cone(utils);
+  for (int i = 0; i < m; ++i) cone.SetThreshold(i, 0.9 + 0.1 * rng.Uniform());
+  PointSet data = GenerateIndep(256, 6, 5);
+  int pi = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cone.FindReachedBruteForce(data.Get(pi++ % 256)));
+  }
+}
+BENCHMARK(BM_ConeTreeBruteForce)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_RegretWitnessLp(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  const int q_size = static_cast<int>(state.range(1));
+  Rng rng(6);
+  std::vector<double> p(d);
+  for (double& v : p) v = rng.Uniform();
+  std::vector<std::vector<double>> q(q_size, std::vector<double>(d));
+  for (auto& row : q) {
+    for (double& v : row) v = rng.Uniform();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MaxRegretForWitness(p, q));
+  }
+}
+BENCHMARK(BM_RegretWitnessLp)->Args({4, 10})->Args({6, 50})->Args({9, 100});
+
+void BM_DynamicSkylineInsert(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  PointSet data = GenerateAntiCor(n + 1000000, 6, 7);
+  DynamicSkyline sky(6);
+  for (int i = 0; i < n; ++i) (void)sky.Insert(i, data.Get(i), nullptr);
+  int next = n;
+  for (auto _ : state) {
+    (void)sky.Insert(next, data.Get(next), nullptr);
+    ++next;
+  }
+}
+BENCHMARK(BM_DynamicSkylineInsert)->Arg(1000)->Arg(10000);
+
+void BM_TopKMaintainerUpdate(benchmark::State& state) {
+  const int M = static_cast<int>(state.range(0));
+  Rng rng(8);
+  auto utils = SampleUtilityVectors(M, 6, &rng);
+  TopKMaintainer maintainer(6, 3, 0.02, utils);
+  PointSet data = GenerateIndep(1000000, 6, 9);
+  const int n0 = 5000;
+  for (int i = 0; i < n0; ++i) (void)maintainer.Insert(i, data.Get(i), nullptr);
+  int next = n0;
+  for (auto _ : state) {
+    (void)maintainer.Insert(next, data.Get(next), nullptr);
+    (void)maintainer.Delete(next - n0, nullptr);
+    ++next;
+  }
+}
+BENCHMARK(BM_TopKMaintainerUpdate)->Arg(256)->Arg(1024);
+
+void BM_SetCoverMembershipChurn(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  Rng rng(10);
+  DynamicSetCover cover(m);
+  const int num_sets = m * 2;
+  for (int e = 0; e < m; ++e) {
+    for (int j = 0; j < 8; ++j) cover.AddMembership(e, rng.UniformInt(num_sets));
+  }
+  std::vector<int> universe(m);
+  for (int i = 0; i < m; ++i) universe[i] = i;
+  cover.InitializeGreedy(universe);
+  for (auto _ : state) {
+    int e = rng.UniformInt(m);
+    int s = rng.UniformInt(num_sets);
+    if (rng.Uniform() < 0.5) {
+      cover.AddMembership(e, s);
+    } else {
+      cover.RemoveMembership(e, s);
+    }
+  }
+}
+BENCHMARK(BM_SetCoverMembershipChurn)->Arg(256)->Arg(1024)->Arg(4096);
+
+}  // namespace
+}  // namespace fdrms
+
+BENCHMARK_MAIN();

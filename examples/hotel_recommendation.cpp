@@ -1,0 +1,144 @@
+/// Hotel shortlisting — the paper's motivating scenario (Section I).
+///
+/// A booking site holds thousands of hotels scored on price (inverted),
+/// rating, location convenience, and amenities. Every user ranks hotels by
+/// their own linear utility; the site wants one page of r hotels such that
+/// every user finds something close to her personal top-k. Rooms sell out
+/// and listings reopen constantly, so the shortlist must track a stream of
+/// deletions and insertions — exactly the fully-dynamic k-RMS problem.
+///
+/// The example contrasts FD-RMS against periodic from-scratch recomputation
+/// with the greedy baseline, reporting both wall-clock and result quality.
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "baselines/greedy.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "core/fdrms.h"
+#include "geometry/sampling.h"
+
+using fdrms::Point;
+
+namespace {
+
+constexpr int kDim = 4;  // value, rating, location, amenities
+
+/// Hotels cluster into market segments (budget, boutique, luxury, airport).
+Point MakeHotel(fdrms::Rng* rng) {
+  static const double kSegments[4][kDim] = {
+      {0.9, 0.4, 0.5, 0.3},   // budget: great value, modest rating
+      {0.4, 0.9, 0.6, 0.7},   // boutique
+      {0.1, 0.95, 0.7, 0.95}, // luxury
+      {0.6, 0.5, 0.95, 0.5},  // airport: unbeatable location
+  };
+  const double* base = kSegments[rng->UniformInt(4)];
+  Point p(kDim);
+  for (int j = 0; j < kDim; ++j) {
+    double v = base[j] + 0.25 * rng->Gaussian();
+    p[j] = v < 0.0 ? 0.0 : (v > 1.0 ? 1.0 : v);
+  }
+  return p;
+}
+
+double SampledRegret(const std::vector<std::pair<int, Point>>& live,
+                     const std::vector<int>& shortlist, int k) {
+  fdrms::Rng rng(4242);
+  std::unordered_set<int> chosen(shortlist.begin(), shortlist.end());
+  double worst = 0.0;
+  for (int s = 0; s < 4000; ++s) {
+    Point u = fdrms::SampleUnitVectorNonneg(kDim, &rng);
+    std::vector<double> scores;
+    double best = 0.0;
+    for (const auto& [id, p] : live) {
+      double sc = fdrms::Dot(u, p);
+      scores.push_back(sc);
+      if (chosen.count(id) > 0 && sc > best) best = sc;
+    }
+    std::nth_element(scores.begin(), scores.begin() + (k - 1), scores.end(),
+                     std::greater<>());
+    double omega_k = scores[k - 1];
+    if (omega_k > 0.0) worst = std::max(worst, 1.0 - best / omega_k);
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main() {
+  const int kHotels = 4000;
+  const int kShortlist = 8;
+  const int kTopK = 3;  // "close to the user's top-3" is good enough
+  fdrms::Rng rng(7);
+
+  std::vector<std::pair<int, Point>> live;
+  for (int id = 0; id < kHotels; ++id) live.emplace_back(id, MakeHotel(&rng));
+
+  fdrms::FdRmsOptions options;
+  options.k = kTopK;
+  options.r = kShortlist;
+  options.eps = 0.05;
+  options.max_utilities = 1024;
+  fdrms::FdRms algo(kDim, options);
+  fdrms::Stopwatch init_watch;
+  fdrms::Status st = algo.Initialize(live);
+  if (!st.ok()) {
+    std::fprintf(stderr, "init failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("FD-RMS initialized on %d hotels in %.1f ms (m = %d)\n",
+              kHotels, init_watch.ElapsedMillis(), algo.current_m());
+
+  // A day of booking traffic: 2000 sell-outs and reopenings.
+  int next_id = kHotels;
+  fdrms::TimeAccumulator fdrms_time;
+  for (int event = 0; event < 2000; ++event) {
+    fdrms::Stopwatch watch;
+    if (rng.Uniform() < 0.5 && !live.empty()) {
+      int pos = rng.UniformInt(static_cast<int>(live.size()));
+      st = algo.Delete(live[pos].first);
+      live.erase(live.begin() + pos);
+    } else {
+      Point h = MakeHotel(&rng);
+      st = algo.Insert(next_id, h);
+      live.emplace_back(next_id, h);
+      ++next_id;
+    }
+    fdrms_time.Add(watch.ElapsedSeconds());
+    if (!st.ok()) {
+      std::fprintf(stderr, "event %d failed: %s\n", event, st.ToString().c_str());
+      return 1;
+    }
+  }
+  std::vector<int> shortlist = algo.Result();
+  double fdrms_regret = SampledRegret(live, shortlist, kTopK);
+  std::printf("FD-RMS: %.3f ms/update, final %d-regret ~ %.3f, page:",
+              fdrms_time.MeanMillis(), kTopK, fdrms_regret);
+  for (int id : shortlist) std::printf(" H%d", id);
+  std::printf("\n");
+
+  // Reference: one from-scratch greedy run on the final snapshot (what a
+  // static pipeline would recompute after the fact).
+  fdrms::Database db;
+  db.dim = kDim;
+  for (const auto& [id, p] : live) {
+    db.ids.push_back(id);
+    db.points.push_back(p);
+  }
+  fdrms::GreedyStarRms greedy(1024);
+  fdrms::Stopwatch greedy_watch;
+  std::vector<int> greedy_q = greedy.Compute(db, kTopK, kShortlist, &rng);
+  double greedy_ms = greedy_watch.ElapsedMillis();
+  double greedy_regret = SampledRegret(live, greedy_q, kTopK);
+  std::printf("Greedy* from scratch: %.1f ms/run, regret ~ %.3f\n", greedy_ms,
+              greedy_regret);
+  std::printf("-> one greedy rebuild costs as much as ~%.0f FD-RMS updates "
+              "while matching quality (%.3f vs %.3f)\n",
+              greedy_ms / std::max(1e-9, fdrms_time.MeanMillis()),
+              fdrms_regret, greedy_regret);
+  return 0;
+}

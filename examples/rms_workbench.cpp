@@ -1,0 +1,154 @@
+/// rms_workbench — command-line driver for every algorithm in the library
+/// on any generated dataset; the "swiss army knife" example.
+///
+/// Usage:
+///   rms_workbench [--dataset=Indep] [--n=4000] [--k=1] [--r=10]
+///                 [--algo=fdrms|greedy|greedy*|geogreedy|dmm-rrms|
+///                        dmm-greedy|eps-kernel|hs|sphere|cube|arm]
+///                 [--ops=2000] [--seed=42] [--eps=auto]
+///
+/// With --algo=fdrms it replays a dynamic half-insert/half-delete stream
+/// and reports per-update cost; static algorithms run once on the snapshot.
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "baselines/average_regret.h"
+#include "baselines/dmm.h"
+#include "baselines/greedy.h"
+#include "baselines/kernel_hs.h"
+#include "baselines/sphere.h"
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+#include "data/generators.h"
+#include "eval/runner.h"
+#include "eval/tuning.h"
+#include "eval/workload.h"
+
+using namespace fdrms;
+
+namespace {
+
+struct Args {
+  std::string dataset = "Indep";
+  std::string algo = "fdrms";
+  int n = 4000;
+  int k = 1;
+  int r = 10;
+  uint64_t seed = 42;
+  std::string eps = "auto";
+};
+
+bool ParseArgs(int argc, char** argv, Args* out) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      size_t len = std::strlen(prefix);
+      return arg.compare(0, len, prefix) == 0 ? arg.c_str() + len : nullptr;
+    };
+    if (const char* v = value("--dataset=")) {
+      out->dataset = v;
+    } else if (const char* v = value("--algo=")) {
+      out->algo = v;
+    } else if (const char* v = value("--n=")) {
+      out->n = std::atoi(v);
+    } else if (const char* v = value("--k=")) {
+      out->k = std::atoi(v);
+    } else if (const char* v = value("--r=")) {
+      out->r = std::atoi(v);
+    } else if (const char* v = value("--seed=")) {
+      out->seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--eps=")) {
+      out->eps = v;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return out->n > 0 && out->k >= 1 && out->r >= 1;
+}
+
+std::unique_ptr<RmsAlgorithm> MakeStatic(const std::string& name) {
+  if (name == "greedy") return std::make_unique<GreedyRms>();
+  if (name == "greedy*") return std::make_unique<GreedyStarRms>();
+  if (name == "geogreedy") return std::make_unique<GeoGreedyRms>();
+  if (name == "dmm-rrms") return std::make_unique<DmmRrms>();
+  if (name == "dmm-greedy") return std::make_unique<DmmGreedy>();
+  if (name == "eps-kernel") return std::make_unique<EpsKernelRms>();
+  if (name == "hs") return std::make_unique<HittingSetRms>();
+  if (name == "sphere") return std::make_unique<SphereRms>();
+  if (name == "cube") return std::make_unique<CubeRms>();
+  if (name == "arm") return std::make_unique<AverageRegretGreedy>();
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    std::fprintf(stderr,
+                 "usage: rms_workbench [--dataset=NAME] [--n=N] [--k=K] "
+                 "[--r=R] [--algo=NAME] [--seed=S] [--eps=auto|VALUE]\n");
+    return 2;
+  }
+  Result<PointSet> gen = GenerateByName(args.dataset, args.n, args.seed);
+  if (!gen.ok()) {
+    std::fprintf(stderr, "%s (datasets: BB AQ CT Movie Indep AntiCor)\n",
+                 gen.status().ToString().c_str());
+    return 2;
+  }
+  const PointSet& ps = gen.value();
+  std::printf("dataset=%s n=%d d=%d  RMS(k=%d, r=%d)  algo=%s\n",
+              args.dataset.c_str(), ps.size(), ps.dim(), args.k, args.r,
+              args.algo.c_str());
+  Workload wl(&ps, args.seed);
+  WorkloadRunner runner(&wl, args.k,
+                        static_cast<int>(GetEnvLong("FDRMS_EVAL_VECTORS", 5000)),
+                        args.seed + 1);
+  RunResult res;
+  if (args.algo == "fdrms") {
+    FdRmsOptions opt;
+    opt.k = args.k;
+    opt.r = args.r;
+    opt.max_utilities = static_cast<int>(GetEnvLong("FDRMS_MAX_UTILITIES", 2048));
+    opt.seed = args.seed;
+    if (args.eps == "auto") {
+      std::vector<std::pair<int, Point>> tuples;
+      for (int id : wl.initial_ids()) tuples.emplace_back(id, ps.Get(id));
+      TuneResult tuned = AutoTuneEpsilon(tuples, ps.dim(), opt);
+      opt = tuned.options;
+      std::printf("auto-tuned eps=%.4f (probes:", opt.eps);
+      for (const auto& probe : tuned.probes) {
+        std::printf(" {eps=%.4f mrr=%.3f m=%d}", probe.eps,
+                    probe.sampled_regret, probe.m);
+      }
+      std::printf(")\n");
+    } else {
+      opt.eps = std::atof(args.eps.c_str());
+    }
+    res = runner.RunFdRms(opt);
+    std::printf("init: %.1f ms; final m=%d\n", res.init_ms, res.final_m);
+  } else {
+    std::unique_ptr<RmsAlgorithm> algo = MakeStatic(args.algo);
+    if (algo == nullptr) {
+      std::fprintf(stderr, "unknown algorithm '%s'\n", args.algo.c_str());
+      return 2;
+    }
+    if (args.k > 1 && !algo->SupportsKGreaterThan1()) {
+      std::fprintf(stderr, "%s supports k = 1 only\n", algo->name().c_str());
+      return 2;
+    }
+    res = runner.RunStatic(*algo, args.r);
+    std::printf("skyline-change triggers: %ld of %zu ops\n",
+                res.skyline_triggers, wl.operations().size());
+  }
+  std::printf("mean update time: %.4f ms/op\n", res.mean_update_ms);
+  std::printf("mean mrr_%d over checkpoints: %.4f\n", args.k, res.mean_regret);
+  std::printf("final result (%zu ids):", res.final_result.size());
+  for (int id : res.final_result) std::printf(" %d", id);
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+#include "baselines/average_regret.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "geometry/sampling.h"
+
+namespace fdrms {
+
+std::vector<int> AverageRegretGreedy::Compute(const Database& db, int k, int r,
+                                              Rng* rng) const {
+  if (db.size() == 0 || r <= 0) return {};
+  std::vector<Point> dirs = SampleDirections(num_directions_, db.dim, rng);
+  std::vector<double> omega_k = OmegaKForDirections(dirs, db.points, k);
+  // Candidates: skyline only (the per-direction best tuple is always on the
+  // skyline, and happiness is monotone in per-direction bests).
+  std::vector<int> candidates = SkylineIndices(db);
+  // best_in_q[u]: happiness numerator achieved so far on direction u.
+  std::vector<double> best_in_q(dirs.size(), 0.0);
+  auto gain_of = [&](int idx) {
+    double gain = 0.0;
+    for (size_t ui = 0; ui < dirs.size(); ++ui) {
+      if (omega_k[ui] <= 0.0) continue;
+      double s = Dot(dirs[ui], db.points[idx]);
+      double now = std::min(1.0, best_in_q[ui] / omega_k[ui]);
+      double then = std::min(1.0, std::max(best_in_q[ui], s) / omega_k[ui]);
+      gain += then - now;
+    }
+    return gain;
+  };
+  // Lazy greedy: stale upper bounds re-evaluated on pop (valid because the
+  // objective is submodular — gains only shrink).
+  std::priority_queue<std::pair<double, int>> heap;
+  for (int idx : candidates) heap.push({gain_of(idx), idx});
+  std::vector<int> chosen;
+  std::unordered_set<int> taken;
+  while (static_cast<int>(chosen.size()) < r && !heap.empty()) {
+    auto [g, idx] = heap.top();
+    heap.pop();
+    if (taken.count(idx) > 0) continue;
+    double fresh = gain_of(idx);
+    if (!heap.empty() && fresh < heap.top().first - 1e-12) {
+      heap.push({fresh, idx});
+      continue;
+    }
+    if (fresh <= 1e-12) break;  // average happiness saturated
+    taken.insert(idx);
+    chosen.push_back(idx);
+    for (size_t ui = 0; ui < dirs.size(); ++ui) {
+      best_in_q[ui] = std::max(best_in_q[ui], Dot(dirs[ui], db.points[idx]));
+    }
+  }
+  std::vector<int> ids;
+  for (int idx : chosen) ids.push_back(db.ids[idx]);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+double AverageRegretGreedy::AverageRegret(const Database& db,
+                                          const std::vector<int>& q_ids,
+                                          int k, int num_directions,
+                                          Rng* rng) {
+  if (db.size() == 0) return 0.0;
+  std::vector<Point> dirs = SampleDirections(num_directions, db.dim, rng);
+  std::vector<double> omega_k = OmegaKForDirections(dirs, db.points, k);
+  std::unordered_set<int> chosen(q_ids.begin(), q_ids.end());
+  double total = 0.0;
+  int counted = 0;
+  for (size_t ui = 0; ui < dirs.size(); ++ui) {
+    if (omega_k[ui] <= 0.0) continue;
+    double best = 0.0;
+    for (int i = 0; i < db.size(); ++i) {
+      if (chosen.count(db.ids[i]) > 0) {
+        best = std::max(best, Dot(dirs[ui], db.points[i]));
+      }
+    }
+    total += std::max(0.0, 1.0 - best / omega_k[ui]);
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : total / counted;
+}
+
+}  // namespace fdrms

@@ -1,0 +1,38 @@
+#ifndef FDRMS_BASELINES_AVERAGE_REGRET_H_
+#define FDRMS_BASELINES_AVERAGE_REGRET_H_
+
+/// \file average_regret.h
+/// Average regret minimization (ARM) — the related problem of [26, 28, 35]
+/// (Section V): choose r tuples minimizing the *average* (not maximum)
+/// k-regret ratio over a utility distribution. The objective
+///   f(Q) = E_u[ min(1, ω(u,Q) / ω_k(u,P)) ]
+/// is monotone submodular, so lazy greedy gives a (1 - 1/e)-approximation
+/// (Storandt & Funke, AAAI 2019).
+
+#include "baselines/rms_algorithm.h"
+
+namespace fdrms {
+
+/// ARM solver over a sampled utility set; returns at most r tuple ids.
+class AverageRegretGreedy : public RmsAlgorithm {
+ public:
+  explicit AverageRegretGreedy(int num_directions = 1024)
+      : num_directions_(num_directions) {}
+
+  std::string name() const override { return "ARM-Greedy"; }
+  bool SupportsKGreaterThan1() const override { return true; }
+  std::vector<int> Compute(const Database& db, int k, int r,
+                           Rng* rng) const override;
+
+  /// Average k-regret ratio of `q_ids` over `db` on a fresh utility sample
+  /// (the ARM objective this class minimizes).
+  static double AverageRegret(const Database& db, const std::vector<int>& q_ids,
+                              int k, int num_directions, Rng* rng);
+
+ private:
+  int num_directions_;
+};
+
+}  // namespace fdrms
+
+#endif  // FDRMS_BASELINES_AVERAGE_REGRET_H_

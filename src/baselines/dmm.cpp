@@ -1,0 +1,143 @@
+#include "baselines/dmm.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+#include "geometry/sampling.h"
+
+namespace fdrms {
+
+namespace {
+
+/// Regret matrix over the skyline: regret[i][u] of skyline tuple i on
+/// direction u, with row/column ids resolved by the caller.
+struct RegretMatrix {
+  std::vector<int> rows;                      // indices into db.points
+  std::vector<std::vector<double>> regret;    // rows x dirs
+  int num_dirs = 0;
+};
+
+RegretMatrix BuildMatrix(const Database& db, int num_directions, Rng* rng) {
+  RegretMatrix m;
+  m.rows = SkylineIndices(db);
+  std::vector<Point> dirs = SampleDirections(num_directions, db.dim, rng);
+  m.num_dirs = static_cast<int>(dirs.size());
+  std::vector<double> omega(dirs.size(), 0.0);
+  std::vector<std::vector<double>> score(m.rows.size(),
+                                         std::vector<double>(dirs.size()));
+  for (size_t i = 0; i < m.rows.size(); ++i) {
+    for (size_t u = 0; u < dirs.size(); ++u) {
+      score[i][u] = Dot(dirs[u], db.points[m.rows[i]]);
+      omega[u] = std::max(omega[u], score[i][u]);
+    }
+  }
+  m.regret.assign(m.rows.size(), std::vector<double>(dirs.size(), 0.0));
+  for (size_t i = 0; i < m.rows.size(); ++i) {
+    for (size_t u = 0; u < dirs.size(); ++u) {
+      m.regret[i][u] = omega[u] <= 0.0 ? 0.0 : 1.0 - score[i][u] / omega[u];
+    }
+  }
+  return m;
+}
+
+/// Greedy set cover: can `r` rows cover all directions with per-direction
+/// regret <= theta? Returns the chosen row indices (empty = infeasible).
+std::vector<int> CoverAtThreshold(const RegretMatrix& m, double theta, int r) {
+  std::vector<bool> covered(m.num_dirs, false);
+  int remaining = m.num_dirs;
+  std::vector<int> chosen;
+  std::vector<bool> used(m.rows.size(), false);
+  while (remaining > 0 && static_cast<int>(chosen.size()) < r) {
+    int best_row = -1;
+    int best_gain = 0;
+    for (size_t i = 0; i < m.rows.size(); ++i) {
+      if (used[i]) continue;
+      int gain = 0;
+      for (int u = 0; u < m.num_dirs; ++u) {
+        if (!covered[u] && m.regret[i][u] <= theta) ++gain;
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_row = static_cast<int>(i);
+      }
+    }
+    if (best_row < 0) return {};  // no row makes progress
+    used[best_row] = true;
+    chosen.push_back(best_row);
+    for (int u = 0; u < m.num_dirs; ++u) {
+      if (!covered[u] && m.regret[best_row][u] <= theta) {
+        covered[u] = true;
+        --remaining;
+      }
+    }
+  }
+  if (remaining > 0) return {};
+  return chosen;
+}
+
+}  // namespace
+
+std::vector<int> DmmRrms::Compute(const Database& db, int k, int r,
+                                  Rng* rng) const {
+  FDRMS_CHECK(k == 1) << "DMM-RRMS supports k = 1 only";
+  if (db.size() == 0 || r <= 0) return {};
+  RegretMatrix m = BuildMatrix(db, num_directions_, rng);
+  double lo = 0.0;
+  double hi = 1.0;
+  std::vector<int> best_rows = CoverAtThreshold(m, hi, r);
+  FDRMS_CHECK(!best_rows.empty() || m.num_dirs == 0);
+  for (int it = 0; it < search_iterations_; ++it) {
+    double mid = 0.5 * (lo + hi);
+    std::vector<int> rows = CoverAtThreshold(m, mid, r);
+    if (!rows.empty()) {
+      best_rows = std::move(rows);
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  std::vector<int> ids;
+  for (int row : best_rows) ids.push_back(db.ids[m.rows[row]]);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<int> DmmGreedy::Compute(const Database& db, int k, int r,
+                                    Rng* rng) const {
+  FDRMS_CHECK(k == 1) << "DMM-Greedy supports k = 1 only";
+  if (db.size() == 0 || r <= 0) return {};
+  RegretMatrix m = BuildMatrix(db, num_directions_, rng);
+  // best_regret[u]: regret the chosen rows achieve on direction u so far.
+  std::vector<double> best_regret(m.num_dirs, 1.0);
+  std::vector<bool> used(m.rows.size(), false);
+  std::vector<int> chosen;
+  while (static_cast<int>(chosen.size()) < r) {
+    int best_row = -1;
+    double best_value = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < m.rows.size(); ++i) {
+      if (used[i]) continue;
+      double value = 0.0;  // resulting max regret if row i is added
+      for (int u = 0; u < m.num_dirs; ++u) {
+        value = std::max(value, std::min(best_regret[u], m.regret[i][u]));
+      }
+      if (value < best_value) {
+        best_value = value;
+        best_row = static_cast<int>(i);
+      }
+    }
+    if (best_row < 0) break;
+    used[best_row] = true;
+    chosen.push_back(best_row);
+    for (int u = 0; u < m.num_dirs; ++u) {
+      best_regret[u] = std::min(best_regret[u], m.regret[best_row][u]);
+    }
+    if (best_value <= 1e-12) break;
+  }
+  std::vector<int> ids;
+  for (int row : chosen) ids.push_back(db.ids[m.rows[row]]);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace fdrms

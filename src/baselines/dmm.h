@@ -1,0 +1,48 @@
+#ifndef FDRMS_BASELINES_DMM_H_
+#define FDRMS_BASELINES_DMM_H_
+
+/// \file dmm.h
+/// DMM-RRMS and DMM-GREEDY of Asudeh et al. (SIGMOD 2017): both discretize
+/// the utility space into N sampled directions and operate on the implied
+/// (skyline tuple x direction) regret matrix.
+///  * DMM-RRMS   — binary search on the regret threshold θ; feasibility of
+///                 a θ is a set-cover instance (tuples cover the directions
+///                 on which their regret is <= θ) solved greedily.
+///  * DMM-GREEDY — greedy min-max row selection on the same matrix.
+
+#include "baselines/rms_algorithm.h"
+
+namespace fdrms {
+
+/// DMM-RRMS [4]; k = 1 only.
+class DmmRrms : public RmsAlgorithm {
+ public:
+  explicit DmmRrms(int num_directions = 512, int search_iterations = 24)
+      : num_directions_(num_directions), search_iterations_(search_iterations) {}
+
+  std::string name() const override { return "DMM-RRMS"; }
+  std::vector<int> Compute(const Database& db, int k, int r,
+                           Rng* rng) const override;
+
+ private:
+  int num_directions_;
+  int search_iterations_;
+};
+
+/// DMM-GREEDY [4]; k = 1 only.
+class DmmGreedy : public RmsAlgorithm {
+ public:
+  explicit DmmGreedy(int num_directions = 512)
+      : num_directions_(num_directions) {}
+
+  std::string name() const override { return "DMM-Greedy"; }
+  std::vector<int> Compute(const Database& db, int k, int r,
+                           Rng* rng) const override;
+
+ private:
+  int num_directions_;
+};
+
+}  // namespace fdrms
+
+#endif  // FDRMS_BASELINES_DMM_H_

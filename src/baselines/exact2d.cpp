@@ -1,0 +1,241 @@
+#include "baselines/exact2d.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace fdrms {
+
+namespace {
+
+/// Upper envelope of the lines f_p(t) = (px - py) t + py over t ∈ [0, 1],
+/// built with the convex-hull trick and evaluated by binary search.
+class UpperEnvelope {
+ public:
+  explicit UpperEnvelope(const std::vector<Point>& points) {
+    std::vector<std::pair<double, double>> lines;  // (slope, intercept)
+    lines.reserve(points.size());
+    for (const Point& p : points) {
+      lines.emplace_back(p[0] - p[1], p[1]);
+    }
+    std::sort(lines.begin(), lines.end());
+    // Deduplicate slopes, keeping the highest intercept.
+    std::vector<std::pair<double, double>> dedup;
+    for (const auto& ln : lines) {
+      if (!dedup.empty() && dedup.back().first == ln.first) {
+        dedup.back().second = std::max(dedup.back().second, ln.second);
+      } else {
+        dedup.push_back(ln);
+      }
+    }
+    // Build the upper hull: a line is kept if it beats its neighbors
+    // somewhere.
+    for (const auto& ln : dedup) {
+      while (hull_.size() >= 2 && !Useful(hull_[hull_.size() - 2],
+                                          hull_[hull_.size() - 1], ln)) {
+        hull_.pop_back();
+      }
+      // Drop a new line dominated by the last one (parallel handled above).
+      hull_.push_back(ln);
+    }
+    // Breakpoints between consecutive hull lines.
+    breaks_.clear();
+    for (size_t i = 0; i + 1 < hull_.size(); ++i) {
+      breaks_.push_back(Cross(hull_[i], hull_[i + 1]));
+    }
+  }
+
+  double Evaluate(double t) const {
+    size_t idx =
+        std::upper_bound(breaks_.begin(), breaks_.end(), t) - breaks_.begin();
+    return hull_[idx].first * t + hull_[idx].second;
+  }
+
+ private:
+  using Line = std::pair<double, double>;
+
+  static double Cross(const Line& a, const Line& b) {
+    return (a.second - b.second) / (b.first - a.first);
+  }
+  // Is line `b` above the crossing of `a` and `c` somewhere between them?
+  static bool Useful(const Line& a, const Line& b, const Line& c) {
+    return Cross(a, c) > Cross(a, b);
+  }
+
+  std::vector<Line> hull_;
+  std::vector<double> breaks_;
+};
+
+struct Interval {
+  double lo;
+  double hi;
+  int index;  // tuple index
+};
+
+/// Coverage interval of tuple `p` at error eps: {t : f_p(t) >= (1-eps)env}.
+/// Returns false when empty. Exploits concavity of the margin.
+bool CoverageInterval(const Point& p, double eps, const UpperEnvelope& env,
+                      Interval* out) {
+  auto margin = [&](double t) {
+    return (p[0] - p[1]) * t + p[1] - (1.0 - eps) * env.Evaluate(t);
+  };
+  // Ternary search for the maximum of the concave margin.
+  double lo = 0.0;
+  double hi = 1.0;
+  for (int it = 0; it < 80; ++it) {
+    double m1 = lo + (hi - lo) / 3.0;
+    double m2 = hi - (hi - lo) / 3.0;
+    if (margin(m1) < margin(m2)) {
+      lo = m1;
+    } else {
+      hi = m2;
+    }
+  }
+  double peak = 0.5 * (lo + hi);
+  if (margin(peak) < 0.0) {
+    // The peak can sit exactly on the boundary; check the ends too.
+    if (margin(0.0) >= 0.0) {
+      peak = 0.0;
+    } else if (margin(1.0) >= 0.0) {
+      peak = 1.0;
+    } else {
+      return false;
+    }
+  }
+  // Left endpoint: margin crosses zero once in [0, peak].
+  double a = 0.0;
+  double b = peak;
+  if (margin(0.0) >= 0.0) {
+    out->lo = 0.0;
+  } else {
+    for (int it = 0; it < 60; ++it) {
+      double mid = 0.5 * (a + b);
+      if (margin(mid) >= 0.0) {
+        b = mid;
+      } else {
+        a = mid;
+      }
+    }
+    out->lo = b;
+  }
+  a = peak;
+  b = 1.0;
+  if (margin(1.0) >= 0.0) {
+    out->hi = 1.0;
+  } else {
+    for (int it = 0; it < 60; ++it) {
+      double mid = 0.5 * (a + b);
+      if (margin(mid) >= 0.0) {
+        a = mid;
+      } else {
+        b = mid;
+      }
+    }
+    out->hi = a;
+  }
+  return out->hi >= out->lo;
+}
+
+/// Greedy interval covering of [0, 1]; empty = infeasible with r intervals.
+std::vector<int> GreedyIntervalCover(std::vector<Interval> intervals, int r) {
+  constexpr double kTol = 1e-9;
+  std::sort(intervals.begin(), intervals.end(),
+            [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+  std::vector<int> chosen;
+  double covered_to = 0.0;
+  size_t i = 0;
+  while (covered_to < 1.0 - kTol) {
+    double best_hi = -1.0;
+    int best_index = -1;
+    while (i < intervals.size() && intervals[i].lo <= covered_to + kTol) {
+      if (intervals[i].hi > best_hi) {
+        best_hi = intervals[i].hi;
+        best_index = intervals[i].index;
+      }
+      ++i;
+    }
+    if (best_index < 0 || best_hi <= covered_to + 1e-15) return {};
+    chosen.push_back(best_index);
+    covered_to = best_hi;
+    if (static_cast<int>(chosen.size()) > r) return {};
+  }
+  return chosen;
+}
+
+}  // namespace
+
+std::vector<int> Exact2dRms::Compute(const Database& db, int k, int r,
+                                     Rng* rng) const {
+  FDRMS_CHECK(k == 1) << "Exact2D supports k = 1 only";
+  FDRMS_CHECK(db.dim == 2) << "Exact2D supports d = 2 only";
+  (void)rng;
+  if (db.size() == 0 || r <= 0) return {};
+  std::vector<int> skyline = SkylineIndices(db);
+  std::vector<Point> sky_points;
+  for (int idx : skyline) sky_points.push_back(db.points[idx]);
+  UpperEnvelope env(sky_points);
+  auto cover_at = [&](double eps) {
+    std::vector<Interval> intervals;
+    Interval iv;
+    for (size_t i = 0; i < sky_points.size(); ++i) {
+      if (CoverageInterval(sky_points[i], eps, env, &iv)) {
+        iv.index = skyline[i];
+        intervals.push_back(iv);
+      }
+    }
+    return GreedyIntervalCover(std::move(intervals), r);
+  };
+  double lo = 0.0;
+  double hi = 1.0;
+  std::vector<int> best = cover_at(hi);
+  FDRMS_CHECK(!best.empty()) << "covering at eps=1 must succeed";
+  while (hi - lo > precision_) {
+    double mid = 0.5 * (lo + hi);
+    std::vector<int> cand = cover_at(mid);
+    if (!cand.empty()) {
+      best = std::move(cand);
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  std::vector<int> ids;
+  for (int idx : best) ids.push_back(db.ids[idx]);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+double Exact2dRms::OptimalRegret(const Database& db, int r) const {
+  FDRMS_CHECK(db.dim == 2);
+  if (db.size() == 0 || r <= 0) return 1.0;
+  std::vector<int> skyline = SkylineIndices(db);
+  std::vector<Point> sky_points;
+  for (int idx : skyline) sky_points.push_back(db.points[idx]);
+  if (static_cast<int>(sky_points.size()) <= r) return 0.0;
+  UpperEnvelope env(sky_points);
+  auto feasible = [&](double eps) {
+    std::vector<Interval> intervals;
+    Interval iv;
+    for (size_t i = 0; i < sky_points.size(); ++i) {
+      if (CoverageInterval(sky_points[i], eps, env, &iv)) {
+        iv.index = static_cast<int>(i);
+        intervals.push_back(iv);
+      }
+    }
+    return !GreedyIntervalCover(std::move(intervals), r).empty();
+  };
+  double lo = 0.0;
+  double hi = 1.0;
+  while (hi - lo > precision_) {
+    double mid = 0.5 * (lo + hi);
+    if (feasible(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace fdrms

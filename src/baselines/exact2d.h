@@ -1,0 +1,42 @@
+#ifndef FDRMS_BASELINES_EXACT2D_H_
+#define FDRMS_BASELINES_EXACT2D_H_
+
+/// \file exact2d.h
+/// Exact 1-RMS for d = 2 — the "first type" of algorithm the paper's
+/// introduction catalogs (dynamic-programming/optimal methods that exist
+/// only in two dimensions). Used in this repo as a ground-truth oracle for
+/// property tests and as a runnable extension baseline.
+///
+/// Method: parameterize utilities as u(t) = (t, 1-t)/||.||, t ∈ [0, 1]
+/// (regret ratios are scale-invariant, so the unnormalized pencil
+/// suffices). For a fixed error ε, tuple p covers the set
+/// { t : score_t(p) >= (1-ε) * env(t) } where env is the (convex,
+/// piecewise-linear) upper envelope of all tuples. score_t(p) - (1-ε)env(t)
+/// is concave in t, so each tuple's coverage is an interval: RMS(1, r)
+/// with error ε reduces to covering [0, 1] by r intervals, which the
+/// classic left-to-right greedy solves exactly. Binary search on ε yields
+/// the optimum to any precision.
+
+#include "baselines/rms_algorithm.h"
+
+namespace fdrms {
+
+/// Exact (to binary-search precision) 1-RMS in two dimensions.
+class Exact2dRms : public RmsAlgorithm {
+ public:
+  explicit Exact2dRms(double precision = 1e-7) : precision_(precision) {}
+
+  std::string name() const override { return "Exact2D"; }
+  std::vector<int> Compute(const Database& db, int k, int r,
+                           Rng* rng) const override;
+
+  /// The optimal maximum regret ratio ε*_{1,r} itself.
+  double OptimalRegret(const Database& db, int r) const;
+
+ private:
+  double precision_;
+};
+
+}  // namespace fdrms
+
+#endif  // FDRMS_BASELINES_EXACT2D_H_

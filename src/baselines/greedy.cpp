@@ -1,0 +1,206 @@
+#include "baselines/greedy.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+#include "geometry/sampling.h"
+#include "lp/simplex.h"
+
+namespace fdrms {
+
+namespace {
+
+/// Index (into db.points) of the tuple with the largest attribute sum — the
+/// deterministic seed all greedy variants start from.
+int MaxSumIndex(const Database& db, const std::vector<int>& candidates) {
+  int best = candidates.front();
+  double best_sum = -1.0;
+  for (int idx : candidates) {
+    double s = std::accumulate(db.points[idx].begin(), db.points[idx].end(), 0.0);
+    if (s > best_sum) {
+      best_sum = s;
+      best = idx;
+    }
+  }
+  return best;
+}
+
+std::vector<Point> GatherPoints(const Database& db,
+                                const std::vector<int>& indices) {
+  std::vector<Point> out;
+  out.reserve(indices.size());
+  for (int i : indices) out.push_back(db.points[i]);
+  return out;
+}
+
+std::vector<int> ToIds(const Database& db, const std::vector<int>& indices) {
+  std::vector<int> ids;
+  ids.reserve(indices.size());
+  for (int i : indices) ids.push_back(db.ids[i]);
+  return ids;
+}
+
+}  // namespace
+
+std::vector<int> GreedyRms::Compute(const Database& db, int k, int r,
+                                    Rng* rng) const {
+  FDRMS_CHECK(k == 1) << "Greedy supports k = 1 only";
+  if (db.size() == 0 || r <= 0) return {};
+  std::vector<int> skyline = SkylineIndices(db);
+  if (static_cast<int>(skyline.size()) > max_witness_candidates_) {
+    rng->Shuffle(&skyline);
+    skyline.resize(max_witness_candidates_);
+  }
+  std::vector<int> chosen{MaxSumIndex(db, skyline)};
+  std::vector<bool> taken(db.size(), false);
+  taken[chosen[0]] = true;
+  while (static_cast<int>(chosen.size()) < r) {
+    std::vector<Point> q_points = GatherPoints(db, chosen);
+    double best_regret = 0.0;
+    int best_idx = -1;
+    for (int idx : skyline) {
+      if (taken[idx]) continue;
+      double regret = MaxRegretForWitness(db.points[idx], q_points);
+      if (regret > best_regret) {
+        best_regret = regret;
+        best_idx = idx;
+      }
+    }
+    if (best_idx < 0 || best_regret <= 1e-12) break;  // zero regret reached
+    chosen.push_back(best_idx);
+    taken[best_idx] = true;
+  }
+  return ToIds(db, chosen);
+}
+
+std::vector<int> GeoGreedyRms::Compute(const Database& db, int k, int r,
+                                       Rng* rng) const {
+  FDRMS_CHECK(k == 1) << "GeoGreedy supports k = 1 only";
+  if (db.size() == 0 || r <= 0) return {};
+  std::vector<int> skyline = SkylineIndices(db);
+  std::vector<Point> dirs = SampleDirections(num_directions_, db.dim, rng);
+  // Per-direction top score over the skyline (the reference for regret).
+  std::vector<double> omega(dirs.size(), 0.0);
+  std::vector<int> top_of(dirs.size(), skyline.front());
+  for (size_t ui = 0; ui < dirs.size(); ++ui) {
+    for (int idx : skyline) {
+      double s = Dot(dirs[ui], db.points[idx]);
+      if (s > omega[ui]) {
+        omega[ui] = s;
+        top_of[ui] = idx;
+      }
+    }
+  }
+  std::vector<int> chosen{MaxSumIndex(db, skyline)};
+  std::vector<bool> taken(db.size(), false);
+  taken[chosen[0]] = true;
+  // best_in_q[u]: the best score Q achieves along direction u.
+  std::vector<double> best_in_q(dirs.size(), 0.0);
+  for (size_t ui = 0; ui < dirs.size(); ++ui) {
+    best_in_q[ui] = Dot(dirs[ui], db.points[chosen[0]]);
+  }
+  while (static_cast<int>(chosen.size()) < r) {
+    // Sampled witness scan: rank candidate tuples by the regret of the
+    // direction they win.
+    std::vector<std::pair<double, int>> witness;  // (regret, point index)
+    for (size_t ui = 0; ui < dirs.size(); ++ui) {
+      if (omega[ui] <= 0.0 || taken[top_of[ui]]) continue;
+      double rr = 1.0 - best_in_q[ui] / omega[ui];
+      if (rr > 1e-12) witness.emplace_back(rr, top_of[ui]);
+    }
+    if (witness.empty()) break;
+    std::sort(witness.begin(), witness.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    // Exact-LP refinement on the leading distinct candidates (this is the
+    // role GEOGREEDY's convex-hull machinery plays: confirm the true
+    // maximum-regret witness among the geometric front-runners).
+    std::vector<Point> q_points = GatherPoints(db, chosen);
+    double best_regret = 0.0;
+    int best_idx = -1;
+    int refined = 0;
+    std::vector<bool> seen(db.size(), false);
+    for (const auto& [rr, idx] : witness) {
+      if (seen[idx]) continue;
+      seen[idx] = true;
+      double regret = MaxRegretForWitness(db.points[idx], q_points);
+      if (regret > best_regret) {
+        best_regret = regret;
+        best_idx = idx;
+      }
+      if (++refined >= refine_top_) break;
+    }
+    if (best_idx < 0 || best_regret <= 1e-12) break;
+    chosen.push_back(best_idx);
+    taken[best_idx] = true;
+    for (size_t ui = 0; ui < dirs.size(); ++ui) {
+      best_in_q[ui] =
+          std::max(best_in_q[ui], Dot(dirs[ui], db.points[best_idx]));
+    }
+  }
+  return ToIds(db, chosen);
+}
+
+std::vector<int> GreedyStarRms::Compute(const Database& db, int k, int r,
+                                        Rng* rng) const {
+  if (db.size() == 0 || r <= 0) return {};
+  std::vector<Point> dirs = SampleDirections(num_directions_, db.dim, rng);
+  std::vector<double> omega_k = OmegaKForDirections(dirs, db.points, k);
+  // Candidates: tuples appearing in the top-k of at least one sampled
+  // direction — anything else cannot reduce the sampled regret more than a
+  // candidate can.
+  std::vector<bool> is_candidate(db.size(), false);
+  for (const Point& u : dirs) {
+    // Collect the indices of the k best tuples along u.
+    std::vector<std::pair<double, int>> best;  // min-heap by score
+    for (int i = 0; i < db.size(); ++i) {
+      double s = Dot(u, db.points[i]);
+      if (static_cast<int>(best.size()) < k) {
+        best.emplace_back(s, i);
+        std::push_heap(best.begin(), best.end(), std::greater<>());
+      } else if (s > best.front().first) {
+        std::pop_heap(best.begin(), best.end(), std::greater<>());
+        best.back() = {s, i};
+        std::push_heap(best.begin(), best.end(), std::greater<>());
+      }
+    }
+    for (const auto& [s, i] : best) is_candidate[i] = true;
+  }
+  std::vector<int> candidates;
+  for (int i = 0; i < db.size(); ++i) {
+    if (is_candidate[i]) candidates.push_back(i);
+  }
+  // Greedy: repeatedly add the candidate minimizing the sampled mrr_k.
+  std::vector<int> chosen;
+  std::vector<bool> taken(db.size(), false);
+  std::vector<double> best_in_q(dirs.size(), 0.0);
+  while (static_cast<int>(chosen.size()) < r) {
+    double best_value = std::numeric_limits<double>::infinity();
+    int best_idx = -1;
+    for (int idx : candidates) {
+      if (taken[idx]) continue;
+      double value = 0.0;  // resulting mrr_k if idx is added
+      for (size_t ui = 0; ui < dirs.size(); ++ui) {
+        if (omega_k[ui] <= 0.0) continue;
+        double q = std::max(best_in_q[ui], Dot(dirs[ui], db.points[idx]));
+        double rr = 1.0 - q / omega_k[ui];
+        if (rr > value) value = rr;
+      }
+      if (value < best_value) {
+        best_value = value;
+        best_idx = idx;
+      }
+    }
+    if (best_idx < 0) break;
+    chosen.push_back(best_idx);
+    taken[best_idx] = true;
+    for (size_t ui = 0; ui < dirs.size(); ++ui) {
+      best_in_q[ui] =
+          std::max(best_in_q[ui], Dot(dirs[ui], db.points[best_idx]));
+    }
+    if (best_value <= 1e-12) break;  // sampled regret already zero
+  }
+  return ToIds(db, chosen);
+}
+
+}  // namespace fdrms

@@ -1,0 +1,160 @@
+#include "baselines/kernel_hs.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "geometry/sampling.h"
+
+namespace fdrms {
+
+std::vector<int> EpsKernelRms::Compute(const Database& db, int k, int r,
+                                       Rng* rng) const {
+  (void)k;  // the coreset construction is rank-oblivious
+  if (db.size() == 0 || r <= 0) return {};
+  // A farthest-point ordering of sampled directions approximates a δ-net
+  // whose resolution grows with the prefix length; the extreme tuple along
+  // each direction is the coreset.
+  std::vector<Point> pool = SampleDirections(max_directions_, db.dim, rng);
+  // Seed with the standard basis so the coreset always contains the
+  // per-attribute maxima (required by the ε-kernel normalization).
+  for (int j = 0; j < db.dim; ++j) {
+    Point e(db.dim, 0.0);
+    e[j] = 1.0;
+    pool.push_back(std::move(e));
+  }
+  std::rotate(pool.begin(), pool.end() - db.dim, pool.end());
+  std::vector<Point> ordered = FarthestPointDirections(pool, max_directions_);
+  std::vector<int> skyline = SkylineIndices(db);
+  auto extreme = [&](const Point& u) {
+    int best = skyline.front();
+    double best_score = -1.0;
+    for (int idx : skyline) {
+      double s = Dot(u, db.points[idx]);
+      if (s > best_score) {
+        best_score = s;
+        best = idx;
+      }
+    }
+    return best;
+  };
+  // The distinct-extreme count is monotone in the direction-prefix length;
+  // binary search the longest prefix fitting the budget.
+  auto coreset_of = [&](int prefix) {
+    std::unordered_set<int> distinct;
+    for (int i = 0; i < prefix && i < static_cast<int>(ordered.size()); ++i) {
+      distinct.insert(extreme(ordered[i]));
+    }
+    return distinct;
+  };
+  int lo = 1;
+  int hi = static_cast<int>(ordered.size());
+  std::unordered_set<int> best = coreset_of(1);
+  while (lo <= hi) {
+    int mid = lo + (hi - lo) / 2;
+    std::unordered_set<int> cand = coreset_of(mid);
+    if (static_cast<int>(cand.size()) <= r) {
+      if (cand.size() >= best.size()) best = std::move(cand);
+      lo = mid + 1;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  std::vector<int> ids;
+  for (int idx : best) ids.push_back(db.ids[idx]);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<int> HittingSetRms::Compute(const Database& db, int k, int r,
+                                        Rng* rng) const {
+  if (db.size() == 0 || r <= 0) return {};
+  std::vector<Point> dirs = SampleDirections(num_directions_, db.dim, rng);
+  const int num_dirs = static_cast<int>(dirs.size());
+  std::vector<double> omega_k = OmegaKForDirections(dirs, db.points, k);
+  // Candidate tuples: the best few along each direction. A minimal hitting
+  // set at the (small) optimal ε draws from near-top tuples; large-ε probes
+  // are only easier to cover, so the restriction does not affect the binary
+  // search's feasible region in practice.
+  constexpr int kTopPerDirection = 48;
+  std::vector<bool> is_candidate(db.size(), false);
+  for (const Point& u : dirs) {
+    std::vector<std::pair<double, int>> best;  // min-heap by score
+    for (int i = 0; i < db.size(); ++i) {
+      double s = Dot(u, db.points[i]);
+      if (static_cast<int>(best.size()) < kTopPerDirection) {
+        best.emplace_back(s, i);
+        std::push_heap(best.begin(), best.end(), std::greater<>());
+      } else if (s > best.front().first) {
+        std::pop_heap(best.begin(), best.end(), std::greater<>());
+        best.back() = {s, i};
+        std::push_heap(best.begin(), best.end(), std::greater<>());
+      }
+    }
+    for (const auto& [s, i] : best) is_candidate[i] = true;
+  }
+  std::vector<int> candidates;
+  for (int i = 0; i < db.size(); ++i) {
+    if (is_candidate[i]) candidates.push_back(i);
+  }
+  // Dense candidate-by-direction score matrix so probes run on lookups.
+  std::vector<std::vector<double>> score(candidates.size(),
+                                         std::vector<double>(num_dirs));
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    for (int u = 0; u < num_dirs; ++u) {
+      score[c][u] = Dot(dirs[u], db.points[candidates[c]]);
+    }
+  }
+  // Greedy hitting set at a given ε; empty result = needs more than r.
+  auto cover_at = [&](double eps) {
+    std::vector<bool> covered(num_dirs, false);
+    int remaining = num_dirs;
+    std::vector<int> chosen;
+    std::vector<bool> used(candidates.size(), false);
+    while (remaining > 0 && static_cast<int>(chosen.size()) < r) {
+      int best_c = -1;
+      int best_gain = 0;
+      for (size_t c = 0; c < candidates.size(); ++c) {
+        if (used[c]) continue;
+        int gain = 0;
+        for (int u = 0; u < num_dirs; ++u) {
+          if (!covered[u] && score[c][u] >= (1.0 - eps) * omega_k[u]) ++gain;
+        }
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_c = static_cast<int>(c);
+        }
+      }
+      if (best_c < 0) break;
+      used[best_c] = true;
+      chosen.push_back(candidates[best_c]);
+      for (int u = 0; u < num_dirs; ++u) {
+        if (!covered[u] && score[best_c][u] >= (1.0 - eps) * omega_k[u]) {
+          covered[u] = true;
+          --remaining;
+        }
+      }
+    }
+    if (remaining > 0) return std::vector<int>();
+    return chosen;
+  };
+  double lo = 0.0;
+  double hi = 1.0;
+  std::vector<int> best = cover_at(hi);
+  for (int it = 0; it < search_iterations_; ++it) {
+    double mid = 0.5 * (lo + hi);
+    std::vector<int> cand = cover_at(mid);
+    if (!cand.empty()) {
+      best = std::move(cand);
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  std::vector<int> ids;
+  for (int idx : best) ids.push_back(db.ids[idx]);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace fdrms

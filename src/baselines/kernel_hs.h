@@ -1,0 +1,53 @@
+#ifndef FDRMS_BASELINES_KERNEL_HS_H_
+#define FDRMS_BASELINES_KERNEL_HS_H_
+
+/// \file kernel_hs.h
+/// The coreset-flavoured baselines:
+///  * EpsKernelRms — ε-KERNEL [3,10]: the coreset of extreme tuples along a
+///    spread of directions is itself the answer; the direction count is
+///    binary-searched so the coreset fits the budget r (the paper's
+///    min-size -> min-error adaptation).
+///  * HittingSetRms — HS [3]: universe = sampled directions, sets = tuples
+///    covering the directions where they are ε-approximate top-k; binary
+///    search on ε for the smallest value whose greedy hitting set fits r.
+
+#include "baselines/rms_algorithm.h"
+
+namespace fdrms {
+
+/// ε-KERNEL [3, 10]; any k (the coreset construction ignores k; its
+/// guarantee transfers to k-regret as in the cited papers).
+class EpsKernelRms : public RmsAlgorithm {
+ public:
+  explicit EpsKernelRms(int max_directions = 4096)
+      : max_directions_(max_directions) {}
+
+  std::string name() const override { return "eps-Kernel"; }
+  bool SupportsKGreaterThan1() const override { return true; }
+  std::vector<int> Compute(const Database& db, int k, int r,
+                           Rng* rng) const override;
+
+ private:
+  int max_directions_;
+};
+
+/// HS [3]; any k.
+class HittingSetRms : public RmsAlgorithm {
+ public:
+  explicit HittingSetRms(int num_directions = 384, int search_iterations = 16)
+      : num_directions_(num_directions),
+        search_iterations_(search_iterations) {}
+
+  std::string name() const override { return "HS"; }
+  bool SupportsKGreaterThan1() const override { return true; }
+  std::vector<int> Compute(const Database& db, int k, int r,
+                           Rng* rng) const override;
+
+ private:
+  int num_directions_;
+  int search_iterations_;
+};
+
+}  // namespace fdrms
+
+#endif  // FDRMS_BASELINES_KERNEL_HS_H_

@@ -1,0 +1,101 @@
+#include "baselines/minsize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "geometry/sampling.h"
+
+namespace fdrms {
+
+std::vector<int> MinSizeHittingSet(const Database& db, int k, double eps,
+                                   int num_directions, Rng* rng) {
+  FDRMS_CHECK(eps > 0.0 && eps < 1.0);
+  if (db.size() == 0) return {};
+  std::vector<Point> dirs = SampleDirections(num_directions, db.dim, rng);
+  const int num_dirs = static_cast<int>(dirs.size());
+  std::vector<double> omega_k = OmegaKForDirections(dirs, db.points, k);
+  // Greedy set cover over directions, unbounded size.
+  std::vector<bool> covered(num_dirs, false);
+  int remaining = num_dirs;
+  std::vector<int> chosen;
+  std::vector<bool> used(db.size(), false);
+  while (remaining > 0) {
+    int best_idx = -1;
+    int best_gain = 0;
+    for (int i = 0; i < db.size(); ++i) {
+      if (used[i]) continue;
+      int gain = 0;
+      for (int u = 0; u < num_dirs; ++u) {
+        if (!covered[u] &&
+            Dot(dirs[u], db.points[i]) >= (1.0 - eps) * omega_k[u]) {
+          ++gain;
+        }
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_idx = i;
+      }
+    }
+    if (best_idx < 0) break;  // numerically uncoverable directions remain
+    used[best_idx] = true;
+    chosen.push_back(best_idx);
+    for (int u = 0; u < num_dirs; ++u) {
+      if (!covered[u] &&
+          Dot(dirs[u], db.points[best_idx]) >= (1.0 - eps) * omega_k[u]) {
+        covered[u] = true;
+        --remaining;
+      }
+    }
+  }
+  std::vector<int> ids;
+  for (int idx : chosen) ids.push_back(db.ids[idx]);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<int> MinSizeEpsKernel(const Database& db, double eps, Rng* rng) {
+  FDRMS_CHECK(eps > 0.0 && eps < 1.0);
+  if (db.size() == 0) return {};
+  // Direction net at angular resolution δ ~ sqrt(eps): a coreset containing
+  // the extreme point of every net direction is an O(eps)-kernel (Agarwal
+  // et al. 2004). Net size grows as (1/δ)^{d-1}, capped for sanity.
+  double delta = std::sqrt(eps);
+  double count_d = std::pow(1.0 / delta, db.dim - 1);
+  int net_size = static_cast<int>(std::min(count_d, 65536.0)) + db.dim;
+  std::vector<Point> pool = SampleDirections(net_size * 2, db.dim, rng);
+  for (int j = 0; j < db.dim; ++j) {
+    Point e(db.dim, 0.0);
+    e[j] = 1.0;
+    pool.insert(pool.begin(), std::move(e));
+  }
+  std::vector<Point> net = FarthestPointDirections(pool, net_size);
+  std::vector<int> skyline = SkylineIndices(db);
+  std::unordered_set<int> distinct;
+  for (const Point& u : net) {
+    int best = skyline.front();
+    double best_score = -1.0;
+    for (int idx : skyline) {
+      double s = Dot(u, db.points[idx]);
+      if (s > best_score) {
+        best_score = s;
+        best = idx;
+      }
+    }
+    distinct.insert(best);
+  }
+  std::vector<int> ids;
+  for (int idx : distinct) ids.push_back(db.ids[idx]);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<int> AlphaHappinessQuery(const Database& db, double alpha,
+                                     int num_directions, Rng* rng) {
+  FDRMS_CHECK(alpha > 0.0 && alpha < 1.0);
+  return MinSizeHittingSet(db, /*k=*/1, /*eps=*/1.0 - alpha, num_directions,
+                           rng);
+}
+
+}  // namespace fdrms

@@ -1,0 +1,39 @@
+#ifndef FDRMS_BASELINES_MINSIZE_H_
+#define FDRMS_BASELINES_MINSIZE_H_
+
+/// \file minsize.h
+/// The *min-size* form of k-RMS studied in [3, 19] and the α-happiness
+/// query of Xie et al. (ICDE 2020): instead of fixing the result size r and
+/// minimizing regret, fix a regret (or happiness) target and return the
+/// smallest subset meeting it. The paper adapts these algorithms to the
+/// min-error form by binary search (Section IV-A); this header exposes the
+/// native min-size interfaces as well.
+
+#include "baselines/rms_algorithm.h"
+#include "common/result.h"
+
+namespace fdrms {
+
+/// Smallest hitting set whose tuples ε-cover every sampled utility: for
+/// each direction u of the sample, some returned tuple scores at least
+/// (1-eps) * ω_k(u, P). This is HS [3] in its native min-size form.
+///
+/// \param eps regret budget in (0, 1)
+/// \param num_directions utility sample size (guarantee sharpens with it)
+std::vector<int> MinSizeHittingSet(const Database& db, int k, double eps,
+                                   int num_directions, Rng* rng);
+
+/// ε-kernel coreset at resolution matched to `eps`: extreme tuples along a
+/// direction net of angular spacing ~ sqrt(eps), the classic Agarwal et al.
+/// construction adapted to the nonnegative orthant. Rank-oblivious.
+std::vector<int> MinSizeEpsKernel(const Database& db, double eps, Rng* rng);
+
+/// α-happiness query [33]: minimum subset with happiness ratio at least
+/// `alpha` for every sampled utility, where happiness = 1 - regret. Thin
+/// adapter over MinSizeHittingSet with k = 1 (the paper's formulation).
+std::vector<int> AlphaHappinessQuery(const Database& db, double alpha,
+                                     int num_directions, Rng* rng);
+
+}  // namespace fdrms
+
+#endif  // FDRMS_BASELINES_MINSIZE_H_

@@ -1,0 +1,84 @@
+#include "baselines/rms_algorithm.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace fdrms {
+
+std::vector<int> SkylineIndices(const Database& db) {
+  const int n = db.size();
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> sums(n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (double v : db.points[i]) sums[i] += v;
+  }
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return sums[a] > sums[b]; });
+  std::vector<int> skyline;
+  for (int idx : order) {
+    bool dominated = false;
+    for (int s : skyline) {
+      if (Dominates(db.points[s], db.points[idx])) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) skyline.push_back(idx);
+  }
+  std::sort(skyline.begin(), skyline.end());
+  return skyline;
+}
+
+std::vector<double> OmegaKForDirections(const std::vector<Point>& dirs,
+                                        const std::vector<Point>& points,
+                                        int k) {
+  FDRMS_CHECK(k >= 1);
+  std::vector<double> out(dirs.size(), 0.0);
+  if (static_cast<int>(points.size()) < k) return out;
+  std::vector<double> best(k);
+  for (size_t ui = 0; ui < dirs.size(); ++ui) {
+    const Point& u = dirs[ui];
+    // Keep the k best scores seen so far in ascending order (k is tiny).
+    int filled = 0;
+    for (const Point& p : points) {
+      double s = Dot(u, p);
+      if (filled < k) {
+        best[filled++] = s;
+        if (filled == k) std::sort(best.begin(), best.end());
+      } else if (s > best[0]) {
+        // Replace the current k-th best and restore order by insertion.
+        int pos = 1;
+        while (pos < k && best[pos] < s) {
+          best[pos - 1] = best[pos];
+          ++pos;
+        }
+        best[pos - 1] = s;
+      }
+    }
+    out[ui] = best[0];
+  }
+  return out;
+}
+
+double SampledMaxRegret(const std::vector<Point>& dirs,
+                        const std::vector<double>& omega_k,
+                        const std::vector<Point>& points,
+                        const std::vector<int>& q_indices) {
+  FDRMS_CHECK(dirs.size() == omega_k.size());
+  double worst = 0.0;
+  for (size_t ui = 0; ui < dirs.size(); ++ui) {
+    if (omega_k[ui] <= 0.0) continue;
+    double best = 0.0;
+    for (int qi : q_indices) {
+      best = std::max(best, Dot(dirs[ui], points[qi]));
+    }
+    double rr = 1.0 - best / omega_k[ui];
+    if (rr > worst) worst = rr;
+  }
+  return worst;
+}
+
+}  // namespace fdrms

@@ -1,0 +1,61 @@
+#ifndef FDRMS_BASELINES_RMS_ALGORITHM_H_
+#define FDRMS_BASELINES_RMS_ALGORITHM_H_
+
+/// \file rms_algorithm.h
+/// Common interface for the static k-RMS algorithms the paper compares
+/// against (Section IV-A). Static algorithms recompute from scratch; the
+/// dynamic adapter in src/eval re-runs them whenever the skyline changes.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "geometry/point.h"
+
+namespace fdrms {
+
+/// A snapshot of the database handed to a static algorithm.
+struct Database {
+  int dim = 0;
+  std::vector<int> ids;       ///< tuple ids, parallel to points
+  std::vector<Point> points;  ///< attribute vectors
+
+  int size() const { return static_cast<int>(ids.size()); }
+};
+
+/// Indices (into db.points) of the skyline of `db`.
+std::vector<int> SkylineIndices(const Database& db);
+
+/// Interface of a static k-RMS algorithm: one-shot compute on a snapshot.
+class RmsAlgorithm {
+ public:
+  virtual ~RmsAlgorithm() = default;
+
+  /// Human-readable name matching the paper's legend (e.g. "Greedy").
+  virtual std::string name() const = 0;
+
+  /// Whether the algorithm handles k > 1 (Fig. 7 only compares those).
+  virtual bool SupportsKGreaterThan1() const { return false; }
+
+  /// Computes a result of at most `r` tuple ids for RMS(k, r) on `db`.
+  /// `rng` seeds any internal sampling so runs are reproducible.
+  virtual std::vector<int> Compute(const Database& db, int k, int r,
+                                   Rng* rng) const = 0;
+};
+
+/// Shared helper: ω_k(u, P) for every direction (0 when |P| < k).
+std::vector<double> OmegaKForDirections(const std::vector<Point>& dirs,
+                                        const std::vector<Point>& points,
+                                        int k);
+
+/// Shared helper: sampled maximum k-regret ratio of the points `q_indices`
+/// (indices into `points`) against precomputed ω_k values.
+double SampledMaxRegret(const std::vector<Point>& dirs,
+                        const std::vector<double>& omega_k,
+                        const std::vector<Point>& points,
+                        const std::vector<int>& q_indices);
+
+}  // namespace fdrms
+
+#endif  // FDRMS_BASELINES_RMS_ALGORITHM_H_

@@ -1,0 +1,126 @@
+#include "baselines/sphere.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "geometry/sampling.h"
+
+namespace fdrms {
+
+std::vector<int> SphereRms::Compute(const Database& db, int k, int r,
+                                    Rng* rng) const {
+  FDRMS_CHECK(k == 1) << "Sphere supports k = 1 only";
+  if (db.size() == 0 || r <= 0) return {};
+  std::vector<int> skyline = SkylineIndices(db);
+  std::vector<Point> dirs = SampleDirections(num_directions_, db.dim, rng);
+  // Stage 1 (ε-kernel style): r/2 well-spread representative directions
+  // (basis included) contribute their boundary tuples.
+  std::vector<Point> pool = dirs;
+  for (int j = 0; j < db.dim; ++j) {
+    Point e(db.dim, 0.0);
+    e[j] = 1.0;
+    pool.insert(pool.begin(), std::move(e));
+  }
+  int seed_count = std::max(db.dim, r / 2);
+  std::vector<Point> spread = FarthestPointDirections(pool, seed_count);
+  std::unordered_set<int> chosen_set;
+  for (const Point& u : spread) {
+    int best = skyline.front();
+    double best_score = -1.0;
+    for (int idx : skyline) {
+      double s = Dot(u, db.points[idx]);
+      if (s > best_score) {
+        best_score = s;
+        best = idx;
+      }
+    }
+    chosen_set.insert(best);
+    if (static_cast<int>(chosen_set.size()) >= r) break;
+  }
+  // Stage 2 (greedy completion): fill the remaining budget with the tuples
+  // minimizing the sampled maximum regret.
+  std::vector<double> omega(dirs.size(), 0.0);
+  for (size_t ui = 0; ui < dirs.size(); ++ui) {
+    for (int idx : skyline) {
+      omega[ui] = std::max(omega[ui], Dot(dirs[ui], db.points[idx]));
+    }
+  }
+  std::vector<double> best_in_q(dirs.size(), 0.0);
+  for (size_t ui = 0; ui < dirs.size(); ++ui) {
+    for (int idx : chosen_set) {
+      best_in_q[ui] = std::max(best_in_q[ui], Dot(dirs[ui], db.points[idx]));
+    }
+  }
+  while (static_cast<int>(chosen_set.size()) < r) {
+    int best_idx = -1;
+    double best_value = std::numeric_limits<double>::infinity();
+    for (int idx : skyline) {
+      if (chosen_set.count(idx) > 0) continue;
+      double value = 0.0;
+      for (size_t ui = 0; ui < dirs.size(); ++ui) {
+        if (omega[ui] <= 0.0) continue;
+        double q = std::max(best_in_q[ui], Dot(dirs[ui], db.points[idx]));
+        value = std::max(value, 1.0 - q / omega[ui]);
+      }
+      if (value < best_value) {
+        best_value = value;
+        best_idx = idx;
+      }
+    }
+    if (best_idx < 0) break;
+    chosen_set.insert(best_idx);
+    for (size_t ui = 0; ui < dirs.size(); ++ui) {
+      best_in_q[ui] =
+          std::max(best_in_q[ui], Dot(dirs[ui], db.points[best_idx]));
+    }
+    if (best_value <= 1e-12) break;
+  }
+  std::vector<int> ids;
+  for (int idx : chosen_set) ids.push_back(db.ids[idx]);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<int> CubeRms::Compute(const Database& db, int k, int r,
+                                  Rng* rng) const {
+  FDRMS_CHECK(k == 1) << "Cube supports k = 1 only";
+  (void)rng;  // deterministic
+  if (db.size() == 0 || r <= 0) return {};
+  const int d = db.dim;
+  if (d == 1) {
+    int best = 0;
+    for (int i = 1; i < db.size(); ++i) {
+      if (db.points[i][0] > db.points[best][0]) best = i;
+    }
+    return {db.ids[best]};
+  }
+  // t buckets per first d-1 attributes with t^{d-1} <= r.
+  int t = std::max(1, static_cast<int>(std::floor(
+                          std::pow(static_cast<double>(r),
+                                   1.0 / static_cast<double>(d - 1)))));
+  // Cell key -> index of the tuple maximizing the last attribute.
+  std::unordered_map<long long, int> cell_best;
+  for (int i = 0; i < db.size(); ++i) {
+    long long key = 0;
+    for (int j = 0; j < d - 1; ++j) {
+      int bucket = std::min(t - 1, static_cast<int>(db.points[i][j] * t));
+      key = key * t + bucket;
+    }
+    auto it = cell_best.find(key);
+    if (it == cell_best.end() ||
+        db.points[i][d - 1] > db.points[it->second][d - 1]) {
+      cell_best[key] = i;
+    }
+  }
+  std::vector<int> ids;
+  for (const auto& [key, idx] : cell_best) ids.push_back(db.ids[idx]);
+  std::sort(ids.begin(), ids.end());
+  if (static_cast<int>(ids.size()) > r) ids.resize(r);
+  return ids;
+}
+
+}  // namespace fdrms

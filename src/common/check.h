@@ -1,0 +1,66 @@
+#ifndef FDRMS_COMMON_CHECK_H_
+#define FDRMS_COMMON_CHECK_H_
+
+/// \file check.h
+/// CHECK/DCHECK macros for programming-error invariants (not data errors —
+/// those return Status). CHECK aborts with a message in all builds; DCHECK
+/// compiles out in NDEBUG builds. Both support message chaining:
+///   FDRMS_CHECK(n > 0) << "n was " << n;
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace fdrms {
+namespace internal {
+
+/// Accumulates a failure message via `<<` and aborts on destruction (at the
+/// end of the full CHECK statement).
+class CheckFailStream {
+ public:
+  CheckFailStream(const char* file, int line, const char* expr) {
+    oss_ << "FDRMS_CHECK failed at " << file << ":" << line << ": " << expr
+         << " ";
+  }
+  ~CheckFailStream() {
+    std::cerr << oss_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailStream& operator<<(const T& v) {
+    oss_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream oss_;
+};
+
+/// Swallows streamed operands when the check passes / is compiled out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace fdrms
+
+// The if/else form keeps `FDRMS_CHECK(cond) << msg;` a single statement.
+#define FDRMS_CHECK(cond)  \
+  if (cond) {              \
+  } else                   \
+    ::fdrms::internal::CheckFailStream(__FILE__, __LINE__, #cond)
+
+#ifdef NDEBUG
+#define FDRMS_DCHECK(cond) \
+  if (true) {              \
+  } else                   \
+    ::fdrms::internal::NullStream()
+#else
+#define FDRMS_DCHECK(cond) FDRMS_CHECK(cond)
+#endif
+
+#endif  // FDRMS_COMMON_CHECK_H_

@@ -1,0 +1,75 @@
+#ifndef FDRMS_COMMON_RESULT_H_
+#define FDRMS_COMMON_RESULT_H_
+
+/// \file result.h
+/// Result<T>: a value or a Status, Arrow-style.
+
+#include <utility>
+#include <variant>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace fdrms {
+
+/// Holds either a successfully produced T or the Status explaining why the
+/// value could not be produced. Accessing the value of an errored Result is
+/// a checked programming error.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from error status. `status.ok()` is a programming error.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    FDRMS_DCHECK(!std::get<Status>(repr_).ok())
+        << "Result constructed from OK status";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status ok_status = Status::OK();
+    return ok() ? ok_status : std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    FDRMS_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    FDRMS_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    FDRMS_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+
+  /// Moves the value out, or returns `alternative` on error.
+  T ValueOr(T alternative) && {
+    return ok() ? std::get<T>(std::move(repr_)) : std::move(alternative);
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Propagates the error of a Result-producing expression, otherwise binds
+/// its value to `lhs`.
+#define FDRMS_ASSIGN_OR_RETURN(lhs, expr)         \
+  auto FDRMS_CONCAT_(_res_, __LINE__) = (expr);   \
+  if (!FDRMS_CONCAT_(_res_, __LINE__).ok())       \
+    return FDRMS_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(FDRMS_CONCAT_(_res_, __LINE__)).value()
+
+#define FDRMS_CONCAT_IMPL_(a, b) a##b
+#define FDRMS_CONCAT_(a, b) FDRMS_CONCAT_IMPL_(a, b)
+
+}  // namespace fdrms
+
+#endif  // FDRMS_COMMON_RESULT_H_

@@ -1,0 +1,94 @@
+#ifndef FDRMS_COMMON_STATUS_H_
+#define FDRMS_COMMON_STATUS_H_
+
+/// \file status.h
+/// Arrow/RocksDB-style error propagation. Public library APIs that can fail
+/// return a Status (or Result<T>, see result.h) instead of throwing; no
+/// exception crosses a library boundary.
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace fdrms {
+
+/// Machine-readable category of a failure.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kUnimplemented = 6,
+  kInternal = 7,
+};
+
+/// Returns a short human-readable name for a StatusCode ("OK", "Invalid", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Outcome of an operation: OK, or a code plus message.
+///
+/// The OK state carries no allocation; error states carry a message. Status
+/// is cheap to move and to test (`if (!s.ok()) return s;`).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status Invalid(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string msg_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Propagates a non-OK Status to the caller.
+#define FDRMS_RETURN_NOT_OK(expr)            \
+  do {                                       \
+    ::fdrms::Status _st = (expr);            \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+}  // namespace fdrms
+
+#endif  // FDRMS_COMMON_STATUS_H_

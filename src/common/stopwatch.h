@@ -1,0 +1,53 @@
+#ifndef FDRMS_COMMON_STOPWATCH_H_
+#define FDRMS_COMMON_STOPWATCH_H_
+
+/// \file stopwatch.h
+/// Wall-clock timing utilities for the experiment harness.
+
+#include <chrono>
+
+namespace fdrms {
+
+/// Measures elapsed wall-clock time; starts on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates total time and a call count across many timed sections; used
+/// to report mean per-operation update time.
+class TimeAccumulator {
+ public:
+  void Add(double seconds) {
+    total_seconds_ += seconds;
+    ++count_;
+  }
+  double total_seconds() const { return total_seconds_; }
+  long count() const { return count_; }
+  /// Mean milliseconds per recorded section (0 if none recorded).
+  double MeanMillis() const {
+    return count_ == 0 ? 0.0 : total_seconds_ * 1e3 / static_cast<double>(count_);
+  }
+
+ private:
+  double total_seconds_ = 0.0;
+  long count_ = 0;
+};
+
+}  // namespace fdrms
+
+#endif  // FDRMS_COMMON_STOPWATCH_H_

@@ -1,0 +1,64 @@
+#include "common/table_printer.h"
+
+#include <cstdlib>
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace fdrms {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::BeginRow() { rows_.emplace_back(); }
+
+void TablePrinter::AddCell(std::string value) {
+  FDRMS_CHECK(!rows_.empty()) << "AddCell before BeginRow";
+  rows_.back().push_back(std::move(value));
+}
+
+void TablePrinter::AddNumber(double value, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << value;
+  AddCell(oss.str());
+}
+
+void TablePrinter::AddInt(long value) { AddCell(std::to_string(value)); }
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      os << std::left << std::setw(static_cast<int>(widths[i]) + 2) << cell;
+    }
+    os << "\n";
+  };
+  print_row(header_);
+  std::string sep;
+  for (size_t i = 0; i < widths.size(); ++i) sep += std::string(widths[i], '-') + "  ";
+  os << sep << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+double GetEnvDouble(const char* name, double default_value) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return default_value;
+  char* end = nullptr;
+  double parsed = std::strtod(v, &end);
+  if (end == v || parsed <= 0) return default_value;
+  return parsed;
+}
+
+long GetEnvLong(const char* name, long default_value) {
+  return static_cast<long>(GetEnvDouble(name, static_cast<double>(default_value)));
+}
+
+}  // namespace fdrms

@@ -1,0 +1,45 @@
+#ifndef FDRMS_COMMON_TABLE_PRINTER_H_
+#define FDRMS_COMMON_TABLE_PRINTER_H_
+
+/// \file table_printer.h
+/// Aligned-column text tables for the benchmark harness: every bench binary
+/// prints the same rows/series a paper table or figure reports.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fdrms {
+
+/// Collects rows of string cells and prints them with aligned columns.
+/// Numeric helpers format with fixed precision so series are comparable.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Starts a new row; fill it with AddCell/AddNumber calls.
+  void BeginRow();
+  void AddCell(std::string value);
+  void AddNumber(double value, int precision = 3);
+  void AddInt(long value);
+
+  /// Writes the header, a separator, and all rows to `os`.
+  void Print(std::ostream& os) const;
+
+  /// Rows added so far (excluding the header).
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Reads a positive numeric environment variable, falling back to
+/// `default_value` when unset or unparsable. Used for bench scaling knobs
+/// (FDRMS_BENCH_SCALE, FDRMS_EVAL_VECTORS, ...).
+double GetEnvDouble(const char* name, double default_value);
+long GetEnvLong(const char* name, long default_value);
+
+}  // namespace fdrms
+
+#endif  // FDRMS_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,182 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace fdrms {
+
+namespace {
+
+double Clamp01(double x) { return x < 0.0 ? 0.0 : (x > 1.0 ? 1.0 : x); }
+
+}  // namespace
+
+PointSet GenerateIndep(int n, int d, uint64_t seed) {
+  Rng rng(seed);
+  PointSet out(d);
+  Point p(d);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < d; ++j) p[j] = rng.Uniform();
+    out.Add(p);
+  }
+  return out;
+}
+
+PointSet GenerateAntiCor(int n, int d, uint64_t seed) {
+  Rng rng(seed);
+  PointSet out(d);
+  Point p(d);
+  for (int i = 0; i < n; ++i) {
+    // Börzsönyi et al.: a plane offset normally distributed around 0.5,
+    // plus a zero-sum spread within the plane Σx_j = d·v, so a gain on one
+    // attribute is exactly a loss on the others. Out-of-range draws are
+    // rejected (clamping would break the constant-sum structure that makes
+    // the family anti-correlated).
+    while (true) {
+      double v = 0.5 + 0.05 * rng.Gaussian();
+      double mean = 0.0;
+      for (int j = 0; j < d; ++j) {
+        p[j] = rng.Uniform();
+        mean += p[j];
+      }
+      mean /= d;
+      bool in_range = true;
+      for (int j = 0; j < d; ++j) {
+        p[j] = v + (p[j] - mean);
+        if (p[j] < 0.0 || p[j] > 1.0) in_range = false;
+      }
+      if (in_range) break;
+    }
+    out.Add(p);
+  }
+  return out;
+}
+
+PointSet GenerateCorrelated(int n, int d, uint64_t seed) {
+  Rng rng(seed);
+  PointSet out(d);
+  Point p(d);
+  for (int i = 0; i < n; ++i) {
+    double base = rng.Uniform();
+    for (int j = 0; j < d; ++j) {
+      p[j] = Clamp01(base + 0.1 * rng.Gaussian());
+    }
+    out.Add(p);
+  }
+  return out;
+}
+
+PointSet GenerateBasketball(int n, uint64_t seed) {
+  constexpr int kDim = 5;  // points, rebounds, assists, steals, blocks
+  Rng rng(seed);
+  PointSet out(kDim);
+  Point p(kDim);
+  for (int i = 0; i < n; ++i) {
+    // Latent overall skill: most players are average, stars are rare
+    // (squaring a uniform skews the mass low like real box-score data).
+    double skill = rng.Uniform();
+    skill *= skill;
+    // Archetype boosts a specialist stat.
+    int archetype = rng.UniformInt(kDim);
+    for (int j = 0; j < kDim; ++j) {
+      double v = 0.75 * skill + 0.2 * rng.Uniform();
+      if (j == archetype) v += 0.25 * rng.Uniform();
+      p[j] = Clamp01(v);
+    }
+    out.Add(p);
+  }
+  return out;
+}
+
+PointSet GenerateAirQuality(int n, uint64_t seed) {
+  constexpr int kDim = 9;  // 6 pollutants + 3 meteorological readings
+  Rng rng(seed);
+  PointSet out(kDim);
+  Point p(kDim);
+  for (int i = 0; i < n; ++i) {
+    // Two pollution regimes move the two pollutant groups coherently
+    // (particulates track each other; gases track each other loosely).
+    double particulate = rng.Uniform();
+    double gas = Clamp01(0.6 * particulate + 0.4 * rng.Uniform());
+    for (int j = 0; j < 3; ++j) {
+      p[j] = Clamp01(particulate + 0.15 * rng.Gaussian());
+    }
+    for (int j = 3; j < 6; ++j) {
+      p[j] = Clamp01(gas + 0.2 * rng.Gaussian());
+    }
+    for (int j = 6; j < 9; ++j) {  // weather block: independent
+      p[j] = rng.Uniform();
+    }
+    out.Add(p);
+  }
+  return out;
+}
+
+PointSet GenerateCoverType(int n, uint64_t seed) {
+  constexpr int kDim = 8;  // elevation, slope, distances, hillshades, ...
+  Rng rng(seed);
+  PointSet out(kDim);
+  Point p(kDim);
+  for (int i = 0; i < n; ++i) {
+    // Each cell sits at a latent terrain location; cartographic fields are
+    // distinct smooth functions of it, plus strong per-field noise — enough
+    // shared structure to bound the skyline, enough noise to keep it large.
+    double x = rng.Uniform();
+    double y = rng.Uniform();
+    p[0] = Clamp01(0.5 + 0.35 * std::sin(6.0 * x) * std::cos(4.0 * y) +
+                   0.25 * rng.Gaussian());
+    p[1] = Clamp01(x * y + 0.3 * rng.Gaussian());
+    p[2] = Clamp01(0.5 * (x + 1.0 - y) + 0.3 * rng.Gaussian());
+    p[3] = Clamp01(0.5 + 0.4 * std::cos(8.0 * y) + 0.3 * rng.Gaussian());
+    p[4] = Clamp01(1.0 - x + 0.35 * rng.Gaussian());
+    p[5] = Clamp01(0.5 + 0.35 * std::sin(5.0 * (x + y)) + 0.3 * rng.Gaussian());
+    p[6] = Clamp01(y + 0.35 * rng.Gaussian());
+    p[7] = Clamp01(0.3 + 0.5 * x * (1.0 - y) + 0.3 * rng.Gaussian());
+    out.Add(p);
+  }
+  return out;
+}
+
+PointSet GenerateMovie(int n, uint64_t seed) {
+  constexpr int kDim = 12;  // tag-relevance scores
+  Rng rng(seed);
+  PointSet out(kDim);
+  Point p(kDim);
+  for (int i = 0; i < n; ++i) {
+    // Movies are strongly relevant to a few tags and weakly to the rest;
+    // overall popularity scales everything. Sparse high scores in 12-d
+    // produce the paper's very dense skyline.
+    double popularity = 0.4 + 0.6 * rng.Uniform();
+    int strong_tags = 1 + rng.UniformInt(3);
+    for (int j = 0; j < kDim; ++j) p[j] = 0.25 * rng.Uniform();
+    for (int t = 0; t < strong_tags; ++t) {
+      p[rng.UniformInt(kDim)] = 0.5 + 0.5 * rng.Uniform();
+    }
+    for (int j = 0; j < kDim; ++j) p[j] = Clamp01(p[j] * popularity);
+    out.Add(p);
+  }
+  return out;
+}
+
+const std::vector<DatasetSpec>& PaperDatasets() {
+  static const std::vector<DatasetSpec> kSpecs = {
+      {"BB", 21961, 5},      {"AQ", 382168, 9},  {"CT", 581012, 8},
+      {"Movie", 13176, 12},  {"Indep", 100000, 6}, {"AntiCor", 100000, 6},
+  };
+  return kSpecs;
+}
+
+Result<PointSet> GenerateByName(const std::string& name, int n,
+                                uint64_t seed) {
+  if (name == "BB") return GenerateBasketball(n, seed);
+  if (name == "AQ") return GenerateAirQuality(n, seed);
+  if (name == "CT") return GenerateCoverType(n, seed);
+  if (name == "Movie") return GenerateMovie(n, seed);
+  if (name == "Indep") return GenerateIndep(n, 6, seed);
+  if (name == "AntiCor") return GenerateAntiCor(n, 6, seed);
+  return Status::Invalid("unknown dataset: " + name);
+}
+
+}  // namespace fdrms

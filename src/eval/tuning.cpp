@@ -1,0 +1,67 @@
+#include "eval/tuning.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "geometry/sampling.h"
+
+namespace fdrms {
+
+TuneResult AutoTuneEpsilon(const std::vector<std::pair<int, Point>>& tuples,
+                           int dim, const FdRmsOptions& base,
+                           int eval_directions,
+                           const std::vector<double>& candidates) {
+  FDRMS_CHECK(!candidates.empty());
+  Rng rng(base.seed ^ 0x7e57);
+  std::vector<Point> dirs = SampleDirections(eval_directions, dim, &rng);
+  // ω_k reference on the snapshot (shared across probes).
+  std::vector<Point> points;
+  points.reserve(tuples.size());
+  for (const auto& [id, p] : tuples) points.push_back(p);
+  std::vector<double> omega_k(dirs.size(), 0.0);
+  if (static_cast<int>(points.size()) >= base.k) {
+    for (size_t ui = 0; ui < dirs.size(); ++ui) {
+      std::vector<double> scores;
+      scores.reserve(points.size());
+      for (const Point& p : points) scores.push_back(Dot(dirs[ui], p));
+      std::nth_element(scores.begin(), scores.begin() + (base.k - 1),
+                       scores.end(), std::greater<>());
+      omega_k[ui] = scores[base.k - 1];
+    }
+  }
+  TuneResult out;
+  out.options = base;
+  double best_regret = 2.0;
+  for (double eps : candidates) {
+    FdRmsOptions opt = base;
+    opt.eps = eps;
+    FdRms algo(dim, opt);
+    Status st = algo.Initialize(tuples);
+    FDRMS_CHECK(st.ok()) << st.ToString();
+    EpsilonProbe probe;
+    probe.eps = eps;
+    probe.m = algo.current_m();
+    std::vector<int> q = algo.Result();
+    probe.result_size = static_cast<int>(q.size());
+    double worst = 0.0;
+    for (size_t ui = 0; ui < dirs.size(); ++ui) {
+      if (omega_k[ui] <= 0.0) continue;
+      double best = 0.0;
+      for (int id : q) {
+        best = std::max(best, Dot(dirs[ui], algo.topk().tree().GetPoint(id)));
+      }
+      worst = std::max(worst, 1.0 - best / omega_k[ui]);
+    }
+    probe.sampled_regret = worst;
+    out.probes.push_back(probe);
+    // Smaller ε wins ties: fewer utility vectors, cheaper maintenance.
+    if (worst < best_regret - 1e-4) {
+      best_regret = worst;
+      out.options.eps = eps;
+    }
+  }
+  return out;
+}
+
+}  // namespace fdrms

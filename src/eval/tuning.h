@@ -1,0 +1,54 @@
+#ifndef FDRMS_EVAL_TUNING_H_
+#define FDRMS_EVAL_TUNING_H_
+
+/// \file tuning.h
+/// The trial-and-error parameter selection of Section III-C: "For each
+/// query RMS(k, r) on a dataset, we test different values of ε ... The
+/// values of ε and M that strike the best balance between efficiency and
+/// quality of results will be used."
+///
+/// AutoTuneEpsilon replays that procedure on a snapshot: it initializes
+/// FD-RMS for each candidate ε and scores the resulting (size, sampled
+/// regret, m) trade-off. Benchmarks call it once per (dataset, k, r)
+/// configuration before the timed run, exactly as the paper tunes offline.
+
+#include <utility>
+#include <vector>
+
+#include "core/fdrms.h"
+#include "geometry/point.h"
+
+namespace fdrms {
+
+/// Outcome of probing one ε.
+struct EpsilonProbe {
+  double eps = 0.0;
+  int result_size = 0;
+  int m = 0;
+  double sampled_regret = 1.0;
+};
+
+/// Tuning result: the chosen options plus the full probe trace (the rows of
+/// a Fig. 5-style sweep).
+struct TuneResult {
+  FdRmsOptions options;
+  std::vector<EpsilonProbe> probes;
+};
+
+/// Picks ε for RMS(k, r) on `tuples` by the paper's procedure. Candidates
+/// default to the paper's power grid; the winner is the probe with the
+/// lowest sampled regret, ties broken toward smaller ε (cheaper updates).
+///
+/// \param tuples snapshot to tune on (a sample of the initial database)
+/// \param base options whose k, r, max_utilities, seed are kept
+/// \param eval_directions utility sample size for the regret estimate
+TuneResult AutoTuneEpsilon(const std::vector<std::pair<int, Point>>& tuples,
+                           int dim, const FdRmsOptions& base,
+                           int eval_directions = 2000,
+                           const std::vector<double>& candidates = {
+                               0.0001, 0.0008, 0.0032, 0.0128, 0.0512,
+                               0.1024, 0.2048});
+
+}  // namespace fdrms
+
+#endif  // FDRMS_EVAL_TUNING_H_

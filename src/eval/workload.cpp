@@ -1,0 +1,58 @@
+#include "eval/workload.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace fdrms {
+
+Workload::Workload(const PointSet* data, uint64_t seed, int num_checkpoints)
+    : data_(data) {
+  FDRMS_CHECK(data != nullptr);
+  const int n = data->size();
+  FDRMS_CHECK(n >= 2);
+  Rng rng(seed);
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(&order);
+  const int half = n / 2;
+  initial_ids_.assign(order.begin(), order.begin() + half);
+  // Phase 1: insert the other half one by one.
+  for (int i = half; i < n; ++i) {
+    operations_.push_back({/*is_insert=*/true, order[i]});
+  }
+  // Phase 2: delete a random half of the full dataset.
+  std::vector<int> delete_order(n);
+  std::iota(delete_order.begin(), delete_order.end(), 0);
+  rng.Shuffle(&delete_order);
+  for (int i = 0; i < half; ++i) {
+    operations_.push_back({/*is_insert=*/false, delete_order[i]});
+  }
+  // Checkpoints after every 10% of the operations.
+  const int ops = static_cast<int>(operations_.size());
+  for (int c = 1; c <= num_checkpoints; ++c) {
+    int idx = ops * c / num_checkpoints - 1;
+    checkpoints_.push_back(std::max(idx, 0));
+  }
+  checkpoints_.erase(std::unique(checkpoints_.begin(), checkpoints_.end()),
+                     checkpoints_.end());
+}
+
+std::vector<int> Workload::LiveIdsAfter(int op_index) const {
+  std::unordered_set<int> live(initial_ids_.begin(), initial_ids_.end());
+  for (int i = 0; i <= op_index && i < static_cast<int>(operations_.size());
+       ++i) {
+    if (operations_[i].is_insert) {
+      live.insert(operations_[i].id);
+    } else {
+      live.erase(operations_[i].id);
+    }
+  }
+  std::vector<int> out(live.begin(), live.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace fdrms

@@ -1,0 +1,49 @@
+#ifndef FDRMS_EVAL_WORKLOAD_H_
+#define FDRMS_EVAL_WORKLOAD_H_
+
+/// \file workload.h
+/// The paper's dynamic workload protocol (Section IV-A): a random half of
+/// the dataset forms P_0; the other half is inserted tuple-by-tuple; then a
+/// random half of the full dataset is deleted tuple-by-tuple. Results are
+/// recorded at 10 evenly spaced checkpoints.
+
+#include <vector>
+
+#include "common/rng.h"
+#include "geometry/pointset.h"
+
+namespace fdrms {
+
+/// One database mutation; `id` is a row of the generating PointSet.
+struct Operation {
+  bool is_insert;
+  int id;
+};
+
+/// A replayable mixed insert/delete workload over a fixed PointSet.
+class Workload {
+ public:
+  /// Builds the paper's 50% init / 50% insert / 50% delete protocol.
+  Workload(const PointSet* data, uint64_t seed, int num_checkpoints = 10);
+
+  const PointSet& data() const { return *data_; }
+  const std::vector<int>& initial_ids() const { return initial_ids_; }
+  const std::vector<Operation>& operations() const { return operations_; }
+
+  /// Operation indices *after* which a checkpoint is recorded (ascending).
+  const std::vector<int>& checkpoints() const { return checkpoints_; }
+
+  /// The set of live row ids right after operation `op_index` (replayed
+  /// from the definition; deterministic).
+  std::vector<int> LiveIdsAfter(int op_index) const;
+
+ private:
+  const PointSet* data_;
+  std::vector<int> initial_ids_;
+  std::vector<Operation> operations_;
+  std::vector<int> checkpoints_;
+};
+
+}  // namespace fdrms
+
+#endif  // FDRMS_EVAL_WORKLOAD_H_

@@ -1,0 +1,65 @@
+#ifndef FDRMS_GEOMETRY_POINT_H_
+#define FDRMS_GEOMETRY_POINT_H_
+
+/// \file point.h
+/// Basic vector math over tuples in the nonnegative orthant R^d_+ and
+/// utility vectors on the unit sphere. Tuples and utilities are both plain
+/// `std::vector<double>`s; all scoring is the inner product <u, p>.
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace fdrms {
+
+/// A tuple's attribute vector or a utility direction.
+using Point = std::vector<double>;
+
+/// Inner product <a, b>. The score of tuple `p` under utility `u` is
+/// Dot(u, p).
+inline double Dot(const Point& a, const Point& b) {
+  FDRMS_DCHECK(a.size() == b.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+/// Euclidean norm.
+inline double Norm(const Point& a) { return std::sqrt(Dot(a, a)); }
+
+/// Scales `a` to unit norm. Requires a nonzero vector.
+inline void Normalize(Point* a) {
+  double n = Norm(*a);
+  FDRMS_DCHECK(n > 0.0) << "cannot normalize the zero vector";
+  for (double& x : *a) x /= n;
+}
+
+/// Cosine of the angle between `a` and `b` (both assumed nonzero), clamped
+/// to [-1, 1] against rounding.
+inline double CosineSimilarity(const Point& a, const Point& b) {
+  double c = Dot(a, b) / (Norm(a) * Norm(b));
+  return c < -1.0 ? -1.0 : (c > 1.0 ? 1.0 : c);
+}
+
+/// Angle between `a` and `b` in radians.
+inline double Angle(const Point& a, const Point& b) {
+  return std::acos(CosineSimilarity(a, b));
+}
+
+/// Pareto domination: `a` dominates `b` iff a >= b coordinate-wise with at
+/// least one strict inequality (larger is better on every attribute).
+inline bool Dominates(const Point& a, const Point& b) {
+  FDRMS_DCHECK(a.size() == b.size());
+  bool strictly_better = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] < b[i]) return false;
+    if (a[i] > b[i]) strictly_better = true;
+  }
+  return strictly_better;
+}
+
+}  // namespace fdrms
+
+#endif  // FDRMS_GEOMETRY_POINT_H_

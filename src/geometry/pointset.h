@@ -1,0 +1,62 @@
+#ifndef FDRMS_GEOMETRY_POINTSET_H_
+#define FDRMS_GEOMETRY_POINTSET_H_
+
+/// \file pointset.h
+/// A static, densely stored collection of d-dimensional points. Datasets
+/// are materialized as PointSets; dynamic workloads replay insertions and
+/// deletions of PointSet rows into the dynamic structures.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "geometry/point.h"
+
+namespace fdrms {
+
+/// Row-major n x d matrix of points with stable integer row ids [0, n).
+class PointSet {
+ public:
+  explicit PointSet(int dim) : dim_(dim) { FDRMS_CHECK(dim > 0); }
+
+  /// Appends a point; returns its row id.
+  int Add(const Point& p) {
+    FDRMS_CHECK(static_cast<int>(p.size()) == dim_);
+    data_.insert(data_.end(), p.begin(), p.end());
+    return size() - 1;
+  }
+
+  int size() const { return static_cast<int>(data_.size()) / dim_; }
+  int dim() const { return dim_; }
+  bool empty() const { return data_.empty(); }
+
+  /// Copies row `i` out as a Point.
+  Point Get(int i) const {
+    FDRMS_DCHECK(i >= 0 && i < size());
+    return Point(data_.begin() + static_cast<size_t>(i) * dim_,
+                 data_.begin() + static_cast<size_t>(i + 1) * dim_);
+  }
+
+  /// Raw pointer to row `i` (dim() doubles).
+  const double* Row(int i) const {
+    FDRMS_DCHECK(i >= 0 && i < size());
+    return data_.data() + static_cast<size_t>(i) * dim_;
+  }
+
+  /// Score of row `i` under utility `u` without materializing a Point.
+  double Score(const Point& u, int i) const {
+    FDRMS_DCHECK(static_cast<int>(u.size()) == dim_);
+    const double* row = Row(i);
+    double s = 0.0;
+    for (int j = 0; j < dim_; ++j) s += u[j] * row[j];
+    return s;
+  }
+
+ private:
+  int dim_;
+  std::vector<double> data_;
+};
+
+}  // namespace fdrms
+
+#endif  // FDRMS_GEOMETRY_POINTSET_H_

@@ -1,0 +1,71 @@
+#include "geometry/sampling.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace fdrms {
+
+Point SampleUnitVectorNonneg(int dim, Rng* rng) {
+  FDRMS_CHECK(dim > 0);
+  Point u(dim);
+  double norm2 = 0.0;
+  do {
+    norm2 = 0.0;
+    for (int i = 0; i < dim; ++i) {
+      u[i] = std::fabs(rng->Gaussian());
+      norm2 += u[i] * u[i];
+    }
+  } while (norm2 == 0.0);
+  double inv = 1.0 / std::sqrt(norm2);
+  for (double& x : u) x *= inv;
+  return u;
+}
+
+std::vector<Point> SampleUtilityVectors(int count, int dim, Rng* rng) {
+  FDRMS_CHECK(count >= dim) << "need at least d vectors for the basis prefix";
+  std::vector<Point> out;
+  out.reserve(count);
+  for (int i = 0; i < dim; ++i) {
+    Point e(dim, 0.0);
+    e[i] = 1.0;
+    out.push_back(std::move(e));
+  }
+  for (int i = dim; i < count; ++i) out.push_back(SampleUnitVectorNonneg(dim, rng));
+  return out;
+}
+
+std::vector<Point> SampleDirections(int count, int dim, Rng* rng) {
+  std::vector<Point> out;
+  out.reserve(count);
+  for (int i = 0; i < count; ++i) out.push_back(SampleUnitVectorNonneg(dim, rng));
+  return out;
+}
+
+std::vector<Point> FarthestPointDirections(const std::vector<Point>& candidates,
+                                           int count) {
+  std::vector<Point> chosen;
+  if (candidates.empty() || count <= 0) return chosen;
+  chosen.push_back(candidates[0]);
+  // min_cos[i]: the largest cosine between candidate i and any chosen
+  // direction; the next pick minimizes it (i.e., maximizes the min angle).
+  std::vector<double> max_cos(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    max_cos[i] = CosineSimilarity(candidates[i], chosen[0]);
+  }
+  while (static_cast<int>(chosen.size()) < count) {
+    size_t best = 0;
+    for (size_t i = 1; i < candidates.size(); ++i) {
+      if (max_cos[i] < max_cos[best]) best = i;
+    }
+    if (max_cos[best] >= 1.0 - 1e-12) break;  // all candidates already chosen
+    chosen.push_back(candidates[best]);
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      double c = CosineSimilarity(candidates[i], chosen.back());
+      if (c > max_cos[i]) max_cos[i] = c;
+    }
+  }
+  return chosen;
+}
+
+}  // namespace fdrms

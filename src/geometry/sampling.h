@@ -1,0 +1,36 @@
+#ifndef FDRMS_GEOMETRY_SAMPLING_H_
+#define FDRMS_GEOMETRY_SAMPLING_H_
+
+/// \file sampling.h
+/// Sampling of utility directions from U = {u in R^d_+ : ||u|| = 1}, the
+/// nonnegative orthant of the unit sphere (Section II-A of the paper).
+
+#include <vector>
+
+#include "common/rng.h"
+#include "geometry/point.h"
+
+namespace fdrms {
+
+/// One utility vector drawn uniformly from the nonnegative orthant of the
+/// unit sphere (|gaussian| per coordinate, then normalized).
+Point SampleUnitVectorNonneg(int dim, Rng* rng);
+
+/// The `count` utility vectors FD-RMS samples (Algorithm 2, Line 1): the
+/// first `dim` are the standard basis e_1..e_d, the rest are uniform on U.
+/// Requires count >= dim.
+std::vector<Point> SampleUtilityVectors(int count, int dim, Rng* rng);
+
+/// `count` uniform directions on U without the basis prefix; used by the
+/// discretized baselines (DMM, eps-kernel, SPHERE) and the regret evaluator.
+std::vector<Point> SampleDirections(int count, int dim, Rng* rng);
+
+/// Greedy farthest-point subset of `candidates`: picks `count` directions
+/// maximizing the minimum pairwise angle, seeded by the first candidate.
+/// SPHERE uses this to spread its r representative directions.
+std::vector<Point> FarthestPointDirections(const std::vector<Point>& candidates,
+                                           int count);
+
+}  // namespace fdrms
+
+#endif  // FDRMS_GEOMETRY_SAMPLING_H_

@@ -1,0 +1,151 @@
+#include "index/conetree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace fdrms {
+
+ConeTree::ConeTree(const std::vector<Point>& utilities, int leaf_size)
+    : utilities_(utilities), thresholds_(utilities.size(), 0.0),
+      leaf_of_(utilities.size(), -1) {
+  FDRMS_CHECK(leaf_size >= 2);
+  if (utilities_.empty()) return;
+  std::vector<int> indices(utilities_.size());
+  for (size_t i = 0; i < indices.size(); ++i) indices[i] = static_cast<int>(i);
+  // leaf_size captured via member through Build's closure over this param.
+  leaf_size_build_ = leaf_size;
+  root_ = Build(&indices, 0, static_cast<int>(indices.size()), -1);
+}
+
+int ConeTree::Build(std::vector<int>* indices, int lo, int hi, int parent) {
+  Node node;
+  node.parent = parent;
+  // Center: normalized mean direction of the covered utilities.
+  const int dim = static_cast<int>(utilities_[(*indices)[lo]].size());
+  node.center.assign(dim, 0.0);
+  for (int i = lo; i < hi; ++i) {
+    const Point& u = utilities_[(*indices)[i]];
+    for (int j = 0; j < dim; ++j) node.center[j] += u[j];
+  }
+  if (Norm(node.center) < 1e-12) {
+    // Degenerate (cannot happen for nonnegative orthant vectors, but keep
+    // the structure safe): fall back to the first utility.
+    node.center = utilities_[(*indices)[lo]];
+  }
+  Normalize(&node.center);
+  node.half_angle = 0.0;
+  for (int i = lo; i < hi; ++i) {
+    node.half_angle =
+        std::max(node.half_angle, Angle(node.center, utilities_[(*indices)[i]]));
+  }
+  node.min_tau = 0.0;
+  int node_id = static_cast<int>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  if (hi - lo <= leaf_size_build_) {
+    nodes_[node_id].utility_indices.assign(indices->begin() + lo,
+                                           indices->begin() + hi);
+    for (int i = lo; i < hi; ++i) leaf_of_[(*indices)[i]] = node_id;
+    return node_id;
+  }
+  // Angular 2-means-style split: pivot a = farthest from first element,
+  // pivot b = farthest from a; assign each utility to the closer pivot.
+  auto farthest_from = [&](const Point& ref) {
+    int best = lo;
+    double best_angle = -1.0;
+    for (int i = lo; i < hi; ++i) {
+      double ang = Angle(ref, utilities_[(*indices)[i]]);
+      if (ang > best_angle) {
+        best_angle = ang;
+        best = i;
+      }
+    }
+    return best;
+  };
+  int ia = farthest_from(utilities_[(*indices)[lo]]);
+  int ib = farthest_from(utilities_[(*indices)[ia]]);
+  Point a = utilities_[(*indices)[ia]];
+  Point b = utilities_[(*indices)[ib]];
+  auto mid = std::partition(indices->begin() + lo, indices->begin() + hi,
+                            [&](int idx) {
+                              const Point& u = utilities_[idx];
+                              return Dot(u, a) >= Dot(u, b);
+                            });
+  int split = static_cast<int>(mid - indices->begin());
+  if (split == lo || split == hi) split = (lo + hi) / 2;  // duplicate vectors
+  int left = Build(indices, lo, split, node_id);
+  int right = Build(indices, split, hi, node_id);
+  nodes_[node_id].left = left;
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+void ConeTree::SetThreshold(int utility_index, double tau) {
+  FDRMS_DCHECK(utility_index >= 0 &&
+               utility_index < static_cast<int>(utilities_.size()));
+  thresholds_[utility_index] = tau;
+  int node_id = leaf_of_[utility_index];
+  while (node_id >= 0) {
+    Node& node = nodes_[node_id];
+    double new_min;
+    if (node.is_leaf()) {
+      new_min = std::numeric_limits<double>::infinity();
+      for (int u : node.utility_indices) {
+        new_min = std::min(new_min, thresholds_[u]);
+      }
+    } else {
+      new_min = std::min(nodes_[node.left].min_tau, nodes_[node.right].min_tau);
+    }
+    if (new_min == node.min_tau && node_id != leaf_of_[utility_index]) break;
+    node.min_tau = new_min;
+    node_id = node.parent;
+  }
+}
+
+void ConeTree::Collect(int node_id, const Point& p, double p_norm,
+                       std::vector<int>* out) const {
+  const Node& node = nodes_[node_id];
+  // Upper bound of <u, p> over the cone. The acos/cos round trip can lose
+  // a few ulps, so pad the bound before pruning: a tuple scoring exactly
+  // tau must never be missed.
+  double ang = Angle(node.center, p);
+  double gap = std::max(0.0, ang - node.half_angle);
+  double bound = p_norm * std::cos(gap) + 1e-9 * (1.0 + p_norm);
+  if (bound < node.min_tau) return;
+  if (node.is_leaf()) {
+    for (int u : node.utility_indices) {
+      if (Dot(utilities_[u], p) >= thresholds_[u]) out->push_back(u);
+    }
+    return;
+  }
+  Collect(node.left, p, p_norm, out);
+  Collect(node.right, p, p_norm, out);
+}
+
+std::vector<int> ConeTree::FindReached(const Point& p) const {
+  std::vector<int> out;
+  if (root_ < 0) return out;
+  double p_norm = Norm(p);
+  if (p_norm == 0.0) {
+    // The zero point only reaches utilities with tau <= 0.
+    for (size_t i = 0; i < utilities_.size(); ++i) {
+      if (thresholds_[i] <= 0.0) out.push_back(static_cast<int>(i));
+    }
+    return out;
+  }
+  Collect(root_, p, p_norm, &out);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<int> ConeTree::FindReachedBruteForce(const Point& p) const {
+  std::vector<int> out;
+  for (size_t i = 0; i < utilities_.size(); ++i) {
+    if (Dot(utilities_[i], p) >= thresholds_[i]) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+}  // namespace fdrms

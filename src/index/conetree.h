@@ -1,0 +1,76 @@
+#ifndef FDRMS_INDEX_CONETREE_H_
+#define FDRMS_INDEX_CONETREE_H_
+
+/// \file conetree.h
+/// Cone tree over the sampled utility vectors — the utility index "UI" of
+/// the paper's dual-tree, after Ram & Gray's angular binary space
+/// partitioning (KDD 2012).
+///
+/// The structure answers the reverse question the top-k maintainer asks on
+/// every tuple insertion: "which utility vectors u have <u, p> >= tau(u)?"
+/// where tau(u) = (1 - eps) * omega_k(u) is that utility's current
+/// approximate-top-k admission threshold. Each node covers a cone (unit
+/// center + half angle) and stores the minimum tau in its subtree; a node
+/// is pruned when even the best-aligned utility in the cone cannot reach
+/// the smallest threshold under it:
+///   max_{u in cone} <u, p> = ||p|| * cos(max(0, angle(center, p) - half)).
+///
+/// Utility vectors are fixed at construction (FD-RMS samples all M up
+/// front); only the thresholds change over time.
+
+#include <vector>
+
+#include "geometry/point.h"
+
+namespace fdrms {
+
+/// Cone tree with mutable per-utility thresholds.
+class ConeTree {
+ public:
+  /// Builds over `utilities` (unit vectors). All thresholds start at 0,
+  /// i.e. every utility matches every nonnegative point until raised.
+  explicit ConeTree(const std::vector<Point>& utilities, int leaf_size = 8);
+
+  int size() const { return static_cast<int>(utilities_.size()); }
+
+  /// Updates tau(utility_index) and repairs subtree minima along its path.
+  void SetThreshold(int utility_index, double tau);
+
+  double GetThreshold(int utility_index) const {
+    return thresholds_[utility_index];
+  }
+
+  /// Indices of all utilities with <u, p> >= tau(u). `p` need not be
+  /// normalized.
+  std::vector<int> FindReached(const Point& p) const;
+
+  /// Brute-force reference of FindReached (for tests/benchmarks).
+  std::vector<int> FindReachedBruteForce(const Point& p) const;
+
+ private:
+  struct Node {
+    Point center;       // unit vector
+    double half_angle;  // radians
+    double min_tau;     // min threshold in subtree
+    int left = -1;
+    int right = -1;
+    int parent = -1;
+    std::vector<int> utility_indices;  // leaf payload
+    bool is_leaf() const { return left < 0; }
+  };
+
+  int Build(std::vector<int>* indices, int lo, int hi, int parent);
+  void Collect(int node_id, const Point& p, double p_norm,
+               std::vector<int>* out) const;
+
+  std::vector<Point> utilities_;
+  int leaf_size_build_ = 8;
+  std::vector<double> thresholds_;
+  std::vector<int> leaf_of_;  // utility index -> leaf node id
+  std::vector<Node> nodes_;
+  int root_ = -1;
+};
+
+}  // namespace fdrms
+
+#endif  // FDRMS_INDEX_CONETREE_H_

@@ -1,0 +1,223 @@
+#include "index/kdtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "common/check.h"
+
+namespace fdrms {
+
+KdTree::KdTree(int dim, int leaf_size) : dim_(dim), leaf_size_(leaf_size) {
+  FDRMS_CHECK(dim > 0);
+  FDRMS_CHECK(leaf_size >= 2);
+}
+
+Status KdTree::Insert(int id, const Point& p) {
+  if (static_cast<int>(p.size()) != dim_) {
+    return Status::Invalid("point dimension mismatch");
+  }
+  if (slot_of_.count(id) > 0) {
+    return Status::AlreadyExists("tuple id " + std::to_string(id) +
+                                 " already indexed");
+  }
+  slots_.push_back(Slot{id, p, true});
+  int slot = static_cast<int>(slots_.size()) - 1;
+  slot_of_[id] = slot;
+  buffer_.push_back(slot);
+  ++live_count_;
+  MaybeRebuild();
+  return Status::OK();
+}
+
+Status KdTree::Delete(int id) {
+  auto it = slot_of_.find(id);
+  if (it == slot_of_.end()) {
+    return Status::NotFound("tuple id " + std::to_string(id) + " not indexed");
+  }
+  int slot = it->second;
+  slots_[slot].alive = false;
+  slot_of_.erase(it);
+  --live_count_;
+  // Buffer slots are scanned with a liveness check, so only tree-referenced
+  // tombstones count toward rebuild pressure. We cannot cheaply tell which
+  // kind `slot` is; counting all deletions as tree pressure only makes
+  // rebuilds slightly more eager.
+  ++dead_in_tree_;
+  MaybeRebuild();
+  return Status::OK();
+}
+
+Point KdTree::GetPoint(int id) const {
+  auto it = slot_of_.find(id);
+  FDRMS_CHECK(it != slot_of_.end()) << "GetPoint on missing id " << id;
+  return slots_[it->second].point;
+}
+
+void KdTree::MaybeRebuild() {
+  int total = indexed_count_ + static_cast<int>(buffer_.size());
+  bool buffer_heavy = static_cast<int>(buffer_.size()) > std::max(64, total / 4);
+  bool tombstone_heavy = dead_in_tree_ > std::max(64, total / 2);
+  if (buffer_heavy || tombstone_heavy) Rebuild();
+}
+
+void KdTree::Rebuild() {
+  nodes_.clear();
+  buffer_.clear();
+  dead_in_tree_ = 0;
+  // Compact tombstoned slots away so slot indices stay dense.
+  std::vector<Slot> live;
+  live.reserve(live_count_);
+  for (auto& s : slots_) {
+    if (s.alive) live.push_back(std::move(s));
+  }
+  slots_ = std::move(live);
+  slot_of_.clear();
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    slot_of_[slots_[i].id] = static_cast<int>(i);
+  }
+  indexed_count_ = static_cast<int>(slots_.size());
+  if (slots_.empty()) {
+    root_ = -1;
+    return;
+  }
+  std::vector<int> indices(slots_.size());
+  for (size_t i = 0; i < indices.size(); ++i) indices[i] = static_cast<int>(i);
+  root_ = BuildNode(&indices, 0, static_cast<int>(indices.size()));
+}
+
+int KdTree::BuildNode(std::vector<int>* indices, int lo, int hi) {
+  Node node;
+  node.box_min.assign(dim_, std::numeric_limits<double>::infinity());
+  node.box_max.assign(dim_, -std::numeric_limits<double>::infinity());
+  for (int i = lo; i < hi; ++i) {
+    const Point& p = slots_[(*indices)[i]].point;
+    for (int j = 0; j < dim_; ++j) {
+      node.box_min[j] = std::min(node.box_min[j], p[j]);
+      node.box_max[j] = std::max(node.box_max[j], p[j]);
+    }
+  }
+  int node_id = static_cast<int>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  if (hi - lo <= leaf_size_) {
+    nodes_[node_id].slot_indices.assign(indices->begin() + lo,
+                                        indices->begin() + hi);
+    return node_id;
+  }
+  // Split on the widest dimension at the median.
+  int split_dim = 0;
+  double best_extent = -1.0;
+  for (int j = 0; j < dim_; ++j) {
+    double extent = nodes_[node_id].box_max[j] - nodes_[node_id].box_min[j];
+    if (extent > best_extent) {
+      best_extent = extent;
+      split_dim = j;
+    }
+  }
+  int mid = (lo + hi) / 2;
+  std::nth_element(indices->begin() + lo, indices->begin() + mid,
+                   indices->begin() + hi, [&](int a, int b) {
+                     return slots_[a].point[split_dim] <
+                            slots_[b].point[split_dim];
+                   });
+  int left = BuildNode(indices, lo, mid);
+  int right = BuildNode(indices, mid, hi);
+  nodes_[node_id].left = left;
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+double KdTree::BoxUpperBound(const Node& node, const Point& u) const {
+  // u >= 0, so the box corner box_max maximizes the inner product.
+  double s = 0.0;
+  for (int j = 0; j < dim_; ++j) s += u[j] * node.box_max[j];
+  return s;
+}
+
+std::vector<ScoredId> KdTree::TopK(const Point& u, int k) const {
+  FDRMS_CHECK(static_cast<int>(u.size()) == dim_);
+  FDRMS_CHECK(k >= 1);
+  // Bounded "worst at top" heap of the best k seen so far.
+  auto worse = [](const ScoredId& a, const ScoredId& b) {
+    return BetterScore(a, b);
+  };
+  std::priority_queue<ScoredId, std::vector<ScoredId>, decltype(worse)> best(
+      worse);
+  auto offer = [&](const Slot& s) {
+    if (!s.alive) return;
+    ScoredId cand{Dot(u, s.point), s.id};
+    if (static_cast<int>(best.size()) < k) {
+      best.push(cand);
+    } else if (BetterScore(cand, best.top())) {
+      best.pop();
+      best.push(cand);
+    }
+  };
+  double kth_bound = -std::numeric_limits<double>::infinity();
+  auto current_bound = [&]() {
+    return static_cast<int>(best.size()) < k
+               ? -std::numeric_limits<double>::infinity()
+               : best.top().score;
+  };
+  // Best-first traversal of the tree.
+  if (root_ >= 0) {
+    using Pq = std::pair<double, int>;  // (upper bound, node)
+    std::priority_queue<Pq> frontier;
+    frontier.push({BoxUpperBound(nodes_[root_], u), root_});
+    while (!frontier.empty()) {
+      auto [bound, node_id] = frontier.top();
+      frontier.pop();
+      kth_bound = current_bound();
+      if (bound < kth_bound) break;  // nothing better remains
+      const Node& node = nodes_[node_id];
+      if (node.is_leaf()) {
+        for (int slot : node.slot_indices) offer(slots_[slot]);
+      } else {
+        frontier.push({BoxUpperBound(nodes_[node.left], u), node.left});
+        frontier.push({BoxUpperBound(nodes_[node.right], u), node.right});
+      }
+    }
+  }
+  for (int slot : buffer_) offer(slots_[slot]);
+  std::vector<ScoredId> out(best.size());
+  for (int i = static_cast<int>(best.size()) - 1; i >= 0; --i) {
+    out[i] = best.top();
+    best.pop();
+  }
+  return out;
+}
+
+void KdTree::CollectRange(int node_id, const Point& u, double threshold,
+                          std::vector<ScoredId>* out) const {
+  const Node& node = nodes_[node_id];
+  if (BoxUpperBound(node, u) < threshold) return;
+  if (node.is_leaf()) {
+    for (int slot : node.slot_indices) {
+      const Slot& s = slots_[slot];
+      if (!s.alive) continue;
+      double score = Dot(u, s.point);
+      if (score >= threshold) out->push_back({score, s.id});
+    }
+    return;
+  }
+  CollectRange(node.left, u, threshold, out);
+  CollectRange(node.right, u, threshold, out);
+}
+
+std::vector<ScoredId> KdTree::ScoreRange(const Point& u,
+                                         double threshold) const {
+  FDRMS_CHECK(static_cast<int>(u.size()) == dim_);
+  std::vector<ScoredId> out;
+  if (root_ >= 0) CollectRange(root_, u, threshold, &out);
+  for (int slot : buffer_) {
+    const Slot& s = slots_[slot];
+    if (!s.alive) continue;
+    double score = Dot(u, s.point);
+    if (score >= threshold) out.push_back({score, s.id});
+  }
+  std::sort(out.begin(), out.end(), BetterScore);
+  return out;
+}
+
+}  // namespace fdrms

@@ -1,0 +1,118 @@
+#ifndef FDRMS_INDEX_KDTREE_H_
+#define FDRMS_INDEX_KDTREE_H_
+
+/// \file kdtree.h
+/// Dynamic kd-tree over database tuples — the tuple index "TI" of the
+/// paper's dual-tree (Section III-C).
+///
+/// The paper maps top-k linear-scoring queries to kNN queries in R^{d+1};
+/// because every utility vector lies in the nonnegative orthant, an
+/// axis-aligned bounding box gives the exact branch-and-bound bound
+/// max_{p in box} <u, p> = <u, box.max>, so this tree runs the same
+/// best-first search directly in the original space (see DESIGN.md).
+///
+/// Dynamism: inserts append to a linearly scanned buffer, deletes tombstone
+/// their slot; the tree is rebuilt when either exceeds a fraction of the
+/// indexed size (standard amortized-logarithmic strategy).
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "geometry/point.h"
+
+namespace fdrms {
+
+/// (score, tuple id) pair returned by queries; sorted by descending score,
+/// ties broken by ascending id (the paper's "any consistent rule").
+struct ScoredId {
+  double score;
+  int id;
+  bool operator==(const ScoredId& o) const = default;
+};
+
+/// Orders results the way top-k lists are reported.
+inline bool BetterScore(const ScoredId& a, const ScoredId& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.id < b.id;
+}
+
+/// Dynamic kd-tree with exact top-k and score-range queries under
+/// nonnegative linear utilities.
+class KdTree {
+ public:
+  /// \param dim attribute count d
+  /// \param leaf_size max points per leaf before splitting
+  explicit KdTree(int dim, int leaf_size = 16);
+
+  /// Adds tuple `id`. Fails with AlreadyExists if `id` is live.
+  Status Insert(int id, const Point& p);
+
+  /// Removes tuple `id`. Fails with NotFound if `id` is not live.
+  Status Delete(int id);
+
+  /// Number of live tuples.
+  int size() const { return live_count_; }
+  int dim() const { return dim_; }
+  bool Contains(int id) const { return slot_of_.count(id) > 0; }
+
+  /// Copy of a live tuple's attributes.
+  Point GetPoint(int id) const;
+
+  /// Exact top-k under utility `u` (fewer if size() < k), best first.
+  std::vector<ScoredId> TopK(const Point& u, int k) const;
+
+  /// All live tuples with <u, p> >= threshold, best first.
+  std::vector<ScoredId> ScoreRange(const Point& u, double threshold) const;
+
+  /// Applies `fn(id, point)` to every live tuple (no particular order).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t s = 0; s < slots_.size(); ++s) {
+      if (slots_[s].alive) fn(slots_[s].id, slots_[s].point);
+    }
+  }
+
+  /// Forces a rebuild now (also exposed for benchmarks).
+  void Rebuild();
+
+ private:
+  struct Slot {
+    int id;
+    Point point;
+    bool alive;
+  };
+  struct Node {
+    // Bounding box over the subtree's points.
+    Point box_min;
+    Point box_max;
+    int left = -1;
+    int right = -1;
+    // Leaf payload: indices into slots_. Internal nodes keep it empty.
+    std::vector<int> slot_indices;
+    bool is_leaf() const { return left < 0; }
+  };
+
+  int BuildNode(std::vector<int>* indices, int lo, int hi);
+  void MaybeRebuild();
+  double BoxUpperBound(const Node& node, const Point& u) const;
+  void CollectRange(int node_id, const Point& u, double threshold,
+                    std::vector<ScoredId>* out) const;
+
+  int dim_;
+  int leaf_size_;
+  std::vector<Slot> slots_;
+  std::unordered_map<int, int> slot_of_;  // id -> slot index
+  std::vector<Node> nodes_;
+  int root_ = -1;
+  int indexed_count_ = 0;       // live slots covered by the tree
+  std::vector<int> buffer_;     // slot indices inserted since last rebuild
+  int dead_in_tree_ = 0;        // tombstoned slots still referenced by tree
+  int live_count_ = 0;
+};
+
+}  // namespace fdrms
+
+#endif  // FDRMS_INDEX_KDTREE_H_

@@ -1,0 +1,226 @@
+#include "lp/simplex.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace fdrms {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// Dense simplex tableau. Columns: n structural + m slack (+ artificials in
+/// phase 1), last column is the RHS. One extra bottom row holds the reduced
+/// costs of the active objective.
+class Tableau {
+ public:
+  Tableau(const LpProblem& p)
+      : m_(static_cast<int>(p.A.size())), n_(static_cast<int>(p.c.size())) {
+    // Normalize rows to b >= 0 so slack columns of negated rows get -1 and
+    // need an artificial partner.
+    std::vector<std::vector<double>> a = p.A;
+    std::vector<double> b = p.b;
+    std::vector<int> needs_artificial;
+    for (int i = 0; i < m_; ++i) {
+      FDRMS_CHECK(static_cast<int>(a[i].size()) == n_) << "ragged LP row";
+      if (b[i] < 0) {
+        for (double& v : a[i]) v = -v;
+        b[i] = -b[i];
+        needs_artificial.push_back(i);
+      }
+    }
+    num_artificial_ = static_cast<int>(needs_artificial.size());
+    cols_ = n_ + m_ + num_artificial_;
+    rows_.assign(m_, std::vector<double>(cols_ + 1, 0.0));
+    basis_.assign(m_, -1);
+    std::vector<bool> negated(m_, false);
+    for (int i : needs_artificial) negated[i] = true;
+    int art = 0;
+    for (int i = 0; i < m_; ++i) {
+      for (int j = 0; j < n_; ++j) rows_[i][j] = a[i][j];
+      rows_[i][n_ + i] = negated[i] ? -1.0 : 1.0;  // slack
+      rows_[i][cols_] = b[i];
+      if (negated[i]) {
+        rows_[i][n_ + m_ + art] = 1.0;
+        basis_[i] = n_ + m_ + art;
+        ++art;
+      } else {
+        basis_[i] = n_ + i;
+      }
+    }
+  }
+
+  /// Phase 1: minimize the sum of artificials. Returns false if the LP is
+  /// infeasible (artificials cannot be driven to zero).
+  bool Phase1() {
+    if (num_artificial_ == 0) return true;
+    // Objective row: maximize -(sum of artificials).
+    obj_.assign(cols_ + 1, 0.0);
+    for (int j = n_ + m_; j < cols_; ++j) obj_[j] = -1.0;
+    // Price out the basic artificials.
+    for (int i = 0; i < m_; ++i) {
+      if (basis_[i] >= n_ + m_) AddRowToObjective(i, 1.0);
+    }
+    RunSimplex(/*restrict_cols=*/cols_);
+    // The objective row's RHS holds -z (uniform pivot subtraction), so a
+    // positive residue there means max(-Σ artificials) < 0: infeasible.
+    if (obj_[cols_] > kEps) return false;
+    // Drive any artificial still basic (at zero) out of the basis.
+    for (int i = 0; i < m_; ++i) {
+      if (basis_[i] < n_ + m_) continue;
+      int pivot_col = -1;
+      for (int j = 0; j < n_ + m_; ++j) {
+        if (std::fabs(rows_[i][j]) > kEps) {
+          pivot_col = j;
+          break;
+        }
+      }
+      if (pivot_col >= 0) Pivot(i, pivot_col);
+      // Otherwise the row is all-zero (redundant constraint); leaving the
+      // zero-valued artificial basic is harmless as long as its column is
+      // never re-entered, which phase 2 guarantees below.
+    }
+    return true;
+  }
+
+  /// Phase 2: maximize the real objective over structural + slack columns.
+  /// Returns false when unbounded.
+  bool Phase2(const std::vector<double>& c) {
+    obj_.assign(cols_ + 1, 0.0);
+    for (int j = 0; j < n_; ++j) obj_[j] = c[j];
+    for (int i = 0; i < m_; ++i) {
+      if (basis_[i] < cols_ && std::fabs(obj_[basis_[i]]) > kEps) {
+        AddRowToObjective(i, -obj_[basis_[i]]);
+      }
+    }
+    return RunSimplex(/*restrict_cols=*/n_ + m_);
+  }
+
+  // The RHS cell of the objective row stores -z under the uniform pivot
+  // update (see RunSimplex), so negate on the way out.
+  double objective() const { return -obj_[cols_]; }
+
+  std::vector<double> Primal() const {
+    std::vector<double> x(n_, 0.0);
+    for (int i = 0; i < m_; ++i) {
+      if (basis_[i] < n_) x[basis_[i]] = rows_[i][cols_];
+    }
+    return x;
+  }
+
+ private:
+  void AddRowToObjective(int row, double factor) {
+    for (int j = 0; j <= cols_; ++j) obj_[j] += factor * rows_[row][j];
+  }
+
+  void Pivot(int pr, int pc) {
+    double pv = rows_[pr][pc];
+    FDRMS_DCHECK(std::fabs(pv) > kEps);
+    for (int j = 0; j <= cols_; ++j) rows_[pr][j] /= pv;
+    for (int i = 0; i < m_; ++i) {
+      if (i == pr) continue;
+      double f = rows_[i][pc];
+      if (std::fabs(f) < kEps) continue;
+      for (int j = 0; j <= cols_; ++j) rows_[i][j] -= f * rows_[pr][j];
+    }
+    double f = obj_[pc];
+    if (std::fabs(f) > kEps) {
+      for (int j = 0; j <= cols_; ++j) obj_[j] -= f * rows_[pr][j];
+    }
+    basis_[pr] = pc;
+  }
+
+  /// Bland's-rule simplex over columns [0, restrict_cols). Returns false on
+  /// unboundedness.
+  bool RunSimplex(int restrict_cols) {
+    while (true) {
+      int pc = -1;
+      for (int j = 0; j < restrict_cols; ++j) {
+        if (obj_[j] > kEps) {  // entering column (Bland: first eligible)
+          pc = j;
+          break;
+        }
+      }
+      if (pc < 0) return true;  // optimal
+      int pr = -1;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (int i = 0; i < m_; ++i) {
+        if (rows_[i][pc] > kEps) {
+          double ratio = rows_[i][cols_] / rows_[i][pc];
+          // Bland: break ratio ties on smallest basis index.
+          if (ratio < best_ratio - kEps ||
+              (ratio < best_ratio + kEps &&
+               (pr < 0 || basis_[i] < basis_[pr]))) {
+            best_ratio = ratio;
+            pr = i;
+          }
+        }
+      }
+      if (pr < 0) return false;  // unbounded
+      Pivot(pr, pc);
+    }
+  }
+
+  int m_;
+  int n_;
+  int num_artificial_ = 0;
+  int cols_ = 0;
+  std::vector<std::vector<double>> rows_;
+  std::vector<double> obj_;
+  std::vector<int> basis_;
+};
+
+}  // namespace
+
+LpSolution SolveLp(const LpProblem& problem) {
+  FDRMS_CHECK(problem.A.size() == problem.b.size())
+      << "A and b row counts differ";
+  LpSolution sol;
+  Tableau t(problem);
+  if (!t.Phase1()) {
+    sol.status = LpStatus::kInfeasible;
+    return sol;
+  }
+  if (!t.Phase2(problem.c)) {
+    sol.status = LpStatus::kUnbounded;
+    return sol;
+  }
+  sol.status = LpStatus::kOptimal;
+  sol.objective = t.objective();
+  sol.x = t.Primal();
+  return sol;
+}
+
+double MaxRegretForWitness(const std::vector<double>& p,
+                           const std::vector<std::vector<double>>& q_rows) {
+  const int d = static_cast<int>(p.size());
+  // Variables: u[0..d-1], x. Constraints:
+  //   <u,q> + x <= 1          for each q in Q
+  //   <u,p> <= 1,  -<u,p> <= -1   (i.e. <u,p> = 1)
+  LpProblem lp;
+  lp.c.assign(d + 1, 0.0);
+  lp.c[d] = 1.0;
+  for (const auto& q : q_rows) {
+    FDRMS_CHECK(static_cast<int>(q.size()) == d);
+    std::vector<double> row(d + 1, 0.0);
+    for (int j = 0; j < d; ++j) row[j] = q[j];
+    row[d] = 1.0;
+    lp.A.push_back(std::move(row));
+    lp.b.push_back(1.0);
+  }
+  std::vector<double> peq(d + 1, 0.0), pneq(d + 1, 0.0);
+  for (int j = 0; j < d; ++j) {
+    peq[j] = p[j];
+    pneq[j] = -p[j];
+  }
+  lp.A.push_back(peq);
+  lp.b.push_back(1.0);
+  lp.A.push_back(pneq);
+  lp.b.push_back(-1.0);
+  LpSolution sol = SolveLp(lp);
+  if (sol.status != LpStatus::kOptimal) return 0.0;
+  return sol.objective > 0.0 ? sol.objective : 0.0;
+}
+
+}  // namespace fdrms

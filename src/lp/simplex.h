@@ -1,0 +1,56 @@
+#ifndef FDRMS_LP_SIMPLEX_H_
+#define FDRMS_LP_SIMPLEX_H_
+
+/// \file simplex.h
+/// A dense two-phase primal simplex solver for small linear programs.
+///
+/// The RMS baselines solve thousands of tiny LPs of the form
+///   maximize x  s.t.  <u, q> + x <= 1  (for each q in Q),
+///                     <u, p>  = 1,   u >= 0, x >= 0
+/// whose optimum is the maximum regret any utility can suffer when `p` is
+/// the best database tuple and only Q is offered (Nanongkai et al., 2010).
+/// The solver handles general problems: maximize c'x s.t. Ax <= b (b of any
+/// sign, equalities expressible as two inequalities), x >= 0.
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace fdrms {
+
+/// Result category of an LP solve.
+enum class LpStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+};
+
+/// maximize c'x subject to A x <= b, x >= 0.
+struct LpProblem {
+  std::vector<double> c;               ///< objective, size n
+  std::vector<std::vector<double>> A;  ///< m rows of size n
+  std::vector<double> b;               ///< size m, any sign
+};
+
+/// Solution of an LpProblem.
+struct LpSolution {
+  LpStatus status = LpStatus::kInfeasible;
+  double objective = 0.0;
+  std::vector<double> x;  ///< primal solution when status == kOptimal
+};
+
+/// Solves `problem` with two-phase tableau simplex (Bland's rule, so it
+/// terminates on degenerate instances).
+LpSolution SolveLp(const LpProblem& problem);
+
+/// Convenience: the maximum 1-regret an adversarial utility can achieve for
+/// witness tuple `p` against answer set Q (rows of `q_rows`), i.e. the
+/// optimum of   max x  s.t. <u,q> <= 1 - x for all q, <u,p> = 1, u,x >= 0.
+/// Returns 0 when `p` cannot beat Q anywhere (LP optimum <= 0 or
+/// infeasible: p is never uniquely preferred).
+double MaxRegretForWitness(const std::vector<double>& p,
+                           const std::vector<std::vector<double>>& q_rows);
+
+}  // namespace fdrms
+
+#endif  // FDRMS_LP_SIMPLEX_H_

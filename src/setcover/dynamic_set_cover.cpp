@@ -1,0 +1,390 @@
+#include "setcover/dynamic_set_cover.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace fdrms {
+
+DynamicSetCover::DynamicSetCover(int element_capacity)
+    : system_(element_capacity),
+      phi_(element_capacity, kUnassigned),
+      elem_level_(element_capacity, -1),
+      in_universe_(element_capacity, false) {}
+
+int DynamicSetCover::LevelForSize(int size) {
+  FDRMS_DCHECK(size >= 1);
+  int level = 0;
+  while ((2LL << level) <= size) ++level;  // largest j with 2^j <= size
+  FDRMS_DCHECK(level < kMaxLevels);
+  return level;
+}
+
+std::vector<int> DynamicSetCover::CoverSetIds() const {
+  std::vector<int> ids;
+  ids.reserve(in_cover_.size());
+  for (const auto& [id, _] : in_cover_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+int DynamicSetCover::LevelOf(int set_id) const {
+  auto it = in_cover_.find(set_id);
+  return it == in_cover_.end() ? -1 : it->second.level;
+}
+
+const std::unordered_set<int>& DynamicSetCover::CoverSetOf(int set_id) const {
+  static const std::unordered_set<int> empty;
+  auto it = in_cover_.find(set_id);
+  return it == in_cover_.end() ? empty : it->second.cov;
+}
+
+void DynamicSetCover::BumpCount(int set_id, int level, int delta) {
+  auto& row = counts_[set_id];
+  if (row.empty()) row.assign(kMaxLevels, 0);
+  row[level] += delta;
+  FDRMS_DCHECK(row[level] >= 0);
+  // Condition (2) violation candidate: |S ∩ A_j| >= 2^{j+1}.
+  if (delta > 0 && row[level] >= (2LL << level)) {
+    violations_.emplace_back(set_id, level);
+  }
+}
+
+void DynamicSetCover::UpdateCounts(int element, int old_level, int new_level) {
+  if (old_level == new_level) return;
+  for (int set_id : system_.SetsContaining(element)) {
+    if (old_level >= 0) BumpCount(set_id, old_level, -1);
+    if (new_level >= 0) BumpCount(set_id, new_level, +1);
+  }
+  elem_level_[element] = new_level;
+}
+
+void DynamicSetCover::Assign(int element, int set_id) {
+  FDRMS_DCHECK(phi_[element] == kUnassigned);
+  FDRMS_DCHECK(in_universe_[element]);
+  FDRMS_DCHECK(system_.Contains(element, set_id));
+  CoverState& state = in_cover_[set_id];
+  state.cov.insert(element);
+  phi_[element] = set_id;
+  // New solution sets enter at the level of their (so far) singleton cov;
+  // Relevel fixes growth.
+  int level = state.level;
+  if (level < 0) {
+    level = LevelForSize(static_cast<int>(state.cov.size()));
+    state.level = level;
+  }
+  UpdateCounts(element, -1, state.level);
+  Relevel(set_id);
+}
+
+void DynamicSetCover::Unassign(int element) {
+  int set_id = phi_[element];
+  if (set_id == kUnassigned) return;
+  auto it = in_cover_.find(set_id);
+  FDRMS_DCHECK(it != in_cover_.end());
+  it->second.cov.erase(element);
+  phi_[element] = kUnassigned;
+  UpdateCounts(element, elem_level_[element], -1);
+  Relevel(set_id);
+}
+
+void DynamicSetCover::ShiftCovLevel(int set_id, int old_level, int new_level) {
+  const auto& cov = in_cover_.at(set_id).cov;
+  for (int element : cov) {
+    UpdateCounts(element, old_level, new_level);
+  }
+}
+
+void DynamicSetCover::Relevel(int set_id) {
+  auto it = in_cover_.find(set_id);
+  if (it == in_cover_.end()) return;
+  CoverState& state = it->second;
+  if (state.cov.empty()) {
+    in_cover_.erase(it);
+    return;
+  }
+  int correct = LevelForSize(static_cast<int>(state.cov.size()));
+  if (correct != state.level) {
+    int old_level = state.level;
+    state.level = correct;
+    ShiftCovLevel(set_id, old_level, correct);
+  }
+}
+
+void DynamicSetCover::Reassign(int element) {
+  FDRMS_DCHECK(in_universe_[element]);
+  FDRMS_DCHECK(phi_[element] == kUnassigned);
+  const auto& candidates = system_.SetsContaining(element);
+  if (candidates.empty()) return;  // uncovered until a membership arrives
+  // Prefer an existing solution set at the highest level (keeps C small);
+  // fall back to opening any containing set.
+  int best = kUnassigned;
+  int best_level = -1;
+  for (int set_id : candidates) {
+    auto it = in_cover_.find(set_id);
+    if (it != in_cover_.end() && it->second.level > best_level) {
+      best = set_id;
+      best_level = it->second.level;
+    }
+  }
+  if (best == kUnassigned) best = *candidates.begin();
+  Assign(element, best);
+}
+
+void DynamicSetCover::InitializeGreedy(
+    const std::vector<int>& universe_elements) {
+  // Reset all solution state (incidence is kept).
+  phi_.assign(phi_.size(), kUnassigned);
+  elem_level_.assign(elem_level_.size(), -1);
+  in_universe_.assign(in_universe_.size(), false);
+  in_cover_.clear();
+  counts_.clear();
+  violations_.clear();
+  universe_size_ = 0;
+  for (int e : universe_elements) {
+    FDRMS_CHECK(e >= 0 && e < system_.element_capacity());
+    if (!in_universe_[e]) {
+      in_universe_[e] = true;
+      ++universe_size_;
+    }
+  }
+  // Classic greedy with lazily re-evaluated gains (gains only shrink).
+  std::unordered_map<int, int> gain;  // set -> |S ∩ uncovered| upper bound
+  std::vector<std::pair<int, int>> heap;  // (gain, set_id) max-heap
+  for (int set_id : system_.NonEmptySetIds()) {
+    int g = 0;
+    for (int e : system_.ElementsOf(set_id)) {
+      if (in_universe_[e]) ++g;
+    }
+    if (g > 0) {
+      gain[set_id] = g;
+      heap.emplace_back(g, set_id);
+    }
+  }
+  std::make_heap(heap.begin(), heap.end());
+  int uncovered = universe_size_;
+  while (uncovered > 0 && !heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end());
+    auto [g, set_id] = heap.back();
+    heap.pop_back();
+    // Re-count the true gain; push back if stale.
+    int true_gain = 0;
+    for (int e : system_.ElementsOf(set_id)) {
+      if (in_universe_[e] && phi_[e] == kUnassigned) ++true_gain;
+    }
+    if (true_gain == 0) continue;
+    if (true_gain < g && !heap.empty() && heap.front().first > true_gain) {
+      heap.emplace_back(true_gain, set_id);
+      std::push_heap(heap.begin(), heap.end());
+      continue;
+    }
+    // Take the set: cov(S*) = uncovered ∩ S*.
+    CoverState& state = in_cover_[set_id];
+    for (int e : system_.ElementsOf(set_id)) {
+      if (in_universe_[e] && phi_[e] == kUnassigned) {
+        state.cov.insert(e);
+        phi_[e] = set_id;
+      }
+    }
+    state.level = LevelForSize(static_cast<int>(state.cov.size()));
+    for (int e : state.cov) UpdateCounts(e, -1, state.level);
+    uncovered -= static_cast<int>(state.cov.size());
+  }
+  // Greedy output is provably stable (Lemma 1), but the count caches may
+  // already reveal violations if ties were broken adversarially; draining
+  // the queue here is a no-op in the common case and keeps the invariant
+  // unconditional.
+  Stabilize();
+}
+
+void DynamicSetCover::AddMembership(int element, int set_id) {
+  if (!system_.AddMembership(element, set_id)) return;  // already present
+  if (in_universe_[element]) {
+    if (phi_[element] == kUnassigned) {
+      // A previously uncoverable universe element becomes coverable.
+      Assign(element, set_id);
+    } else if (elem_level_[element] >= 0) {
+      BumpCount(set_id, elem_level_[element], +1);
+    }
+  }
+  Stabilize();
+}
+
+void DynamicSetCover::RemoveMembership(int element, int set_id) {
+  if (!system_.RemoveMembership(element, set_id)) return;
+  if (in_universe_[element]) {
+    // The departing element no longer counts toward |S ∩ A_j| for this set;
+    // the system no longer lists the membership, so Unassign below will not
+    // touch this set's counts.
+    if (elem_level_[element] >= 0) {
+      BumpCount(set_id, elem_level_[element], -1);
+    }
+    if (phi_[element] == set_id) {
+      // Case σ = (u, S, -) with u ∈ cov(S): move u to another set
+      // containing it (Lines 2-5).
+      Unassign(element);
+      Reassign(element);
+    }
+  }
+  if (system_.ElementsOf(set_id).empty()) counts_.erase(set_id);
+  Stabilize();
+}
+
+void DynamicSetCover::AddToUniverse(int element) {
+  if (in_universe_[element]) return;
+  in_universe_[element] = true;
+  ++universe_size_;
+  Reassign(element);  // Lines 6-8
+  Stabilize();
+}
+
+void DynamicSetCover::RemoveFromUniverse(int element) {
+  if (!in_universe_[element]) return;
+  Unassign(element);  // Lines 9-11
+  in_universe_[element] = false;
+  --universe_size_;
+  Stabilize();
+}
+
+void DynamicSetCover::RemoveSet(int set_id) {
+  // Detach cover duties first (Algorithm 3, Lines 10-12), then drop all
+  // memberships.
+  auto it = in_cover_.find(set_id);
+  std::vector<int> orphans;
+  if (it != in_cover_.end()) {
+    orphans.assign(it->second.cov.begin(), it->second.cov.end());
+    for (int e : orphans) {
+      phi_[e] = kUnassigned;
+      UpdateCounts(e, elem_level_[e], -1);
+    }
+    in_cover_.erase(it);
+  }
+  std::vector<int> members(system_.ElementsOf(set_id).begin(),
+                           system_.ElementsOf(set_id).end());
+  for (int e : members) system_.RemoveMembership(e, set_id);
+  counts_.erase(set_id);
+  for (int e : orphans) Reassign(e);
+  Stabilize();
+}
+
+void DynamicSetCover::Stabilize() {
+  while (!violations_.empty()) {
+    auto [set_id, level] = violations_.front();
+    violations_.pop_front();
+    auto cit = counts_.find(set_id);
+    if (cit == counts_.end() || cit->second[level] < (2LL << level)) {
+      continue;  // stale entry
+    }
+    // cov(S) ← cov(S) ∪ (S ∩ A_j): steal every element of S assigned at
+    // this level (Lines 29-32).
+    std::vector<int> steal;
+    for (int e : system_.ElementsOf(set_id)) {
+      if (in_universe_[e] && elem_level_[e] == level && phi_[e] != set_id) {
+        steal.push_back(e);
+      }
+    }
+    if (steal.empty()) {
+      // All counted elements already belong to this set; Relevel keeps the
+      // level consistent and the violation is vacuous.
+      Relevel(set_id);
+      continue;
+    }
+    CoverState& state = in_cover_[set_id];
+    bool was_in_cover = state.level >= 0;
+    std::unordered_set<int> donors;
+    for (int e : steal) {
+      donors.insert(phi_[e]);
+      in_cover_.at(phi_[e]).cov.erase(e);
+      phi_[e] = set_id;
+      state.cov.insert(e);
+    }
+    if (!was_in_cover) {
+      state.level = LevelForSize(static_cast<int>(state.cov.size()));
+      for (int e : state.cov) UpdateCounts(e, elem_level_[e], state.level);
+    } else {
+      int old_level = state.level;
+      int correct = LevelForSize(static_cast<int>(state.cov.size()));
+      state.level = correct;
+      // Stolen elements move from `level` to `correct`; incumbent cov
+      // members move only if the set releveled.
+      for (int e : steal) UpdateCounts(e, level, correct);
+      if (correct != old_level) {
+        for (int e : state.cov) {
+          if (elem_level_[e] != correct) UpdateCounts(e, elem_level_[e], correct);
+        }
+      }
+    }
+    for (int donor : donors) Relevel(donor);
+  }
+}
+
+Status DynamicSetCover::CheckInvariants() const {
+  // 1. Assignment <-> cov consistency; levels within range (Condition 1).
+  int assigned = 0;
+  for (int e = 0; e < system_.element_capacity(); ++e) {
+    int s = phi_[e];
+    if (s == kUnassigned) continue;
+    if (!in_universe_[e]) return Status::Internal("assigned non-universe element");
+    auto it = in_cover_.find(s);
+    if (it == in_cover_.end()) return Status::Internal("phi points outside C");
+    if (it->second.cov.count(e) == 0) {
+      return Status::Internal("phi(e) does not list e in cov");
+    }
+    if (!system_.Contains(e, s)) {
+      return Status::Internal("element assigned to set not containing it");
+    }
+    if (elem_level_[e] != it->second.level) {
+      return Status::Internal("elem_level cache stale");
+    }
+    ++assigned;
+  }
+  size_t cov_total = 0;
+  for (const auto& [set_id, state] : in_cover_) {
+    if (state.cov.empty()) return Status::Internal("empty set kept in C");
+    int size = static_cast<int>(state.cov.size());
+    cov_total += state.cov.size();
+    int expect = LevelForSize(size);
+    if (state.level != expect) {
+      return Status::Internal("level range violated for set " +
+                              std::to_string(set_id));
+    }
+    for (int e : state.cov) {
+      if (phi_[e] != set_id) return Status::Internal("cov lists foreign element");
+    }
+  }
+  if (static_cast<int>(cov_total) != assigned) {
+    return Status::Internal("cover sets are not disjoint");
+  }
+  // 2. Stability Condition 2 and count-cache correctness, by brute force.
+  for (int set_id : system_.NonEmptySetIds()) {
+    std::vector<int> true_counts(kMaxLevels, 0);
+    for (int e : system_.ElementsOf(set_id)) {
+      if (in_universe_[e] && elem_level_[e] >= 0) ++true_counts[elem_level_[e]];
+    }
+    auto cit = counts_.find(set_id);
+    for (int j = 0; j < kMaxLevels; ++j) {
+      int cached = (cit == counts_.end() || cit->second.empty())
+                       ? 0
+                       : cit->second[j];
+      if (cached != true_counts[j]) {
+        return Status::Internal("count cache mismatch for set " +
+                                std::to_string(set_id));
+      }
+      if (true_counts[j] >= (2LL << j)) {
+        return Status::Internal("stability Condition 2 violated: set " +
+                                std::to_string(set_id) + " level " +
+                                std::to_string(j));
+      }
+    }
+  }
+  // 3. Coverage: every universe element contained in some set is assigned.
+  for (int e = 0; e < system_.element_capacity(); ++e) {
+    if (in_universe_[e] && phi_[e] == kUnassigned &&
+        !system_.SetsContaining(e).empty()) {
+      return Status::Internal("coverable universe element left unassigned");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace fdrms

@@ -1,0 +1,127 @@
+#ifndef FDRMS_SETCOVER_DYNAMIC_SET_COVER_H_
+#define FDRMS_SETCOVER_DYNAMIC_SET_COVER_H_
+
+/// \file dynamic_set_cover.h
+/// The paper's dynamic set cover with *stable solutions* (Section III-A,
+/// Algorithm 1).
+///
+/// A solution C assigns every universe element u to one covering set
+/// φ(u) ∈ C; cov(S) = φ^{-1}(S). Sets in C live in levels L_j with
+/// 2^j <= |cov(S)| < 2^{j+1}. C is stable (Definition 2) when additionally
+/// no set S of the system could grab >= 2^{j+1} elements currently assigned
+/// at level j. Theorem 1: any stable solution is O(log m)-approximate.
+///
+/// This implementation keeps, for every set S and level j, the count
+/// |S ∩ A_j| incrementally; STABILIZE drains a violation queue instead of
+/// rescanning all sets, giving the same fixpoint as the paper's Lines
+/// 28-32 in time proportional to actual churn.
+///
+/// All set-system mutations flow through this class so the counts stay
+/// consistent: AddMembership / RemoveMembership (σ = (u, S, ±)),
+/// AddToUniverse / RemoveFromUniverse (σ = (u, U, ±)), RemoveSet.
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "setcover/set_system.h"
+
+namespace fdrms {
+
+/// Dynamic, stability-maintaining set cover over a SetSystem it owns.
+class DynamicSetCover {
+ public:
+  /// No element is initially in the universe.
+  explicit DynamicSetCover(int element_capacity);
+
+  /// Rebuilds the solution from scratch with the level-annotated greedy
+  /// (Algorithm 1, GREEDY) over the current incidence, with the universe
+  /// set to exactly `universe_elements`. Elements outside any set remain
+  /// uncovered (allowed; FD-RMS only presents coverable elements).
+  void InitializeGreedy(const std::vector<int>& universe_elements);
+
+  // ---- σ operations (each restores stability before returning) ----
+
+  /// σ = (u, S, +).
+  void AddMembership(int element, int set_id);
+  /// σ = (u, S, -).
+  void RemoveMembership(int element, int set_id);
+  /// σ = (u, U, +): element joins the universe and gets assigned.
+  void AddToUniverse(int element);
+  /// σ = (u, U, -).
+  void RemoveFromUniverse(int element);
+  /// Removes a set entirely (a deleted tuple): drops all its memberships
+  /// and reassigns its cover set.
+  void RemoveSet(int set_id);
+
+  // ---- solution inspection ----
+
+  /// Number of sets in the solution C.
+  int CoverSize() const { return static_cast<int>(in_cover_.size()); }
+  /// Set ids (tuple ids) forming C.
+  std::vector<int> CoverSetIds() const;
+  bool InUniverse(int element) const { return in_universe_[element]; }
+  int UniverseSize() const { return universe_size_; }
+  /// Assigned set of `element` (kUnassigned if uncovered / not in universe).
+  int AssignmentOf(int element) const { return phi_[element]; }
+  /// Level of a solution set, -1 if not in C.
+  int LevelOf(int set_id) const;
+  /// cov(S); empty if not in C.
+  const std::unordered_set<int>& CoverSetOf(int set_id) const;
+
+  const SetSystem& system() const { return system_; }
+
+  /// Verifies every invariant (assignment/cov consistency, level ranges,
+  /// stability Condition 2, count-cache correctness). Test/debug hook.
+  Status CheckInvariants() const;
+
+  static constexpr int kUnassigned = -1;
+  static constexpr int kMaxLevels = 34;
+
+ private:
+  struct CoverState {
+    std::unordered_set<int> cov;
+    int level = -1;
+  };
+
+  static int LevelForSize(int size);
+
+  /// Makes `element` assigned to `set_id` (which must contain it), updating
+  /// cov, counts, and levels. `element` must be currently unassigned.
+  void Assign(int element, int set_id);
+  /// Clears the assignment of `element` (updating its donor set), without
+  /// reassigning.
+  void Unassign(int element);
+  /// Re-derives the level of `set_id` from |cov|; drops empty sets from C
+  /// (RELEVEL in Algorithm 1).
+  void Relevel(int set_id);
+  /// Moves all cov members of `set_id` to level `new_level` in the count
+  /// caches of every set containing them.
+  void ShiftCovLevel(int set_id, int old_level, int new_level);
+  /// Picks a covering set for an unassigned universe element: a set already
+  /// in C containing it if any (highest level wins), else any containing
+  /// set, else leaves it uncovered.
+  void Reassign(int element);
+  /// Count-cache maintenance for one element changing level (old_level or
+  /// new_level may be -1 meaning "not counted").
+  void UpdateCounts(int element, int old_level, int new_level);
+  void BumpCount(int set_id, int level, int delta);
+  /// Drains the violation queue (STABILIZE, Lines 28-32).
+  void Stabilize();
+
+  SetSystem system_;
+  std::vector<int> phi_;
+  std::vector<int> elem_level_;  // level of φ(e), -1 if unassigned
+  std::vector<bool> in_universe_;
+  int universe_size_ = 0;
+  std::unordered_map<int, CoverState> in_cover_;
+  // counts_[set][j] = |S ∩ A_j| over assigned universe elements.
+  std::unordered_map<int, std::vector<int>> counts_;
+  std::deque<std::pair<int, int>> violations_;  // (set, level) to re-check
+};
+
+}  // namespace fdrms
+
+#endif  // FDRMS_SETCOVER_DYNAMIC_SET_COVER_H_

@@ -1,0 +1,122 @@
+#include "skyline/skyline.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace fdrms {
+
+std::vector<int> ComputeSkyline(const PointSet& points) {
+  const int n = points.size();
+  const int d = points.dim();
+  // Sum-descending order: a point can only be dominated by one with a
+  // strictly larger (or equal) coordinate sum, so a single forward pass
+  // against the accumulating skyline is exact.
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> sums(n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    const double* row = points.Row(i);
+    for (int j = 0; j < d; ++j) sums[i] += row[j];
+  }
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return sums[a] > sums[b]; });
+  std::vector<int> skyline;
+  for (int idx : order) {
+    Point p = points.Get(idx);
+    bool dominated = false;
+    for (int s : skyline) {
+      if (Dominates(points.Get(s), p)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) skyline.push_back(idx);
+  }
+  std::sort(skyline.begin(), skyline.end());
+  return skyline;
+}
+
+Status DynamicSkyline::Insert(int id, const Point& p, bool* changed) {
+  if (static_cast<int>(p.size()) != dim_) {
+    return Status::Invalid("point dimension mismatch");
+  }
+  if (points_.count(id) > 0) {
+    return Status::AlreadyExists("tuple id " + std::to_string(id) +
+                                 " already present");
+  }
+  points_.emplace(id, p);
+  // Dominance is transitive through the skyline: if anything dominates p,
+  // some skyline member does.
+  for (int s : skyline_) {
+    if (Dominates(points_.at(s), p)) {
+      if (changed != nullptr) *changed = false;
+      return Status::OK();
+    }
+  }
+  // p joins the skyline and may knock out existing members.
+  std::vector<int> displaced;
+  for (int s : skyline_) {
+    if (Dominates(p, points_.at(s))) displaced.push_back(s);
+  }
+  for (int s : displaced) skyline_.erase(s);
+  skyline_.insert(id);
+  if (changed != nullptr) *changed = true;
+  return Status::OK();
+}
+
+Status DynamicSkyline::Delete(int id, bool* changed) {
+  auto it = points_.find(id);
+  if (it == points_.end()) {
+    return Status::NotFound("tuple id " + std::to_string(id) + " not present");
+  }
+  Point p = it->second;
+  points_.erase(it);
+  if (skyline_.count(id) == 0) {
+    if (changed != nullptr) *changed = false;
+    return Status::OK();
+  }
+  skyline_.erase(id);
+  // Only points the deleted member dominated can surface; promote those not
+  // dominated by any remaining live point.
+  std::vector<int> candidates;
+  for (const auto& [cid, cp] : points_) {
+    if (skyline_.count(cid) == 0 && Dominates(p, cp)) candidates.push_back(cid);
+  }
+  for (int cid : candidates) {
+    const Point& cp = points_.at(cid);
+    bool dominated = false;
+    for (int s : skyline_) {
+      if (Dominates(points_.at(s), cp)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (dominated) continue;
+    for (int other : candidates) {
+      if (other != cid && Dominates(points_.at(other), cp)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) skyline_.insert(cid);
+  }
+  if (changed != nullptr) *changed = true;
+  return Status::OK();
+}
+
+const Point& DynamicSkyline::GetPoint(int id) const {
+  auto it = points_.find(id);
+  FDRMS_CHECK(it != points_.end()) << "GetPoint on missing id " << id;
+  return it->second;
+}
+
+std::vector<int> DynamicSkyline::LiveIds() const {
+  std::vector<int> ids;
+  ids.reserve(points_.size());
+  for (const auto& [id, _] : points_) ids.push_back(id);
+  return ids;
+}
+
+}  // namespace fdrms

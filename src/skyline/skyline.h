@@ -1,0 +1,56 @@
+#ifndef FDRMS_SKYLINE_SKYLINE_H_
+#define FDRMS_SKYLINE_SKYLINE_H_
+
+/// \file skyline.h
+/// Static skyline computation and fully dynamic skyline maintenance.
+///
+/// The k-RMS result is always a subset of the skyline, so the paper's
+/// static baselines recompute only when an insertion or deletion changes
+/// the skyline (Section IV-A). This module provides that trigger, plus the
+/// skyline statistics of Table I and Figure 4.
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "geometry/point.h"
+#include "geometry/pointset.h"
+
+namespace fdrms {
+
+/// Row ids of the skyline of `points` (block-nested-loop over a sum-sorted
+/// order; larger is better on every attribute).
+std::vector<int> ComputeSkyline(const PointSet& points);
+
+/// Maintains the skyline of a changing tuple set.
+class DynamicSkyline {
+ public:
+  explicit DynamicSkyline(int dim) : dim_(dim) {}
+
+  /// Adds tuple `id`. Returns (via `changed`) whether the skyline changed.
+  Status Insert(int id, const Point& p, bool* changed);
+
+  /// Removes tuple `id`; `changed` reports whether the skyline changed.
+  Status Delete(int id, bool* changed);
+
+  bool IsOnSkyline(int id) const { return skyline_.count(id) > 0; }
+  const std::unordered_set<int>& skyline() const { return skyline_; }
+  int size() const { return static_cast<int>(points_.size()); }
+  int skyline_size() const { return static_cast<int>(skyline_.size()); }
+
+  /// Copy of a live tuple (CHECK-fails on missing ids).
+  const Point& GetPoint(int id) const;
+
+  /// All live tuple ids (unordered).
+  std::vector<int> LiveIds() const;
+
+ private:
+  int dim_;
+  std::unordered_map<int, Point> points_;
+  std::unordered_set<int> skyline_;
+};
+
+}  // namespace fdrms
+
+#endif  // FDRMS_SKYLINE_SKYLINE_H_

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "baselines/dmm.h"
+#include "baselines/exact2d.h"
+#include "baselines/greedy.h"
+#include "baselines/kernel_hs.h"
+#include "baselines/rms_algorithm.h"
+#include "baselines/sphere.h"
+#include "common/rng.h"
+#include "data/generators.h"
+#include "geometry/sampling.h"
+
+namespace fdrms {
+namespace {
+
+Database MakeDatabase(const PointSet& ps) {
+  Database db;
+  db.dim = ps.dim();
+  for (int i = 0; i < ps.size(); ++i) {
+    db.ids.push_back(i);
+    db.points.push_back(ps.Get(i));
+  }
+  return db;
+}
+
+/// Sampled mrr_k used as the quality yardstick in these tests.
+double RegretOf(const Database& db, const std::vector<int>& result_ids, int k,
+                uint64_t seed = 99, int num_dirs = 4000) {
+  Rng rng(seed);
+  std::vector<Point> dirs = SampleDirections(num_dirs, db.dim, &rng);
+  std::vector<double> omega_k = OmegaKForDirections(dirs, db.points, k);
+  std::unordered_set<int> chosen(result_ids.begin(), result_ids.end());
+  std::vector<int> q_indices;
+  for (int i = 0; i < db.size(); ++i) {
+    if (chosen.count(db.ids[i]) > 0) q_indices.push_back(i);
+  }
+  return SampledMaxRegret(dirs, omega_k, db.points, q_indices);
+}
+
+class AllAlgorithmsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    algos_.push_back(std::make_unique<GreedyRms>());
+    algos_.push_back(std::make_unique<GeoGreedyRms>());
+    algos_.push_back(std::make_unique<GreedyStarRms>(512));
+    algos_.push_back(std::make_unique<DmmRrms>(256));
+    algos_.push_back(std::make_unique<DmmGreedy>(256));
+    algos_.push_back(std::make_unique<EpsKernelRms>(1024));
+    algos_.push_back(std::make_unique<HittingSetRms>(256));
+    algos_.push_back(std::make_unique<SphereRms>(512));
+    algos_.push_back(std::make_unique<CubeRms>());
+  }
+  std::vector<std::unique_ptr<RmsAlgorithm>> algos_;
+};
+
+TEST_F(AllAlgorithmsTest, RespectBudgetAndReturnValidIds) {
+  PointSet ps = GenerateIndep(400, 4, 61);
+  Database db = MakeDatabase(ps);
+  Rng rng(1);
+  for (const auto& algo : algos_) {
+    std::vector<int> q = algo->Compute(db, 1, 12, &rng);
+    EXPECT_LE(static_cast<int>(q.size()), 12) << algo->name();
+    EXPECT_GE(static_cast<int>(q.size()), 1) << algo->name();
+    std::unordered_set<int> valid(db.ids.begin(), db.ids.end());
+    std::unordered_set<int> seen;
+    for (int id : q) {
+      EXPECT_TRUE(valid.count(id) > 0) << algo->name();
+      EXPECT_TRUE(seen.insert(id).second) << algo->name() << " duplicated id";
+    }
+  }
+}
+
+TEST_F(AllAlgorithmsTest, EmptyAndTinyDatabases) {
+  Rng rng(2);
+  Database empty;
+  empty.dim = 3;
+  for (const auto& algo : algos_) {
+    EXPECT_TRUE(algo->Compute(empty, 1, 5, &rng).empty()) << algo->name();
+  }
+  Database one;
+  one.dim = 3;
+  one.ids = {42};
+  one.points = {{0.5, 0.5, 0.5}};
+  for (const auto& algo : algos_) {
+    std::vector<int> q = algo->Compute(one, 1, 5, &rng);
+    ASSERT_EQ(q.size(), 1u) << algo->name();
+    EXPECT_EQ(q[0], 42) << algo->name();
+  }
+}
+
+TEST_F(AllAlgorithmsTest, QualityBeatsRandomSelection) {
+  PointSet ps = GenerateAntiCor(500, 3, 62);
+  Database db = MakeDatabase(ps);
+  Rng rng(3);
+  // Random baseline regret (mean of a few draws).
+  double random_regret = 0.0;
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<int> ids = db.ids;
+    rng.Shuffle(&ids);
+    ids.resize(10);
+    random_regret += RegretOf(db, ids, 1);
+  }
+  random_regret /= 5.0;
+  for (const auto& algo : algos_) {
+    std::vector<int> q = algo->Compute(db, 1, 10, &rng);
+    double regret = RegretOf(db, q, 1);
+    EXPECT_LT(regret, random_regret) << algo->name() << " regret " << regret
+                                     << " vs random " << random_regret;
+  }
+}
+
+TEST(GreedyRmsTest, ZeroRegretOnceSkylineFits) {
+  // If r >= skyline size, greedy reaches (near-)zero regret.
+  PointSet ps = GenerateCorrelated(200, 2, 63);
+  Database db = MakeDatabase(ps);
+  Rng rng(4);
+  GreedyRms greedy;
+  std::vector<int> q = greedy.Compute(db, 1, 50, &rng);
+  EXPECT_LE(RegretOf(db, q, 1), 1e-6);
+}
+
+TEST(GreedyStarRmsTest, RegretDecreasesWithK) {
+  PointSet ps = GenerateIndep(400, 3, 64);
+  Database db = MakeDatabase(ps);
+  Rng rng(5);
+  GreedyStarRms algo(512);
+  double prev = 1.0;
+  for (int k : {1, 3, 5}) {
+    std::vector<int> q = algo.Compute(db, k, 8, &rng);
+    double regret = RegretOf(db, q, k);
+    EXPECT_LE(regret, prev + 0.02) << "k=" << k;
+    prev = regret;
+  }
+}
+
+TEST(CubeRmsTest, DeterministicAndGridSized) {
+  PointSet ps = GenerateIndep(300, 3, 65);
+  Database db = MakeDatabase(ps);
+  Rng rng(6);
+  CubeRms cube;
+  std::vector<int> a = cube.Compute(db, 1, 16, &rng);
+  std::vector<int> b = cube.Compute(db, 1, 16, &rng);
+  EXPECT_EQ(a, b);
+  EXPECT_LE(a.size(), 16u);  // t^2 = 16 cells max for d=3
+}
+
+TEST(Exact2dRmsTest, MatchesBruteForceOptimumOnTinyInputs) {
+  Rng data_rng(66);
+  for (int trial = 0; trial < 8; ++trial) {
+    PointSet ps = GenerateIndep(12, 2, 100 + trial);
+    Database db = MakeDatabase(ps);
+    Exact2dRms exact;
+    const int r = 3;
+    double claimed = exact.OptimalRegret(db, r);
+    // Brute force over all size-r subsets with a dense direction sweep.
+    double best = 1.0;
+    std::vector<int> subset(r);
+    std::vector<int> indices(db.size());
+    for (int i = 0; i < db.size(); ++i) indices[i] = i;
+    std::vector<bool> mask(db.size(), false);
+    std::fill(mask.begin(), mask.begin() + r, true);
+    std::sort(mask.begin(), mask.end());
+    do {
+      std::vector<int> chosen;
+      for (int i = 0; i < db.size(); ++i) {
+        if (mask[i]) chosen.push_back(i);
+      }
+      double worst = 0.0;
+      for (int s = 0; s <= 2000; ++s) {
+        double t = s / 2000.0;
+        double omega = 0.0, qbest = 0.0;
+        for (int i = 0; i < db.size(); ++i) {
+          double sc = t * db.points[i][0] + (1 - t) * db.points[i][1];
+          omega = std::max(omega, sc);
+        }
+        for (int i : chosen) {
+          double sc = t * db.points[i][0] + (1 - t) * db.points[i][1];
+          qbest = std::max(qbest, sc);
+        }
+        if (omega > 0) worst = std::max(worst, 1.0 - qbest / omega);
+      }
+      best = std::min(best, worst);
+    } while (std::next_permutation(mask.begin(), mask.end()));
+    EXPECT_NEAR(claimed, best, 5e-3) << "trial " << trial;
+    // And the returned subset achieves (close to) the optimum.
+    Rng rng(7);
+    std::vector<int> q = exact.Compute(db, 1, r, &rng);
+    EXPECT_LE(RegretOf(db, q, 1), best + 5e-3);
+  }
+}
+
+TEST(SkylineIndicesTest, MatchesDominanceDefinition) {
+  PointSet ps = GenerateIndep(100, 3, 67);
+  Database db = MakeDatabase(ps);
+  std::vector<int> sky = SkylineIndices(db);
+  std::unordered_set<int> sky_set(sky.begin(), sky.end());
+  for (int i = 0; i < db.size(); ++i) {
+    bool dominated = false;
+    for (int j = 0; j < db.size(); ++j) {
+      if (i != j && Dominates(db.points[j], db.points[i])) {
+        dominated = true;
+        break;
+      }
+    }
+    EXPECT_EQ(sky_set.count(i) == 0, dominated) << "point " << i;
+  }
+}
+
+}  // namespace
+}  // namespace fdrms

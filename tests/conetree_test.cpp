@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geometry/sampling.h"
+#include "index/conetree.h"
+
+namespace fdrms {
+namespace {
+
+TEST(ConeTreeTest, AllThresholdsZeroReachesEverything) {
+  Rng rng(1);
+  auto utils = SampleDirections(64, 4, &rng);
+  ConeTree cone(utils);
+  Point p{0.3, 0.1, 0.9, 0.4};
+  auto reached = cone.FindReached(p);
+  EXPECT_EQ(reached.size(), utils.size());
+}
+
+TEST(ConeTreeTest, InfiniteThresholdReachesNothing) {
+  Rng rng(2);
+  auto utils = SampleDirections(32, 3, &rng);
+  ConeTree cone(utils);
+  for (int i = 0; i < cone.size(); ++i) cone.SetThreshold(i, 1e18);
+  EXPECT_TRUE(cone.FindReached({1.0, 1.0, 1.0}).empty());
+}
+
+TEST(ConeTreeTest, ZeroPointMatchesOnlyZeroThresholds) {
+  Rng rng(3);
+  auto utils = SampleDirections(16, 3, &rng);
+  ConeTree cone(utils);
+  cone.SetThreshold(0, 0.5);
+  cone.SetThreshold(5, 0.1);
+  auto reached = cone.FindReached({0.0, 0.0, 0.0});
+  EXPECT_EQ(reached.size(), utils.size() - 2);
+  for (int u : reached) {
+    EXPECT_NE(u, 0);
+    EXPECT_NE(u, 5);
+  }
+}
+
+struct ConeParam {
+  int num_utils;
+  int dim;
+  uint64_t seed;
+};
+
+class ConeTreeRandomTest : public ::testing::TestWithParam<ConeParam> {};
+
+TEST_P(ConeTreeRandomTest, MatchesBruteForceUnderThresholdChurn) {
+  const ConeParam param = GetParam();
+  Rng rng(param.seed);
+  auto utils = SampleUtilityVectors(param.num_utils, param.dim, &rng);
+  ConeTree cone(utils);
+  for (int round = 0; round < 60; ++round) {
+    // Raise/lower some thresholds, as top-k maintenance does.
+    for (int j = 0; j < 5; ++j) {
+      int u = rng.UniformInt(param.num_utils);
+      cone.SetThreshold(u, rng.Uniform() * 1.2);
+    }
+    Point p(param.dim);
+    for (double& v : p) v = rng.Uniform();
+    EXPECT_EQ(cone.FindReached(p), cone.FindReachedBruteForce(p))
+        << "round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ConeTreeRandomTest,
+    ::testing::Values(ConeParam{16, 2, 11}, ConeParam{100, 4, 12},
+                      ConeParam{256, 6, 13}, ConeParam{500, 9, 14},
+                      ConeParam{64, 12, 15}),
+    [](const auto& info) {
+      return "m" + std::to_string(info.param.num_utils) + "d" +
+             std::to_string(info.param.dim);
+    });
+
+TEST(ConeTreeTest, ThresholdGetterRoundTrips) {
+  Rng rng(9);
+  auto utils = SampleDirections(10, 3, &rng);
+  ConeTree cone(utils);
+  cone.SetThreshold(4, 0.77);
+  EXPECT_DOUBLE_EQ(cone.GetThreshold(4), 0.77);
+  EXPECT_DOUBLE_EQ(cone.GetThreshold(3), 0.0);
+}
+
+TEST(ConeTreeTest, DuplicateUtilityVectorsSupported) {
+  // All identical vectors force the degenerate-split fallback.
+  std::vector<Point> utils(20, Point{0.6, 0.8});
+  ConeTree cone(utils);
+  auto reached = cone.FindReached({1.0, 1.0});
+  EXPECT_EQ(reached.size(), 20u);
+}
+
+}  // namespace
+}  // namespace fdrms

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "skyline/skyline.h"
+
+namespace fdrms {
+namespace {
+
+TEST(GeneratorsTest, SizesAndDimensions) {
+  EXPECT_EQ(GenerateIndep(100, 4, 1).size(), 100);
+  EXPECT_EQ(GenerateIndep(100, 4, 1).dim(), 4);
+  EXPECT_EQ(GenerateAntiCor(50, 7, 1).dim(), 7);
+  EXPECT_EQ(GenerateBasketball(30, 1).dim(), 5);
+  EXPECT_EQ(GenerateAirQuality(30, 1).dim(), 9);
+  EXPECT_EQ(GenerateCoverType(30, 1).dim(), 8);
+  EXPECT_EQ(GenerateMovie(30, 1).dim(), 12);
+}
+
+TEST(GeneratorsTest, ValuesInUnitRange) {
+  for (const auto& spec : PaperDatasets()) {
+    auto res = GenerateByName(spec.name, 500, 3);
+    ASSERT_TRUE(res.ok()) << spec.name;
+    const PointSet& ps = res.value();
+    EXPECT_EQ(ps.dim(), spec.dim) << spec.name;
+    for (int i = 0; i < ps.size(); ++i) {
+      for (int j = 0; j < ps.dim(); ++j) {
+        EXPECT_GE(ps.Row(i)[j], 0.0) << spec.name;
+        EXPECT_LE(ps.Row(i)[j], 1.0) << spec.name;
+      }
+    }
+  }
+}
+
+TEST(GeneratorsTest, DeterministicForSeed) {
+  PointSet a = GenerateAntiCor(200, 5, 42);
+  PointSet b = GenerateAntiCor(200, 5, 42);
+  PointSet c = GenerateAntiCor(200, 5, 43);
+  ASSERT_EQ(a.size(), b.size());
+  bool all_equal = true;
+  bool differs_from_c = false;
+  for (int i = 0; i < a.size(); ++i) {
+    for (int j = 0; j < a.dim(); ++j) {
+      if (a.Row(i)[j] != b.Row(i)[j]) all_equal = false;
+      if (a.Row(i)[j] != c.Row(i)[j]) differs_from_c = true;
+    }
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(differs_from_c);
+}
+
+TEST(GeneratorsTest, UnknownNameRejected) {
+  EXPECT_FALSE(GenerateByName("NotADataset", 10, 1).ok());
+}
+
+TEST(GeneratorsTest, SkylineDensityOrderingMatchesPaper) {
+  // Table I (relative density of #skyline/n at matched n): BB tiny, AQ/CT
+  // moderate, Movie very dense. We check the ordering, not the absolute
+  // counts, at reduced n.
+  const int n = 4000;
+  auto density = [&](const std::string& name) {
+    PointSet ps = std::move(GenerateByName(name, n, 5)).ValueOr(PointSet(1));
+    return static_cast<double>(ComputeSkyline(ps).size()) / ps.size();
+  };
+  double bb = density("BB");
+  double aq = density("AQ");
+  double movie = density("Movie");
+  EXPECT_LT(bb, aq);
+  EXPECT_LT(aq, movie);
+  EXPECT_LT(bb, 0.1);
+  EXPECT_GT(movie, 0.15);
+}
+
+TEST(GeneratorsTest, SkylineGrowsWithDimension) {
+  // Fig. 4 left: #skyline increases with d for both synthetic families.
+  int prev_indep = 0;
+  int prev_anti = 0;
+  for (int d : {4, 6, 8}) {
+    int indep = static_cast<int>(ComputeSkyline(GenerateIndep(3000, d, 7)).size());
+    int anti =
+        static_cast<int>(ComputeSkyline(GenerateAntiCor(3000, d, 7)).size());
+    EXPECT_GT(indep, prev_indep) << "d=" << d;
+    EXPECT_GT(anti, prev_anti) << "d=" << d;
+    prev_indep = indep;
+    prev_anti = anti;
+  }
+}
+
+}  // namespace
+}  // namespace fdrms

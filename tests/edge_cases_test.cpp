@@ -1,0 +1,180 @@
+/// Edge-case and failure-injection tests across modules: tiny inputs,
+/// degenerate geometry, duplicate data, budget extremes.
+
+#include <gtest/gtest.h>
+
+#include "baselines/exact2d.h"
+#include "baselines/greedy.h"
+#include "core/fdrms.h"
+#include "data/generators.h"
+#include "index/kdtree.h"
+#include "setcover/dynamic_set_cover.h"
+#include "skyline/skyline.h"
+#include "topk/topk_maintainer.h"
+
+namespace fdrms {
+namespace {
+
+TEST(EdgeCaseTest, KdTreeManyDuplicatePoints) {
+  KdTree tree(3);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(tree.Insert(i, {0.5, 0.5, 0.5}).ok());
+  }
+  auto top = tree.TopK({1.0, 0.0, 0.0}, 7);
+  ASSERT_EQ(top.size(), 7u);
+  for (int i = 0; i < 7; ++i) EXPECT_EQ(top[i].id, i);  // id tie-break
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE(tree.Delete(i).ok());
+  EXPECT_EQ(tree.size(), 0);
+  EXPECT_TRUE(tree.TopK({1.0, 0.0, 0.0}, 3).empty());
+}
+
+TEST(EdgeCaseTest, KdTreeInterleavedChurnOnSameId) {
+  KdTree tree(2);
+  for (int round = 0; round < 50; ++round) {
+    ASSERT_TRUE(tree.Insert(1, {0.1 * (round % 10), 0.5}).ok());
+    ASSERT_TRUE(tree.Delete(1).ok());
+  }
+  EXPECT_EQ(tree.size(), 0);
+  ASSERT_TRUE(tree.Insert(1, {0.9, 0.9}).ok());
+  EXPECT_EQ(tree.TopK({1.0, 1.0}, 1)[0].id, 1);
+}
+
+TEST(EdgeCaseTest, TopKMaintainerAllIdenticalScores) {
+  std::vector<Point> utils{{1.0, 0.0}};
+  TopKMaintainer m(2, /*k=*/3, /*eps=*/0.0, utils);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(m.Insert(i, {0.5, static_cast<double>(i)}, nullptr).ok());
+  }
+  // All tie at 0.5 under u = (1, 0): Φ contains everyone (score == ω_k).
+  EXPECT_EQ(m.ApproxTopK(0).size(), 6u);
+  EXPECT_TRUE(m.ValidateAgainstBruteForce().ok());
+  // Deleting a top-k member keeps the structure exact.
+  ASSERT_TRUE(m.Delete(0, nullptr).ok());
+  EXPECT_TRUE(m.ValidateAgainstBruteForce().ok());
+}
+
+TEST(EdgeCaseTest, TopKMaintainerZeroPoint) {
+  std::vector<Point> utils{{0.6, 0.8}};
+  TopKMaintainer m(2, 1, 0.1, utils);
+  ASSERT_TRUE(m.Insert(0, {0.0, 0.0}, nullptr).ok());
+  EXPECT_EQ(m.ApproxTopK(0).size(), 1u);
+  ASSERT_TRUE(m.Insert(1, {0.9, 0.9}, nullptr).ok());
+  EXPECT_TRUE(m.ValidateAgainstBruteForce().ok());
+}
+
+TEST(EdgeCaseTest, FdRmsWithBudgetOne) {
+  PointSet ps = GenerateIndep(100, 3, 1);
+  FdRmsOptions opt;
+  opt.k = 1;
+  opt.r = 1;
+  opt.eps = 0.05;
+  opt.max_utilities = 64;
+  FdRms algo(3, opt);
+  std::vector<std::pair<int, Point>> tuples;
+  for (int i = 0; i < ps.size(); ++i) tuples.emplace_back(i, ps.Get(i));
+  ASSERT_TRUE(algo.Initialize(tuples).ok());
+  EXPECT_LE(algo.Result().size(), 1u);
+  ASSERT_TRUE(algo.Validate().ok());
+}
+
+TEST(EdgeCaseTest, FdRmsInitializeOnEmptyDatabase) {
+  FdRmsOptions opt;
+  opt.k = 1;
+  opt.r = 5;
+  opt.max_utilities = 32;
+  FdRms algo(2, opt);
+  ASSERT_TRUE(algo.Initialize({}).ok());
+  EXPECT_TRUE(algo.Result().empty());
+  ASSERT_TRUE(algo.Insert(0, {0.5, 0.5}).ok());
+  EXPECT_EQ(algo.Result().size(), 1u);
+  ASSERT_TRUE(algo.Validate().ok());
+}
+
+TEST(EdgeCaseTest, FdRmsDuplicateInsertReported) {
+  FdRmsOptions opt;
+  opt.k = 1;
+  opt.r = 3;
+  opt.max_utilities = 32;
+  FdRms algo(2, opt);
+  ASSERT_TRUE(algo.Initialize({{0, {0.5, 0.5}}}).ok());
+  EXPECT_EQ(algo.Insert(0, {0.6, 0.6}).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(algo.Delete(99).code(), StatusCode::kNotFound);
+  // Structure intact after rejected operations.
+  ASSERT_TRUE(algo.Validate().ok());
+}
+
+TEST(EdgeCaseTest, DynamicSetCoverRepeatedIdempotentOps) {
+  DynamicSetCover cover(4);
+  cover.AddMembership(0, 1);
+  cover.AddMembership(0, 1);  // duplicate
+  cover.InitializeGreedy({0});
+  cover.AddToUniverse(0);     // already in universe
+  cover.RemoveFromUniverse(3);  // never in universe
+  cover.RemoveMembership(2, 9);  // nonexistent membership
+  cover.RemoveSet(12345);        // nonexistent set
+  ASSERT_TRUE(cover.CheckInvariants().ok());
+  EXPECT_EQ(cover.AssignmentOf(0), 1);
+}
+
+TEST(EdgeCaseTest, SkylineSinglePointAndClear) {
+  DynamicSkyline sky(4);
+  bool changed = false;
+  ASSERT_TRUE(sky.Insert(7, {0.1, 0.2, 0.3, 0.4}, &changed).ok());
+  EXPECT_TRUE(changed);
+  EXPECT_TRUE(sky.IsOnSkyline(7));
+  ASSERT_TRUE(sky.Delete(7, &changed).ok());
+  EXPECT_TRUE(changed);
+  EXPECT_EQ(sky.skyline_size(), 0);
+  EXPECT_EQ(sky.size(), 0);
+}
+
+TEST(EdgeCaseTest, Exact2dVerticalAndHorizontalExtremes) {
+  // Two extreme points: r=2 must reach regret 0.
+  Database db;
+  db.dim = 2;
+  db.ids = {1, 2, 3};
+  db.points = {{1.0, 0.0}, {0.0, 1.0}, {0.4, 0.4}};
+  Exact2dRms exact;
+  EXPECT_NEAR(exact.OptimalRegret(db, 3), 0.0, 1e-6);
+  Rng rng(1);
+  auto q = exact.Compute(db, 1, 2, &rng);
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(EdgeCaseTest, Exact2dDuplicateSlopes) {
+  // Points sharing the same x - y difference exercise the envelope's
+  // duplicate-slope dedup.
+  Database db;
+  db.dim = 2;
+  db.ids = {1, 2, 3, 4};
+  db.points = {{0.6, 0.2}, {0.8, 0.4}, {0.3, 0.7}, {0.5, 0.9}};
+  Exact2dRms exact;
+  double opt_r1 = exact.OptimalRegret(db, 1);
+  double opt_r2 = exact.OptimalRegret(db, 2);
+  EXPECT_GE(opt_r1, opt_r2 - 1e-9);
+  EXPECT_NEAR(opt_r2, 0.0, 1e-6);  // {p2, p4} dominate everything
+}
+
+TEST(EdgeCaseTest, GreedyBudgetLargerThanSkyline) {
+  Database db;
+  db.dim = 2;
+  db.ids = {1, 2, 3};
+  db.points = {{1.0, 0.0}, {0.0, 1.0}, {0.6, 0.6}};
+  Rng rng(2);
+  GreedyRms greedy;
+  auto q = greedy.Compute(db, 1, 50, &rng);
+  // Stops once regret hits zero; never exceeds the skyline size.
+  EXPECT_LE(q.size(), 3u);
+  EXPECT_GE(q.size(), 2u);
+}
+
+TEST(EdgeCaseTest, GeneratorsTinyN) {
+  for (const auto& spec : PaperDatasets()) {
+    auto res = GenerateByName(spec.name, 1, 9);
+    ASSERT_TRUE(res.ok());
+    EXPECT_EQ(res.value().size(), 1);
+  }
+}
+
+}  // namespace
+}  // namespace fdrms

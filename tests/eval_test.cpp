@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "baselines/greedy.h"
+#include "data/generators.h"
+#include "eval/runner.h"
+#include "eval/workload.h"
+
+namespace fdrms {
+namespace {
+
+TEST(WorkloadTest, ProtocolShape) {
+  PointSet ps = GenerateIndep(100, 3, 1);
+  Workload wl(&ps, 42);
+  EXPECT_EQ(wl.initial_ids().size(), 50u);
+  EXPECT_EQ(wl.operations().size(), 100u);  // 50 inserts + 50 deletes
+  int inserts = 0, deletes = 0;
+  for (const auto& op : wl.operations()) {
+    (op.is_insert ? inserts : deletes)++;
+  }
+  EXPECT_EQ(inserts, 50);
+  EXPECT_EQ(deletes, 50);
+  // Inserts precede deletes (paper protocol).
+  EXPECT_TRUE(wl.operations().front().is_insert);
+  EXPECT_FALSE(wl.operations().back().is_insert);
+  EXPECT_EQ(wl.checkpoints().size(), 10u);
+  EXPECT_EQ(wl.checkpoints().back(), 99);
+}
+
+TEST(WorkloadTest, InsertsAreExactlyTheMissingHalf) {
+  PointSet ps = GenerateIndep(60, 2, 2);
+  Workload wl(&ps, 7);
+  std::unordered_set<int> initial(wl.initial_ids().begin(),
+                                  wl.initial_ids().end());
+  for (const auto& op : wl.operations()) {
+    if (op.is_insert) {
+      EXPECT_EQ(initial.count(op.id), 0u) << "re-inserted initial tuple";
+    }
+  }
+}
+
+TEST(WorkloadTest, LiveIdsReplayIsConsistent) {
+  PointSet ps = GenerateIndep(80, 2, 3);
+  Workload wl(&ps, 9);
+  // After all operations: everything inserted, half deleted.
+  auto final_live = wl.LiveIdsAfter(static_cast<int>(wl.operations().size()) - 1);
+  EXPECT_EQ(final_live.size(), 40u);
+  // After the inserts only: everything is live.
+  auto mid_live = wl.LiveIdsAfter(39);
+  EXPECT_EQ(mid_live.size(), 80u);
+}
+
+TEST(WorkloadRunnerTest, FdRmsRunProducesBoundedRegret) {
+  PointSet ps = GenerateIndep(400, 3, 4);
+  Workload wl(&ps, 11);
+  WorkloadRunner runner(&wl, /*k=*/1, /*eval_directions=*/2000, 5);
+  FdRmsOptions opt;
+  opt.k = 1;
+  opt.r = 10;
+  opt.eps = 0.05;
+  opt.max_utilities = 256;
+  RunResult res = runner.RunFdRms(opt);
+  EXPECT_EQ(res.algorithm, "FD-RMS");
+  EXPECT_EQ(res.checkpoint_regret.size(), 10u);
+  for (double rr : res.checkpoint_regret) {
+    EXPECT_GE(rr, 0.0);
+    EXPECT_LT(rr, 0.5);
+  }
+  EXPECT_GT(res.mean_update_ms, 0.0);
+  EXPECT_LE(static_cast<int>(res.final_result.size()), 10);
+}
+
+TEST(WorkloadRunnerTest, StaticRunChargesOnlySkylineTriggers) {
+  PointSet ps = GenerateCorrelated(300, 3, 5);  // few skyline changes
+  Workload wl(&ps, 13);
+  WorkloadRunner runner(&wl, 1, 1000, 6);
+  GeoGreedyRms algo(128, 4);
+  RunResult res = runner.RunStatic(algo, /*r=*/8);
+  EXPECT_EQ(res.algorithm, "GeoGreedy");
+  EXPECT_GT(res.skyline_triggers, 0);
+  EXPECT_LT(res.skyline_triggers, static_cast<long>(wl.operations().size()));
+  // Static runs record regret at a strided subset of the checkpoints
+  // (FDRMS_STATIC_CHECKPOINT_STRIDE, default 3 -> 4 of 10).
+  EXPECT_GE(res.checkpoint_regret.size(), 4u);
+  EXPECT_LE(res.checkpoint_regret.size(), 10u);
+  for (double rr : res.checkpoint_regret) {
+    EXPECT_GE(rr, 0.0);
+    EXPECT_LE(rr, 1.0);
+  }
+}
+
+TEST(WorkloadRunnerTest, RegretAtCheckpointZeroForFullResult) {
+  PointSet ps = GenerateIndep(50, 2, 6);
+  Workload wl(&ps, 17);
+  WorkloadRunner runner(&wl, 1, 500, 7);
+  // Offering the entire live set must give zero regret.
+  int last = static_cast<int>(wl.checkpoints().size()) - 1;
+  auto live = wl.LiveIdsAfter(wl.checkpoints()[last]);
+  EXPECT_NEAR(runner.RegretAtCheckpoint(last, live), 0.0, 1e-12);
+  // Offering a single worst tuple gives positive regret.
+  EXPECT_GT(runner.RegretAtCheckpoint(last, {live[0]}), 0.0);
+}
+
+}  // namespace
+}  // namespace fdrms

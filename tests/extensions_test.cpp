@@ -1,0 +1,211 @@
+/// Tests for the extension features beyond the paper's core algorithm:
+/// ε auto-tuning (Sec. III-C's procedure), the Update/batch API, the
+/// min-size RMS variants, the α-happiness query, and ARM.
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "baselines/average_regret.h"
+#include "baselines/greedy.h"
+#include "baselines/minsize.h"
+#include "core/fdrms.h"
+#include "data/generators.h"
+#include "eval/tuning.h"
+#include "geometry/sampling.h"
+
+namespace fdrms {
+namespace {
+
+Database MakeDatabase(const PointSet& ps) {
+  Database db;
+  db.dim = ps.dim();
+  for (int i = 0; i < ps.size(); ++i) {
+    db.ids.push_back(i);
+    db.points.push_back(ps.Get(i));
+  }
+  return db;
+}
+
+std::vector<std::pair<int, Point>> AsTuples(const PointSet& ps) {
+  std::vector<std::pair<int, Point>> out;
+  for (int i = 0; i < ps.size(); ++i) out.emplace_back(i, ps.Get(i));
+  return out;
+}
+
+double SampledRegretOf(const Database& db, const std::vector<int>& ids, int k,
+                       uint64_t seed = 55) {
+  Rng rng(seed);
+  auto dirs = SampleDirections(4000, db.dim, &rng);
+  auto omega = OmegaKForDirections(dirs, db.points, k);
+  std::unordered_set<int> chosen(ids.begin(), ids.end());
+  std::vector<int> indices;
+  for (int i = 0; i < db.size(); ++i) {
+    if (chosen.count(db.ids[i]) > 0) indices.push_back(i);
+  }
+  return SampledMaxRegret(dirs, omega, db.points, indices);
+}
+
+TEST(AutoTuneTest, ProbesAllCandidatesAndPicksOne) {
+  PointSet ps = GenerateAntiCor(400, 3, 1);
+  FdRmsOptions base;
+  base.k = 1;
+  base.r = 8;
+  base.max_utilities = 256;
+  TuneResult tuned = AutoTuneEpsilon(AsTuples(ps), 3, base, 1000);
+  EXPECT_EQ(tuned.probes.size(), 7u);  // the default candidate grid
+  bool found = false;
+  for (const auto& probe : tuned.probes) {
+    EXPECT_LE(probe.result_size, base.r);
+    EXPECT_GE(probe.m, 1);
+    if (probe.eps == tuned.options.eps) found = true;
+  }
+  EXPECT_TRUE(found) << "chosen eps must be one of the candidates";
+  // The tuned choice must be at least as good as the worst probe.
+  double chosen_regret = 2.0, worst = 0.0;
+  for (const auto& probe : tuned.probes) {
+    worst = std::max(worst, probe.sampled_regret);
+    if (probe.eps == tuned.options.eps) chosen_regret = probe.sampled_regret;
+  }
+  EXPECT_LE(chosen_regret, worst + 1e-9);
+}
+
+TEST(AutoTuneTest, KeepsBaseParameters) {
+  PointSet ps = GenerateIndep(200, 2, 2);
+  FdRmsOptions base;
+  base.k = 2;
+  base.r = 6;
+  base.max_utilities = 128;
+  base.seed = 12345;
+  TuneResult tuned =
+      AutoTuneEpsilon(AsTuples(ps), 2, base, 500, {0.01, 0.02});
+  EXPECT_EQ(tuned.options.k, 2);
+  EXPECT_EQ(tuned.options.r, 6);
+  EXPECT_EQ(tuned.options.seed, 12345u);
+  EXPECT_EQ(tuned.probes.size(), 2u);
+}
+
+TEST(UpdateApiTest, UpdateIsDeleteThenInsert) {
+  PointSet ps = GenerateIndep(200, 3, 3);
+  FdRmsOptions opt;
+  opt.k = 1;
+  opt.r = 6;
+  opt.max_utilities = 128;
+  FdRms algo(3, opt);
+  ASSERT_TRUE(algo.Initialize(AsTuples(ps)).ok());
+  // Push tuple 0 to dominate everything; it must enter the result.
+  ASSERT_TRUE(algo.Update(0, {1.0, 1.0, 1.0}).ok());
+  std::vector<int> q = algo.Result();
+  EXPECT_NE(std::find(q.begin(), q.end(), 0), q.end());
+  ASSERT_TRUE(algo.Validate().ok());
+  // Updating a missing id fails without side effects.
+  EXPECT_EQ(algo.Update(9999, {0.5, 0.5, 0.5}).code(), StatusCode::kNotFound);
+  ASSERT_TRUE(algo.Validate().ok());
+}
+
+TEST(UpdateApiTest, BatchStopsAtFirstFailure) {
+  FdRmsOptions opt;
+  opt.k = 1;
+  opt.r = 4;
+  opt.max_utilities = 64;
+  FdRms algo(2, opt);
+  ASSERT_TRUE(algo.Initialize({{0, {0.5, 0.5}}}).ok());
+  std::vector<FdRms::BatchOp> ops = {
+      {FdRms::BatchOp::Kind::kInsert, 1, {0.9, 0.1}},
+      {FdRms::BatchOp::Kind::kUpdate, 1, {0.1, 0.9}},
+      {FdRms::BatchOp::Kind::kDelete, 42, {}},   // fails
+      {FdRms::BatchOp::Kind::kInsert, 2, {0.3, 0.3}},  // never applied
+  };
+  Status st = algo.ApplyBatch(ops);
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  EXPECT_FALSE(algo.topk().tree().Contains(2));
+  EXPECT_TRUE(algo.topk().tree().Contains(1));
+  ASSERT_TRUE(algo.Validate().ok());
+}
+
+TEST(MinSizeTest, HittingSetMeetsItsRegretTarget) {
+  PointSet ps = GenerateAntiCor(500, 3, 4);
+  Database db = MakeDatabase(ps);
+  Rng rng(5);
+  for (double eps : {0.05, 0.15}) {
+    std::vector<int> q = MinSizeHittingSet(db, 1, eps, 512, &rng);
+    ASSERT_FALSE(q.empty());
+    // Fresh directions; allow sampling slack above the in-sample target.
+    EXPECT_LE(SampledRegretOf(db, q, 1), eps + 0.08) << "eps=" << eps;
+  }
+}
+
+TEST(MinSizeTest, SizeShrinksAsBudgetLoosens) {
+  PointSet ps = GenerateAntiCor(600, 4, 6);
+  Database db = MakeDatabase(ps);
+  Rng rng(7);
+  size_t tight = MinSizeHittingSet(db, 1, 0.02, 384, &rng).size();
+  size_t loose = MinSizeHittingSet(db, 1, 0.25, 384, &rng).size();
+  EXPECT_LT(loose, tight);
+  EXPECT_GE(loose, 1u);
+}
+
+TEST(MinSizeTest, EpsKernelCoversExtremes) {
+  PointSet ps = GenerateIndep(500, 3, 8);
+  Database db = MakeDatabase(ps);
+  Rng rng(9);
+  std::vector<int> q = MinSizeEpsKernel(db, 0.05, &rng);
+  ASSERT_FALSE(q.empty());
+  EXPECT_LE(SampledRegretOf(db, q, 1), 0.15);
+  // Per-attribute maxima must be present (basis seeding).
+  for (int j = 0; j < db.dim; ++j) {
+    int best = 0;
+    for (int i = 1; i < db.size(); ++i) {
+      if (db.points[i][j] > db.points[best][j]) best = i;
+    }
+    EXPECT_NE(std::find(q.begin(), q.end(), db.ids[best]), q.end())
+        << "missing attribute-" << j << " maximum";
+  }
+}
+
+TEST(AlphaHappinessTest, EquivalentToHittingSetAtMatchingBudget) {
+  PointSet ps = GenerateIndep(300, 3, 10);
+  Database db = MakeDatabase(ps);
+  Rng rng_a(11), rng_b(11);
+  auto happy = AlphaHappinessQuery(db, 0.9, 256, &rng_a);
+  auto hs = MinSizeHittingSet(db, 1, 0.1, 256, &rng_b);
+  EXPECT_EQ(happy, hs);
+}
+
+TEST(ArmTest, BeatsMaxRegretGreedyOnAverageObjective) {
+  PointSet ps = GenerateAntiCor(600, 4, 12);
+  Database db = MakeDatabase(ps);
+  Rng rng(13);
+  AverageRegretGreedy arm(768);
+  std::vector<int> arm_q = arm.Compute(db, 1, 8, &rng);
+  GreedyStarRms mrr_greedy(768);
+  std::vector<int> mrr_q = mrr_greedy.Compute(db, 1, 8, &rng);
+  Rng eval_rng(14);
+  double arm_avg = AverageRegretGreedy::AverageRegret(db, arm_q, 1, 4000,
+                                                      &eval_rng);
+  Rng eval_rng2(14);
+  double mrr_avg = AverageRegretGreedy::AverageRegret(db, mrr_q, 1, 4000,
+                                                      &eval_rng2);
+  // ARM optimizes the average directly; allow a whisker of sampling noise.
+  EXPECT_LE(arm_avg, mrr_avg + 0.005)
+      << "ARM " << arm_avg << " vs max-regret greedy " << mrr_avg;
+  EXPECT_LT(arm_avg, 0.05);
+}
+
+TEST(ArmTest, AverageRegretDecreasesWithBudget) {
+  PointSet ps = GenerateIndep(400, 3, 15);
+  Database db = MakeDatabase(ps);
+  Rng rng(16);
+  AverageRegretGreedy arm(512);
+  double prev = 1.0;
+  for (int r : {2, 6, 16}) {
+    std::vector<int> q = arm.Compute(db, 1, r, &rng);
+    Rng eval_rng(17);
+    double avg = AverageRegretGreedy::AverageRegret(db, q, 1, 3000, &eval_rng);
+    EXPECT_LE(avg, prev + 1e-9) << "r=" << r;
+    prev = avg;
+  }
+}
+
+}  // namespace
+}  // namespace fdrms

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "core/fdrms.h"
+#include "data/generators.h"
+#include "geometry/sampling.h"
+
+namespace fdrms {
+namespace {
+
+std::vector<std::pair<int, Point>> AsTuples(const PointSet& ps) {
+  std::vector<std::pair<int, Point>> out;
+  for (int i = 0; i < ps.size(); ++i) out.emplace_back(i, ps.Get(i));
+  return out;
+}
+
+FdRmsOptions Options(int k, int r, double eps = 0.05, int M = 256,
+                     uint64_t seed = 7) {
+  FdRmsOptions opt;
+  opt.k = k;
+  opt.r = r;
+  opt.eps = eps;
+  opt.max_utilities = M;
+  opt.seed = seed;
+  return opt;
+}
+
+TEST(FdRmsTest, InitializeRespectsBudget) {
+  PointSet ps = GenerateIndep(500, 3, 1);
+  FdRms algo(3, Options(1, 10));
+  ASSERT_TRUE(algo.Initialize(AsTuples(ps)).ok());
+  std::vector<int> q = algo.Result();
+  EXPECT_LE(static_cast<int>(q.size()), 10);
+  EXPECT_GE(static_cast<int>(q.size()), 1);
+  EXPECT_TRUE(algo.Validate().ok());
+}
+
+TEST(FdRmsTest, DoubleInitializeFails) {
+  PointSet ps = GenerateIndep(50, 2, 2);
+  FdRms algo(2, Options(1, 5));
+  ASSERT_TRUE(algo.Initialize(AsTuples(ps)).ok());
+  EXPECT_EQ(algo.Initialize(AsTuples(ps)).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(FdRmsTest, MutationBeforeInitializeFails) {
+  FdRms algo(2, Options(1, 5));
+  EXPECT_EQ(algo.Insert(0, {0.5, 0.5}).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(algo.Delete(0).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(FdRmsTest, ResultCoversEveryUniverseUtility) {
+  // Feasibility certificate: for every universe utility, some result tuple
+  // is an ε-approximate top-k tuple.
+  PointSet ps = GenerateAntiCor(400, 4, 3);
+  FdRms algo(4, Options(1, 15));
+  ASSERT_TRUE(algo.Initialize(AsTuples(ps)).ok());
+  std::vector<int> q = algo.Result();
+  std::unordered_set<int> q_set(q.begin(), q.end());
+  for (int u = 0; u < algo.current_m(); ++u) {
+    const auto& phi = algo.topk().ApproxTopK(u);
+    bool covered = false;
+    for (int id : phi) {
+      if (q_set.count(id) > 0) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered) << "utility " << u << " not covered";
+  }
+}
+
+TEST(FdRmsTest, InsertionsAndDeletionsKeepInvariants) {
+  Rng rng(11);
+  PointSet ps = GenerateIndep(600, 3, 4);
+  std::vector<std::pair<int, Point>> tuples = AsTuples(ps);
+  // Start with the first 300 tuples.
+  std::vector<std::pair<int, Point>> initial(tuples.begin(),
+                                             tuples.begin() + 300);
+  FdRms algo(3, Options(1, 12));
+  ASSERT_TRUE(algo.Initialize(initial).ok());
+  std::unordered_set<int> live;
+  for (int i = 0; i < 300; ++i) live.insert(i);
+  for (int i = 300; i < 600; ++i) {
+    ASSERT_TRUE(algo.Insert(i, ps.Get(i)).ok());
+    live.insert(i);
+    if (i % 3 == 0) {
+      int victim = *live.begin();
+      ASSERT_TRUE(algo.Delete(victim).ok());
+      live.erase(victim);
+    }
+    if (i % 60 == 0) {
+      ASSERT_TRUE(algo.Validate().ok()) << "at insert " << i;
+      EXPECT_LE(static_cast<int>(algo.Result().size()), 12);
+    }
+  }
+  ASSERT_TRUE(algo.Validate().ok());
+}
+
+TEST(FdRmsTest, DeletingResultMembersStillWorks) {
+  PointSet ps = GenerateIndep(300, 3, 5);
+  FdRms algo(3, Options(1, 8));
+  ASSERT_TRUE(algo.Initialize(AsTuples(ps)).ok());
+  // Repeatedly delete the entire current result; the algorithm must heal.
+  std::unordered_set<int> deleted;
+  for (int round = 0; round < 10; ++round) {
+    std::vector<int> q = algo.Result();
+    ASSERT_FALSE(q.empty());
+    for (int id : q) {
+      ASSERT_TRUE(algo.Delete(id).ok());
+      deleted.insert(id);
+    }
+    ASSERT_TRUE(algo.Validate().ok()) << "round " << round;
+  }
+  EXPECT_GE(deleted.size(), 40u);
+}
+
+TEST(FdRmsTest, DeleteDownToEmptyAndRebuild) {
+  PointSet ps = GenerateIndep(60, 2, 6);
+  FdRms algo(2, Options(1, 5, 0.05, 64));
+  ASSERT_TRUE(algo.Initialize(AsTuples(ps)).ok());
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(algo.Delete(i).ok());
+  }
+  EXPECT_TRUE(algo.Result().empty());
+  EXPECT_EQ(algo.size(), 0);
+  // Insert fresh tuples into the emptied structure.
+  Rng rng(8);
+  for (int i = 100; i < 160; ++i) {
+    ASSERT_TRUE(algo.Insert(i, {rng.Uniform(), rng.Uniform()}).ok());
+  }
+  ASSERT_TRUE(algo.Validate().ok());
+  EXPECT_FALSE(algo.Result().empty());
+}
+
+TEST(FdRmsTest, KGreaterThanOneMaintainsInvariants) {
+  PointSet ps = GenerateAntiCor(400, 3, 7);
+  for (int k : {2, 3, 5}) {
+    FdRms algo(3, Options(k, 10));
+    ASSERT_TRUE(algo.Initialize(AsTuples(ps)).ok());
+    ASSERT_TRUE(algo.Validate().ok()) << "k=" << k;
+    for (int i = 400; i < 450; ++i) {
+      ASSERT_TRUE(algo.Insert(i, {0.3, 0.9, 0.5}).ok());
+      ASSERT_TRUE(algo.Delete(i - 400).ok());
+    }
+    ASSERT_TRUE(algo.Validate().ok()) << "k=" << k;
+  }
+}
+
+TEST(FdRmsTest, DynamicQualityMatchesFromScratchRebuild) {
+  // After heavy churn, the maintained result should be roughly as good as
+  // re-initializing FD-RMS from scratch on the same snapshot.
+  PointSet ps = GenerateIndep(800, 3, 9);
+  std::vector<std::pair<int, Point>> initial;
+  for (int i = 0; i < 400; ++i) initial.emplace_back(i, ps.Get(i));
+  FdRmsOptions opt = Options(1, 10);
+  FdRms dynamic(3, opt);
+  ASSERT_TRUE(dynamic.Initialize(initial).ok());
+  std::unordered_set<int> live;
+  for (int i = 0; i < 400; ++i) live.insert(i);
+  Rng rng(10);
+  for (int i = 400; i < 800; ++i) {
+    ASSERT_TRUE(dynamic.Insert(i, ps.Get(i)).ok());
+    live.insert(i);
+    int victim = *live.begin();
+    ASSERT_TRUE(dynamic.Delete(victim).ok());
+    live.erase(victim);
+  }
+  FdRms fresh(3, opt);
+  std::vector<std::pair<int, Point>> snapshot;
+  for (int id : live) snapshot.emplace_back(id, ps.Get(id));
+  ASSERT_TRUE(fresh.Initialize(snapshot).ok());
+  // Compare sampled regrets of both results on the same snapshot.
+  auto regret_of = [&](const std::vector<int>& q) {
+    Rng eval_rng(123);
+    double worst = 0.0;
+    for (int s = 0; s < 3000; ++s) {
+      Point u = SampleUnitVectorNonneg(3, &eval_rng);
+      double omega = 0.0;
+      for (int id : live) omega = std::max(omega, Dot(u, ps.Get(id)));
+      double best = 0.0;
+      for (int id : q) best = std::max(best, Dot(u, ps.Get(id)));
+      if (omega > 0.0) worst = std::max(worst, 1.0 - best / omega);
+    }
+    return worst;
+  };
+  double dynamic_regret = regret_of(dynamic.Result());
+  double fresh_regret = regret_of(fresh.Result());
+  EXPECT_LE(dynamic_regret, fresh_regret + 0.05)
+      << "dynamic " << dynamic_regret << " vs fresh " << fresh_regret;
+}
+
+}  // namespace
+}  // namespace fdrms

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geometry/point.h"
+#include "geometry/pointset.h"
+#include "geometry/sampling.h"
+
+namespace fdrms {
+namespace {
+
+TEST(PointMathTest, DotAndNorm) {
+  Point a{1.0, 2.0, 2.0};
+  Point b{2.0, 0.0, 1.0};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 4.0);
+  EXPECT_DOUBLE_EQ(Norm(a), 3.0);
+}
+
+TEST(PointMathTest, NormalizeMakesUnit) {
+  Point a{3.0, 4.0};
+  Normalize(&a);
+  EXPECT_NEAR(Norm(a), 1.0, 1e-12);
+  EXPECT_NEAR(a[0], 0.6, 1e-12);
+}
+
+TEST(PointMathTest, AngleOfOrthogonalVectors) {
+  Point a{1.0, 0.0};
+  Point b{0.0, 1.0};
+  EXPECT_NEAR(Angle(a, b), M_PI / 2.0, 1e-12);
+  EXPECT_NEAR(Angle(a, a), 0.0, 1e-6);
+}
+
+TEST(DominanceTest, StrictAndEqualCases) {
+  EXPECT_TRUE(Dominates({1.0, 1.0}, {0.5, 1.0}));
+  EXPECT_FALSE(Dominates({1.0, 1.0}, {1.0, 1.0}));  // equal: no strict gain
+  EXPECT_FALSE(Dominates({1.0, 0.0}, {0.0, 1.0}));  // incomparable
+  EXPECT_TRUE(Dominates({0.7, 0.5, 0.9}, {0.7, 0.4, 0.9}));
+}
+
+TEST(PointSetTest, AddGetScore) {
+  PointSet ps(2);
+  EXPECT_TRUE(ps.empty());
+  int id0 = ps.Add({0.2, 1.0});
+  int id1 = ps.Add({0.6, 0.8});
+  EXPECT_EQ(id0, 0);
+  EXPECT_EQ(id1, 1);
+  EXPECT_EQ(ps.size(), 2);
+  EXPECT_EQ(ps.Get(1), (Point{0.6, 0.8}));
+  Point u{0.5, 0.5};
+  EXPECT_NEAR(ps.Score(u, 0), 0.6, 1e-12);
+}
+
+TEST(SamplingTest, UnitVectorsAreUnitAndNonnegative) {
+  Rng rng(5);
+  for (int d : {2, 4, 8}) {
+    for (int i = 0; i < 50; ++i) {
+      Point u = SampleUnitVectorNonneg(d, &rng);
+      EXPECT_NEAR(Norm(u), 1.0, 1e-9);
+      for (double x : u) EXPECT_GE(x, 0.0);
+    }
+  }
+}
+
+TEST(SamplingTest, UtilityVectorsStartWithBasis) {
+  Rng rng(5);
+  auto utils = SampleUtilityVectors(10, 3, &rng);
+  ASSERT_EQ(utils.size(), 10u);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(utils[i][j], i == j ? 1.0 : 0.0);
+    }
+  }
+  for (size_t i = 3; i < utils.size(); ++i) {
+    EXPECT_NEAR(Norm(utils[i]), 1.0, 1e-9);
+  }
+}
+
+TEST(SamplingTest, FarthestPointSpreadsDirections) {
+  Rng rng(17);
+  auto pool = SampleDirections(200, 3, &rng);
+  auto spread = FarthestPointDirections(pool, 10);
+  ASSERT_EQ(spread.size(), 10u);
+  // The chosen set should have a larger minimum pairwise angle than the
+  // pool prefix of the same size.
+  auto min_angle = [](const std::vector<Point>& v) {
+    double best = 10.0;
+    for (size_t i = 0; i < v.size(); ++i) {
+      for (size_t j = i + 1; j < v.size(); ++j) {
+        best = std::min(best, Angle(v[i], v[j]));
+      }
+    }
+    return best;
+  };
+  std::vector<Point> prefix(pool.begin(), pool.begin() + 10);
+  EXPECT_GT(min_angle(spread), min_angle(prefix));
+}
+
+TEST(SamplingTest, FarthestPointHandlesSmallPools) {
+  Rng rng(3);
+  auto pool = SampleDirections(3, 2, &rng);
+  auto spread = FarthestPointDirections(pool, 10);
+  EXPECT_LE(spread.size(), 3u);
+  EXPECT_GE(spread.size(), 1u);
+  EXPECT_TRUE(FarthestPointDirections({}, 5).empty());
+}
+
+}  // namespace
+}  // namespace fdrms

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "geometry/sampling.h"
+#include "index/kdtree.h"
+
+namespace fdrms {
+namespace {
+
+/// Brute-force reference over a live id->point map.
+std::vector<ScoredId> BruteTopK(const std::unordered_map<int, Point>& live,
+                                const Point& u, int k) {
+  std::vector<ScoredId> all;
+  for (const auto& [id, p] : live) all.push_back({Dot(u, p), id});
+  std::sort(all.begin(), all.end(), BetterScore);
+  if (static_cast<int>(all.size()) > k) all.resize(k);
+  return all;
+}
+
+std::vector<ScoredId> BruteRange(const std::unordered_map<int, Point>& live,
+                                 const Point& u, double threshold) {
+  std::vector<ScoredId> all;
+  for (const auto& [id, p] : live) {
+    double s = Dot(u, p);
+    if (s >= threshold) all.push_back({s, id});
+  }
+  std::sort(all.begin(), all.end(), BetterScore);
+  return all;
+}
+
+TEST(KdTreeTest, InsertDuplicateIdFails) {
+  KdTree tree(2);
+  ASSERT_TRUE(tree.Insert(1, {0.5, 0.5}).ok());
+  EXPECT_EQ(tree.Insert(1, {0.1, 0.1}).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(KdTreeTest, DeleteMissingIdFails) {
+  KdTree tree(2);
+  EXPECT_EQ(tree.Delete(9).code(), StatusCode::kNotFound);
+}
+
+TEST(KdTreeTest, DimensionMismatchRejected) {
+  KdTree tree(3);
+  EXPECT_EQ(tree.Insert(0, {1.0, 2.0}).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(KdTreeTest, TopKOnTinySet) {
+  KdTree tree(2);
+  ASSERT_TRUE(tree.Insert(0, {0.2, 1.0}).ok());
+  ASSERT_TRUE(tree.Insert(1, {0.6, 0.8}).ok());
+  ASSERT_TRUE(tree.Insert(2, {1.0, 0.1}).ok());
+  Point u{1.0, 0.0};
+  auto top2 = tree.TopK(u, 2);
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_EQ(top2[0].id, 2);
+  EXPECT_EQ(top2[1].id, 1);
+  // Fewer live points than k.
+  auto top9 = tree.TopK(u, 9);
+  EXPECT_EQ(top9.size(), 3u);
+}
+
+TEST(KdTreeTest, TieBreaksByAscendingId) {
+  KdTree tree(2);
+  ASSERT_TRUE(tree.Insert(7, {0.5, 0.5}).ok());
+  ASSERT_TRUE(tree.Insert(3, {0.5, 0.5}).ok());
+  auto top = tree.TopK({1.0, 1.0}, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].id, 3);
+  EXPECT_EQ(top[1].id, 7);
+}
+
+struct RandomOpsParam {
+  int dim;
+  int k;
+  int num_ops;
+  uint64_t seed;
+};
+
+class KdTreeRandomOpsTest : public ::testing::TestWithParam<RandomOpsParam> {};
+
+TEST_P(KdTreeRandomOpsTest, MatchesBruteForceUnderChurn) {
+  const RandomOpsParam param = GetParam();
+  Rng rng(param.seed);
+  KdTree tree(param.dim);
+  std::unordered_map<int, Point> live;
+  int next_id = 0;
+  for (int op = 0; op < param.num_ops; ++op) {
+    bool do_insert = live.empty() || rng.Uniform() < 0.6;
+    if (do_insert) {
+      Point p(param.dim);
+      for (double& v : p) v = rng.Uniform();
+      ASSERT_TRUE(tree.Insert(next_id, p).ok());
+      live.emplace(next_id, p);
+      ++next_id;
+    } else {
+      auto it = live.begin();
+      std::advance(it, rng.UniformInt(static_cast<int>(live.size())));
+      ASSERT_TRUE(tree.Delete(it->first).ok());
+      live.erase(it);
+    }
+    ASSERT_EQ(tree.size(), static_cast<int>(live.size()));
+    if (op % 25 == 0 && !live.empty()) {
+      Point u = SampleUnitVectorNonneg(param.dim, &rng);
+      EXPECT_EQ(tree.TopK(u, param.k), BruteTopK(live, u, param.k));
+      auto brute = BruteTopK(live, u, param.k);
+      double thr = brute.back().score * 0.9;
+      EXPECT_EQ(tree.ScoreRange(u, thr), BruteRange(live, u, thr));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KdTreeRandomOpsTest,
+    ::testing::Values(RandomOpsParam{2, 1, 400, 1},
+                      RandomOpsParam{3, 3, 400, 2},
+                      RandomOpsParam{5, 5, 600, 3},
+                      RandomOpsParam{8, 2, 600, 4},
+                      RandomOpsParam{4, 4, 1500, 5}),
+    [](const auto& info) {
+      return "d" + std::to_string(info.param.dim) + "k" +
+             std::to_string(info.param.k) + "ops" +
+             std::to_string(info.param.num_ops);
+    });
+
+TEST(KdTreeTest, ExplicitRebuildPreservesContents) {
+  Rng rng(77);
+  KdTree tree(3);
+  std::unordered_map<int, Point> live;
+  for (int i = 0; i < 300; ++i) {
+    Point p{rng.Uniform(), rng.Uniform(), rng.Uniform()};
+    ASSERT_TRUE(tree.Insert(i, p).ok());
+    live.emplace(i, p);
+  }
+  for (int i = 0; i < 150; ++i) {
+    ASSERT_TRUE(tree.Delete(i * 2).ok());
+    live.erase(i * 2);
+  }
+  tree.Rebuild();
+  EXPECT_EQ(tree.size(), 150);
+  Point u = SampleUnitVectorNonneg(3, &rng);
+  EXPECT_EQ(tree.TopK(u, 10), BruteTopK(live, u, 10));
+}
+
+TEST(KdTreeTest, ScoreRangeWithZeroThresholdReturnsAll) {
+  KdTree tree(2);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(tree.Insert(i, {0.05 * i, 1.0 - 0.05 * i}).ok());
+  }
+  EXPECT_EQ(tree.ScoreRange({1.0, 1.0}, 0.0).size(), 20u);
+}
+
+TEST(KdTreeTest, ForEachVisitsExactlyLiveTuples) {
+  KdTree tree(2);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(tree.Insert(i, {0.1 * i, 0.1}).ok());
+  }
+  ASSERT_TRUE(tree.Delete(4).ok());
+  std::vector<int> seen;
+  tree.ForEach([&](int id, const Point&) { seen.push_back(id); });
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(seen, (std::vector<int>{0, 1, 2, 3, 5, 6, 7, 8, 9}));
+}
+
+}  // namespace
+}  // namespace fdrms

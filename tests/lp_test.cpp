@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "lp/simplex.h"
+
+namespace fdrms {
+namespace {
+
+TEST(SimplexTest, SolvesBasicMaximization) {
+  // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6, x,y >= 0 -> x=4, y=0, obj 12.
+  LpProblem lp;
+  lp.c = {3.0, 2.0};
+  lp.A = {{1.0, 1.0}, {1.0, 3.0}};
+  lp.b = {4.0, 6.0};
+  LpSolution sol = SolveLp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 12.0, 1e-9);
+  EXPECT_NEAR(sol.x[0], 4.0, 1e-9);
+  EXPECT_NEAR(sol.x[1], 0.0, 1e-9);
+}
+
+TEST(SimplexTest, SolvesInteriorOptimum) {
+  // max x + y s.t. 2x + y <= 4, x + 2y <= 4 -> x=y=4/3, obj 8/3.
+  LpProblem lp;
+  lp.c = {1.0, 1.0};
+  lp.A = {{2.0, 1.0}, {1.0, 2.0}};
+  lp.b = {4.0, 4.0};
+  LpSolution sol = SolveLp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 8.0 / 3.0, 1e-9);
+  EXPECT_NEAR(sol.x[0], 4.0 / 3.0, 1e-9);
+  EXPECT_NEAR(sol.x[1], 4.0 / 3.0, 1e-9);
+}
+
+TEST(SimplexTest, DetectsUnbounded) {
+  LpProblem lp;
+  lp.c = {1.0, 0.0};
+  lp.A = {{-1.0, 1.0}};
+  lp.b = {1.0};
+  EXPECT_EQ(SolveLp(lp).status, LpStatus::kUnbounded);
+}
+
+TEST(SimplexTest, DetectsInfeasible) {
+  // x <= -1 with x >= 0.
+  LpProblem lp;
+  lp.c = {1.0};
+  lp.A = {{1.0}};
+  lp.b = {-1.0};
+  EXPECT_EQ(SolveLp(lp).status, LpStatus::kInfeasible);
+}
+
+TEST(SimplexTest, HandlesEqualityViaTwoInequalities) {
+  // max y s.t. x = 2 (two ineqs), y <= x -> y = 2.
+  LpProblem lp;
+  lp.c = {0.0, 1.0};
+  lp.A = {{1.0, 0.0}, {-1.0, 0.0}, {-1.0, 1.0}};
+  lp.b = {2.0, -2.0, 0.0};
+  LpSolution sol = SolveLp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 2.0, 1e-9);
+  EXPECT_NEAR(sol.x[0], 2.0, 1e-9);
+}
+
+TEST(SimplexTest, DegenerateInstanceTerminates) {
+  // Classic degenerate vertex: multiple constraints meet at the optimum.
+  LpProblem lp;
+  lp.c = {1.0, 1.0};
+  lp.A = {{1.0, 0.0}, {0.0, 1.0}, {1.0, 1.0}};
+  lp.b = {1.0, 1.0, 1.0};
+  LpSolution sol = SolveLp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 1.0, 1e-9);
+}
+
+TEST(MaxRegretTest, ZeroWhenWitnessInAnswerSet) {
+  std::vector<double> p{0.5, 0.5};
+  EXPECT_NEAR(MaxRegretForWitness(p, {{0.5, 0.5}}), 0.0, 1e-9);
+}
+
+TEST(MaxRegretTest, FullRegretAgainstZeroSet) {
+  // Q contains only the origin: the witness keeps all its score.
+  std::vector<double> p{1.0, 0.0};
+  double regret = MaxRegretForWitness(p, {{0.0, 0.0}});
+  EXPECT_NEAR(regret, 1.0, 1e-9);
+}
+
+TEST(MaxRegretTest, MatchesHandComputedExample) {
+  // Paper Fig. 1: Q1 = {p3, p4}; the regret of direction u = (0, 1) against
+  // witness p1 = (0.2, 1.0) is 1 - 0.5/1.0 = 0.5 (p3 scores 0.5 on u).
+  // The LP maximizes over all u; the maximum for witness p1 is >= 0.5.
+  double regret =
+      MaxRegretForWitness({0.2, 1.0}, {{0.7, 0.5}, {1.0, 0.1}});
+  EXPECT_GE(regret, 0.5 - 1e-9);
+  EXPECT_LE(regret, 1.0);
+}
+
+TEST(MaxRegretTest, AgreesWithSampledRegretOnRandomInstances) {
+  // Property: the LP optimum upper-bounds (and is nearly attained by) a
+  // dense directional sample of the same regret objective.
+  Rng rng(31);
+  for (int trial = 0; trial < 20; ++trial) {
+    int d = 2 + trial % 3;
+    std::vector<double> p(d);
+    for (double& v : p) v = rng.Uniform();
+    std::vector<std::vector<double>> q(3, std::vector<double>(d));
+    for (auto& row : q) {
+      for (double& v : row) v = rng.Uniform();
+    }
+    double lp_regret = MaxRegretForWitness(p, q);
+    // Sampled lower bound of the same quantity.
+    double sampled = 0.0;
+    for (int s = 0; s < 4000; ++s) {
+      std::vector<double> u(d);
+      double pscore = 0.0;
+      for (int j = 0; j < d; ++j) {
+        u[j] = std::fabs(rng.Gaussian());
+        pscore += u[j] * p[j];
+      }
+      if (pscore <= 1e-12) continue;
+      double qbest = 0.0;
+      for (const auto& row : q) {
+        double sc = 0.0;
+        for (int j = 0; j < d; ++j) sc += u[j] * row[j];
+        qbest = std::max(qbest, sc);
+      }
+      sampled = std::max(sampled, 1.0 - qbest / pscore);
+    }
+    EXPECT_GE(lp_regret, sampled - 1e-6)
+        << "LP must upper-bound sampled regret (trial " << trial << ")";
+    // The sampled lower bound has Monte-Carlo slack that grows with d.
+    EXPECT_LE(lp_regret, sampled + 0.08)
+        << "LP should be nearly attained by dense sampling (trial " << trial
+        << ")";
+  }
+}
+
+}  // namespace
+}  // namespace fdrms

@@ -1,0 +1,180 @@
+/// Tests pinning the paper's worked examples (Section II, Fig. 1 and
+/// Examples 1-3) to the implementation, so the formal definitions in the
+/// code provably match the paper's semantics.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/greedy.h"
+#include "baselines/rms_algorithm.h"
+#include "core/fdrms.h"
+#include "geometry/point.h"
+
+namespace fdrms {
+namespace {
+
+/// The database of Fig. 1.
+Database PaperDatabase() {
+  Database db;
+  db.dim = 2;
+  std::vector<Point> pts = {{0.2, 1.0}, {0.6, 0.8}, {0.7, 0.5}, {1.0, 0.1},
+                            {0.4, 0.3}, {0.2, 0.7}, {0.3, 0.9}, {0.6, 0.6}};
+  for (int i = 0; i < static_cast<int>(pts.size()); ++i) {
+    db.ids.push_back(i + 1);  // ids p1..p8
+    db.points.push_back(pts[i]);
+  }
+  return db;
+}
+
+/// k-th best score in `db` under u.
+double OmegaK(const Database& db, const Point& u, int k) {
+  std::vector<double> scores;
+  for (const auto& p : db.points) scores.push_back(Dot(u, p));
+  std::sort(scores.rbegin(), scores.rend());
+  return scores[k - 1];
+}
+
+/// Exact rr_k over a small set of tuples for one utility.
+double RegretRatioK(const Database& db, const std::vector<int>& q_ids,
+                    const Point& u, int k) {
+  double best = 0.0;
+  for (size_t i = 0; i < db.ids.size(); ++i) {
+    if (std::find(q_ids.begin(), q_ids.end(), db.ids[i]) != q_ids.end()) {
+      best = std::max(best, Dot(u, db.points[i]));
+    }
+  }
+  return std::max(0.0, 1.0 - best / OmegaK(db, u, k));
+}
+
+/// Dense sweep of mrr_k over the 2-d utility pencil.
+double MaxRegretK(const Database& db, const std::vector<int>& q_ids, int k) {
+  double worst = 0.0;
+  for (int s = 0; s <= 20000; ++s) {
+    double angle = (M_PI / 2.0) * s / 20000.0;
+    Point u{std::cos(angle), std::sin(angle)};
+    worst = std::max(worst, RegretRatioK(db, q_ids, u, k));
+  }
+  return worst;
+}
+
+TEST(PaperExample1, Top2ResultsOfU1AndU2) {
+  Database db = PaperDatabase();
+  Point u1{0.42, 0.91};
+  Point u2{0.91, 0.42};
+  // Φ2(u1, P) = {p1, p2}; Φ2(u2, P) = {p2, p4}.
+  auto top2 = [&](const Point& u) {
+    std::vector<std::pair<double, int>> scored;
+    for (size_t i = 0; i < db.ids.size(); ++i) {
+      scored.emplace_back(Dot(u, db.points[i]), db.ids[i]);
+    }
+    std::sort(scored.rbegin(), scored.rend());
+    return std::vector<int>{scored[0].second, scored[1].second};
+  };
+  auto t1 = top2(u1);
+  std::sort(t1.begin(), t1.end());
+  EXPECT_EQ(t1, (std::vector<int>{1, 2}));
+  auto t2 = top2(u2);
+  std::sort(t2.begin(), t2.end());
+  EXPECT_EQ(t2, (std::vector<int>{2, 4}));
+}
+
+TEST(PaperExample1, RegretRatioOfQ1UnderU1) {
+  // rr_2(u1, {p3, p4}) = 1 - 0.749/0.98 ≈ 0.236.
+  Database db = PaperDatabase();
+  Point u1{0.42, 0.91};
+  EXPECT_NEAR(Dot(u1, db.points[2]), 0.749, 1e-9);   // p3
+  EXPECT_NEAR(OmegaK(db, u1, 2), 0.98, 1e-9);        // p2's score
+  EXPECT_NEAR(RegretRatioK(db, {3, 4}, u1, 2), 1.0 - 0.749 / 0.98, 1e-9);
+}
+
+TEST(PaperExample1, MaximumRegretOfQ1) {
+  // mrr_2({p3, p4}) ≈ 0.444, attained at u = (0, 1).
+  Database db = PaperDatabase();
+  EXPECT_NEAR(MaxRegretK(db, {3, 4}, 2), 1.0 - 5.0 / 9.0, 1e-3);
+  Point vertical{0.0, 1.0};
+  EXPECT_NEAR(RegretRatioK(db, {3, 4}, vertical, 2), 1.0 - 5.0 / 9.0, 1e-9);
+}
+
+TEST(PaperExample1, Q2IsAPerfectRegretSet) {
+  // {p1, p2, p4} is a (2, 0)-regret set: mrr_2 = 0.
+  Database db = PaperDatabase();
+  EXPECT_NEAR(MaxRegretK(db, {1, 2, 4}, 2), 0.0, 1e-9);
+}
+
+TEST(PaperExample2, OptimalRms22IsP1P4) {
+  // RMS(2, 2): the paper reports Q* = {p1, p4} with mrr_2 ≈ 0.05. The
+  // subset {p4, p7} achieves an mrr_2 within ~0.002 of it, so we assert
+  // the optimum value ≈ 0.05 and that {p1, p4} is optimal up to that tie
+  // rather than requiring one specific argmin.
+  Database db = PaperDatabase();
+  double best = 1.0;
+  for (int a = 1; a <= 8; ++a) {
+    for (int b = a + 1; b <= 8; ++b) {
+      best = std::min(best, MaxRegretK(db, {a, b}, 2));
+    }
+  }
+  EXPECT_NEAR(best, 0.05, 0.01);
+  EXPECT_NEAR(MaxRegretK(db, {1, 4}, 2), best, 0.005);
+}
+
+TEST(PaperExample3, FdRmsOnFig1ReturnsLowRegretTriple) {
+  // Example 3 runs RMS(1, 3) on P0 = {p1..p8}, then inserts p9 = (0.9, 0.6)
+  // and deletes p1. We verify FD-RMS tracks results of near-optimal regret
+  // at every step (the paper's concrete Q values depend on its specific
+  // random draw of utility vectors).
+  Database db = PaperDatabase();
+  FdRmsOptions opt;
+  opt.k = 1;
+  opt.r = 3;
+  opt.eps = 0.002;
+  opt.max_utilities = 64;
+  opt.seed = 5;
+  FdRms algo(2, opt);
+  std::vector<std::pair<int, Point>> tuples;
+  for (size_t i = 0; i < db.ids.size(); ++i) {
+    tuples.emplace_back(db.ids[i], db.points[i]);
+  }
+  ASSERT_TRUE(algo.Initialize(tuples).ok());
+  auto q0 = algo.Result();
+  EXPECT_LE(q0.size(), 3u);
+  EXPECT_LE(MaxRegretK(db, q0, 1), 0.12);  // optimum is ~0.05 for r=3
+  // ∆1 = <p9, +>.
+  ASSERT_TRUE(algo.Insert(9, {0.9, 0.6}).ok());
+  db.ids.push_back(9);
+  db.points.push_back({0.9, 0.6});
+  auto q1 = algo.Result();
+  EXPECT_LE(q1.size(), 3u);
+  EXPECT_LE(MaxRegretK(db, q1, 1), 0.12);
+  // ∆2 = <p1, ->.
+  ASSERT_TRUE(algo.Delete(1).ok());
+  db.ids.erase(db.ids.begin());
+  db.points.erase(db.points.begin());
+  auto q2 = algo.Result();
+  EXPECT_LE(q2.size(), 3u);
+  EXPECT_LE(MaxRegretK(db, q2, 1), 0.12);
+  ASSERT_TRUE(algo.Validate().ok());
+}
+
+TEST(PaperSection2, GreedyFindsNearOptimalRms22) {
+  // The greedy baseline on Fig. 1 for RMS(1, 2) should pick extreme points
+  // achieving low regret (the exact optimum for k=1, r=2 includes p4).
+  Database db = PaperDatabase();
+  Rng rng(3);
+  GreedyRms greedy;
+  std::vector<int> q = greedy.Compute(db, 1, 2, &rng);
+  ASSERT_EQ(q.size(), 2u);
+  double regret = MaxRegretK(db, q, 1);
+  // Enumerate the true optimum for reference.
+  double best = 1.0;
+  for (int a = 1; a <= 8; ++a) {
+    for (int b = a + 1; b <= 8; ++b) {
+      best = std::min(best, MaxRegretK(db, {a, b}, 1));
+    }
+  }
+  EXPECT_LE(regret, best + 0.08);
+}
+
+}  // namespace
+}  // namespace fdrms

@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "setcover/dynamic_set_cover.h"
+#include "setcover/set_system.h"
+
+namespace fdrms {
+namespace {
+
+TEST(SetSystemTest, BidirectionalIncidence) {
+  SetSystem sys(4);
+  EXPECT_TRUE(sys.AddMembership(0, 100));
+  EXPECT_TRUE(sys.AddMembership(1, 100));
+  EXPECT_FALSE(sys.AddMembership(0, 100));  // duplicate
+  EXPECT_TRUE(sys.Contains(0, 100));
+  EXPECT_EQ(sys.ElementsOf(100).size(), 2u);
+  EXPECT_EQ(sys.SetsContaining(0).size(), 1u);
+  EXPECT_TRUE(sys.RemoveMembership(0, 100));
+  EXPECT_FALSE(sys.RemoveMembership(0, 100));
+  EXPECT_FALSE(sys.Contains(0, 100));
+  EXPECT_EQ(sys.ElementsOf(100).size(), 1u);
+}
+
+TEST(SetSystemTest, EmptySetDisappears) {
+  SetSystem sys(2);
+  sys.AddMembership(0, 5);
+  sys.RemoveMembership(0, 5);
+  EXPECT_EQ(sys.num_sets(), 0u);
+  EXPECT_TRUE(sys.NonEmptySetIds().empty());
+}
+
+/// Builds a cover over `m` elements where set i covers a contiguous block.
+DynamicSetCover MakeBlockInstance(int m, int block, int overlap) {
+  DynamicSetCover cover(m);
+  // Hack: we mutate through the public API before greedy initialization.
+  int set_id = 0;
+  for (int start = 0; start < m; start += block - overlap) {
+    for (int e = start; e < std::min(m, start + block); ++e) {
+      cover.AddMembership(e, set_id);
+    }
+    ++set_id;
+    if (start + block >= m) break;
+  }
+  return cover;
+}
+
+TEST(DynamicSetCoverTest, GreedyCoversEverything) {
+  DynamicSetCover cover = MakeBlockInstance(40, 10, 2);
+  std::vector<int> universe(40);
+  for (int i = 0; i < 40; ++i) universe[i] = i;
+  cover.InitializeGreedy(universe);
+  ASSERT_TRUE(cover.CheckInvariants().ok());
+  for (int e = 0; e < 40; ++e) {
+    EXPECT_NE(cover.AssignmentOf(e), DynamicSetCover::kUnassigned);
+  }
+  EXPECT_GE(cover.CoverSize(), 4);  // 40 elements / blocks of 10
+}
+
+TEST(DynamicSetCoverTest, GreedyPrefersLargeSets) {
+  DynamicSetCover cover(10);
+  for (int e = 0; e < 10; ++e) cover.AddMembership(e, 1);  // big set
+  for (int e = 0; e < 10; ++e) cover.AddMembership(e, 100 + e);  // singletons
+  std::vector<int> universe(10);
+  for (int i = 0; i < 10; ++i) universe[i] = i;
+  cover.InitializeGreedy(universe);
+  EXPECT_EQ(cover.CoverSize(), 1);
+  EXPECT_EQ(cover.CoverSetIds(), std::vector<int>{1});
+  EXPECT_EQ(cover.LevelOf(1), 3);  // 2^3 <= 10 < 2^4
+  ASSERT_TRUE(cover.CheckInvariants().ok());
+}
+
+TEST(DynamicSetCoverTest, RemoveMembershipReassigns) {
+  DynamicSetCover cover(4);
+  cover.AddMembership(0, 1);
+  cover.AddMembership(1, 1);
+  cover.AddMembership(0, 2);
+  cover.AddMembership(2, 2);
+  cover.AddMembership(3, 3);
+  std::vector<int> universe{0, 1, 2, 3};
+  cover.InitializeGreedy(universe);
+  ASSERT_TRUE(cover.CheckInvariants().ok());
+  int assigned = cover.AssignmentOf(0);
+  cover.RemoveMembership(0, assigned);
+  ASSERT_TRUE(cover.CheckInvariants().ok());
+  EXPECT_NE(cover.AssignmentOf(0), assigned);
+  EXPECT_NE(cover.AssignmentOf(0), DynamicSetCover::kUnassigned);
+}
+
+TEST(DynamicSetCoverTest, UniverseGrowAndShrink) {
+  DynamicSetCover cover(6);
+  for (int e = 0; e < 6; ++e) cover.AddMembership(e, e / 2);
+  cover.InitializeGreedy({0, 1, 2, 3});
+  ASSERT_TRUE(cover.CheckInvariants().ok());
+  EXPECT_EQ(cover.UniverseSize(), 4);
+  cover.AddToUniverse(4);
+  cover.AddToUniverse(5);
+  ASSERT_TRUE(cover.CheckInvariants().ok());
+  EXPECT_EQ(cover.UniverseSize(), 6);
+  EXPECT_NE(cover.AssignmentOf(5), DynamicSetCover::kUnassigned);
+  cover.RemoveFromUniverse(0);
+  ASSERT_TRUE(cover.CheckInvariants().ok());
+  EXPECT_EQ(cover.AssignmentOf(0), DynamicSetCover::kUnassigned);
+  EXPECT_EQ(cover.UniverseSize(), 5);
+}
+
+TEST(DynamicSetCoverTest, RemoveSetReassignsItsCover) {
+  DynamicSetCover cover(4);
+  for (int e = 0; e < 4; ++e) cover.AddMembership(e, 1);
+  for (int e = 0; e < 4; ++e) cover.AddMembership(e, 2);
+  cover.InitializeGreedy({0, 1, 2, 3});
+  int kept = cover.CoverSetIds().front();
+  cover.RemoveSet(kept);
+  ASSERT_TRUE(cover.CheckInvariants().ok());
+  for (int e = 0; e < 4; ++e) {
+    EXPECT_NE(cover.AssignmentOf(e), DynamicSetCover::kUnassigned);
+  }
+  EXPECT_TRUE(cover.system().ElementsOf(kept).empty());
+}
+
+TEST(DynamicSetCoverTest, UncoverableElementToleratedUntilCoverable) {
+  DynamicSetCover cover(2);
+  cover.AddMembership(0, 7);
+  cover.InitializeGreedy({0, 1});  // element 1 is in no set
+  ASSERT_TRUE(cover.CheckInvariants().ok());
+  EXPECT_EQ(cover.AssignmentOf(1), DynamicSetCover::kUnassigned);
+  cover.AddMembership(1, 7);
+  ASSERT_TRUE(cover.CheckInvariants().ok());
+  EXPECT_EQ(cover.AssignmentOf(1), 7);
+}
+
+struct CoverChurnParam {
+  int num_elements;
+  int num_sets;
+  double density;
+  int num_ops;
+  uint64_t seed;
+};
+
+class SetCoverChurnTest : public ::testing::TestWithParam<CoverChurnParam> {};
+
+TEST_P(SetCoverChurnTest, StabilityInvariantsSurviveRandomChurn) {
+  const CoverChurnParam param = GetParam();
+  Rng rng(param.seed);
+  DynamicSetCover cover(param.num_elements);
+  // Random incidence.
+  for (int e = 0; e < param.num_elements; ++e) {
+    for (int s = 0; s < param.num_sets; ++s) {
+      if (rng.Uniform() < param.density) cover.AddMembership(e, s);
+    }
+    // Guarantee coverability.
+    cover.AddMembership(e, rng.UniformInt(param.num_sets));
+  }
+  std::vector<int> universe(param.num_elements);
+  for (int i = 0; i < param.num_elements; ++i) universe[i] = i;
+  cover.InitializeGreedy(universe);
+  ASSERT_TRUE(cover.CheckInvariants().ok());
+  for (int op = 0; op < param.num_ops; ++op) {
+    int kind = rng.UniformInt(5);
+    int e = rng.UniformInt(param.num_elements);
+    int s = rng.UniformInt(param.num_sets);
+    switch (kind) {
+      case 0:
+        cover.AddMembership(e, s);
+        break;
+      case 1:
+        cover.RemoveMembership(e, s);
+        break;
+      case 2:
+        cover.AddToUniverse(e);
+        break;
+      case 3:
+        cover.RemoveFromUniverse(e);
+        break;
+      case 4:
+        cover.RemoveSet(s);
+        break;
+    }
+    if (op % 10 == 9) {
+      ASSERT_TRUE(cover.CheckInvariants().ok())
+          << "op " << op << " kind " << kind;
+    }
+  }
+  ASSERT_TRUE(cover.CheckInvariants().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SetCoverChurnTest,
+    ::testing::Values(CoverChurnParam{20, 8, 0.2, 300, 41},
+                      CoverChurnParam{50, 15, 0.1, 400, 42},
+                      CoverChurnParam{100, 12, 0.05, 400, 43},
+                      CoverChurnParam{64, 64, 0.03, 500, 44},
+                      CoverChurnParam{30, 5, 0.5, 500, 45}),
+    [](const auto& info) {
+      return "e" + std::to_string(info.param.num_elements) + "s" +
+             std::to_string(info.param.num_sets) + "seed" +
+             std::to_string(info.param.seed);
+    });
+
+TEST(DynamicSetCoverTest, ApproximationStaysLogarithmic) {
+  // Block instance with a known optimal cover size; the stable solution
+  // must stay within the O(log m) factor of Theorem 1.
+  Rng rng(99);
+  const int m = 256;
+  DynamicSetCover cover(m);
+  // Optimal cover: 8 blocks of 32.
+  for (int b = 0; b < 8; ++b) {
+    for (int e = b * 32; e < (b + 1) * 32; ++e) cover.AddMembership(e, b);
+  }
+  // Noise sets.
+  for (int s = 100; s < 200; ++s) {
+    for (int j = 0; j < 6; ++j) {
+      cover.AddMembership(rng.UniformInt(m), s);
+    }
+  }
+  std::vector<int> universe(m);
+  for (int i = 0; i < m; ++i) universe[i] = i;
+  cover.InitializeGreedy(universe);
+  ASSERT_TRUE(cover.CheckInvariants().ok());
+  double bound = (2.0 + 2.0 * std::log2(m)) * 8;
+  EXPECT_LE(cover.CoverSize(), bound);
+  // Churn memberships of noise sets, then re-check the bound.
+  for (int op = 0; op < 500; ++op) {
+    int s = 100 + rng.UniformInt(100);
+    int e = rng.UniformInt(m);
+    if (rng.Uniform() < 0.5) {
+      cover.AddMembership(e, s);
+    } else {
+      cover.RemoveMembership(e, s);
+    }
+  }
+  ASSERT_TRUE(cover.CheckInvariants().ok());
+  EXPECT_LE(cover.CoverSize(), bound);
+}
+
+}  // namespace
+}  // namespace fdrms

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "data/generators.h"
+#include "skyline/skyline.h"
+
+namespace fdrms {
+namespace {
+
+/// O(n^2) reference skyline over a live map.
+std::unordered_set<int> BruteSkyline(const std::unordered_map<int, Point>& live) {
+  std::unordered_set<int> out;
+  for (const auto& [id, p] : live) {
+    bool dominated = false;
+    for (const auto& [other_id, q] : live) {
+      if (other_id != id && Dominates(q, p)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) out.insert(id);
+  }
+  return out;
+}
+
+TEST(StaticSkylineTest, PaperFigure1Example) {
+  // Fig. 1: p1..p8; the skyline is {p1, p2, p4} plus p7 (0.3, 0.9) — check
+  // against brute force rather than intuition.
+  PointSet ps(2);
+  ps.Add({0.2, 1.0});   // p1
+  ps.Add({0.6, 0.8});   // p2
+  ps.Add({0.7, 0.5});   // p3
+  ps.Add({1.0, 0.1});   // p4
+  ps.Add({0.4, 0.3});   // p5
+  ps.Add({0.2, 0.7});   // p6
+  ps.Add({0.3, 0.9});   // p7
+  ps.Add({0.6, 0.6});   // p8
+  std::vector<int> sky = ComputeSkyline(ps);
+  std::unordered_map<int, Point> live;
+  for (int i = 0; i < ps.size(); ++i) live.emplace(i, ps.Get(i));
+  auto expected = BruteSkyline(live);
+  EXPECT_EQ(std::unordered_set<int>(sky.begin(), sky.end()), expected);
+  // p3 = (0.7, 0.5) is on the skyline of Fig. 1 (nothing dominates it).
+  EXPECT_TRUE(expected.count(2) > 0);
+  // p8 = (0.6, 0.6) is dominated by p2 = (0.6, 0.8).
+  EXPECT_TRUE(expected.count(7) == 0);
+}
+
+TEST(StaticSkylineTest, AllEqualPointsAllOnSkyline) {
+  PointSet ps(3);
+  for (int i = 0; i < 5; ++i) ps.Add({0.5, 0.5, 0.5});
+  EXPECT_EQ(ComputeSkyline(ps).size(), 5u);  // equal points don't dominate
+}
+
+TEST(StaticSkylineTest, ChainLeavesSingleton) {
+  PointSet ps(2);
+  for (int i = 0; i < 10; ++i) ps.Add({0.1 * i, 0.1 * i});
+  std::vector<int> sky = ComputeSkyline(ps);
+  ASSERT_EQ(sky.size(), 1u);
+  EXPECT_EQ(sky[0], 9);
+}
+
+TEST(DynamicSkylineTest, InsertErrorsAndFlags) {
+  DynamicSkyline sky(2);
+  bool changed = false;
+  ASSERT_TRUE(sky.Insert(0, {0.9, 0.9}, &changed).ok());
+  EXPECT_TRUE(changed);
+  ASSERT_TRUE(sky.Insert(1, {0.1, 0.1}, &changed).ok());
+  EXPECT_FALSE(changed);  // dominated on arrival
+  EXPECT_EQ(sky.Insert(0, {0.2, 0.2}, &changed).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(sky.Delete(42, &changed).code(), StatusCode::kNotFound);
+}
+
+TEST(DynamicSkylineTest, DeleteOfNonSkylineMemberIsFree) {
+  DynamicSkyline sky(2);
+  bool changed = false;
+  ASSERT_TRUE(sky.Insert(0, {0.9, 0.9}, nullptr).ok());
+  ASSERT_TRUE(sky.Insert(1, {0.1, 0.1}, nullptr).ok());
+  ASSERT_TRUE(sky.Delete(1, &changed).ok());
+  EXPECT_FALSE(changed);
+  EXPECT_EQ(sky.skyline_size(), 1);
+}
+
+TEST(DynamicSkylineTest, DeletePromotesFormerlyDominated) {
+  DynamicSkyline sky(2);
+  ASSERT_TRUE(sky.Insert(0, {0.9, 0.9}, nullptr).ok());
+  ASSERT_TRUE(sky.Insert(1, {0.8, 0.8}, nullptr).ok());
+  ASSERT_TRUE(sky.Insert(2, {0.7, 0.95}, nullptr).ok());
+  bool changed = false;
+  ASSERT_TRUE(sky.Delete(0, &changed).ok());
+  EXPECT_TRUE(changed);
+  EXPECT_TRUE(sky.IsOnSkyline(1));
+  EXPECT_TRUE(sky.IsOnSkyline(2));
+}
+
+struct SkylineChurnParam {
+  int dim;
+  int num_ops;
+  uint64_t seed;
+};
+
+class SkylineChurnTest : public ::testing::TestWithParam<SkylineChurnParam> {};
+
+TEST_P(SkylineChurnTest, MatchesBruteForceUnderChurn) {
+  const SkylineChurnParam param = GetParam();
+  Rng rng(param.seed);
+  DynamicSkyline sky(param.dim);
+  std::unordered_map<int, Point> live;
+  int next_id = 0;
+  for (int op = 0; op < param.num_ops; ++op) {
+    if (live.empty() || rng.Uniform() < 0.6) {
+      Point p(param.dim);
+      for (double& v : p) v = rng.Uniform();
+      ASSERT_TRUE(sky.Insert(next_id, p, nullptr).ok());
+      live.emplace(next_id, p);
+      ++next_id;
+    } else {
+      auto it = live.begin();
+      std::advance(it, rng.UniformInt(static_cast<int>(live.size())));
+      ASSERT_TRUE(sky.Delete(it->first, nullptr).ok());
+      live.erase(it);
+    }
+    if (op % 20 == 19) {
+      EXPECT_EQ(sky.skyline(), BruteSkyline(live)) << "op " << op;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SkylineChurnTest,
+    ::testing::Values(SkylineChurnParam{2, 400, 51},
+                      SkylineChurnParam{3, 400, 52},
+                      SkylineChurnParam{5, 500, 53},
+                      SkylineChurnParam{8, 500, 54}),
+    [](const auto& info) {
+      return "d" + std::to_string(info.param.dim) + "seed" +
+             std::to_string(info.param.seed);
+    });
+
+TEST(SkylineGeneratorsTest, AntiCorHasLargerSkylineThanIndepAndCorrelated) {
+  const int n = 4000;
+  const int d = 5;
+  auto count = [](const PointSet& ps) { return ComputeSkyline(ps).size(); };
+  size_t anti = count(GenerateAntiCor(n, d, 1));
+  size_t indep = count(GenerateIndep(n, d, 1));
+  size_t corr = count(GenerateCorrelated(n, d, 1));
+  EXPECT_GT(anti, indep);
+  EXPECT_GT(indep, corr);
+}
+
+}  // namespace
+}  // namespace fdrms

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/snapshot.h"
+#include "data/generators.h"
+
+namespace fdrms {
+namespace {
+
+std::vector<std::pair<int, Point>> AsTuples(const PointSet& ps) {
+  std::vector<std::pair<int, Point>> out;
+  for (int i = 0; i < ps.size(); ++i) out.emplace_back(i, ps.Get(i));
+  return out;
+}
+
+TEST(SnapshotTest, RoundTripPreservesLogicalState) {
+  PointSet ps = GenerateAntiCor(300, 3, 1);
+  FdRmsOptions opt;
+  opt.k = 2;
+  opt.r = 7;
+  opt.eps = 0.04;
+  opt.max_utilities = 128;
+  opt.seed = 99;
+  FdRms algo(3, opt);
+  ASSERT_TRUE(algo.Initialize(AsTuples(ps)).ok());
+  ASSERT_TRUE(algo.Delete(5).ok());
+  ASSERT_TRUE(algo.Insert(1000, {0.9, 0.8, 0.7}).ok());
+
+  std::stringstream stream;
+  ASSERT_TRUE(SaveSnapshot(algo, &stream).ok());
+  auto loaded = LoadSnapshot(&stream);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  FdRms& restored = **loaded;
+  EXPECT_EQ(restored.dim(), 3);
+  EXPECT_EQ(restored.size(), algo.size());
+  EXPECT_EQ(restored.options().k, 2);
+  EXPECT_EQ(restored.options().r, 7);
+  EXPECT_EQ(restored.options().seed, 99u);
+  EXPECT_FALSE(restored.topk().tree().Contains(5));
+  EXPECT_TRUE(restored.topk().tree().Contains(1000));
+  ASSERT_TRUE(restored.Validate().ok());
+  // Same utility sample (seeded) => identical Φ sets for every utility.
+  for (int u = 0; u < restored.topk().num_utilities(); ++u) {
+    EXPECT_EQ(restored.topk().ApproxTopK(u), algo.topk().ApproxTopK(u))
+        << "utility " << u;
+  }
+  // The restored instance keeps serving updates.
+  ASSERT_TRUE(restored.Insert(2000, {0.1, 0.9, 0.5}).ok());
+  ASSERT_TRUE(restored.Validate().ok());
+}
+
+TEST(SnapshotTest, IdenticalStatesProduceIdenticalBytes) {
+  PointSet ps = GenerateIndep(100, 2, 2);
+  FdRmsOptions opt;
+  opt.k = 1;
+  opt.r = 4;
+  opt.max_utilities = 64;
+  FdRms a(2, opt), b(2, opt);
+  ASSERT_TRUE(a.Initialize(AsTuples(ps)).ok());
+  ASSERT_TRUE(b.Initialize(AsTuples(ps)).ok());
+  std::stringstream sa, sb;
+  ASSERT_TRUE(SaveSnapshot(a, &sa).ok());
+  ASSERT_TRUE(SaveSnapshot(b, &sb).ok());
+  EXPECT_EQ(sa.str(), sb.str());
+}
+
+TEST(SnapshotTest, RejectsCorruptHeader) {
+  std::stringstream stream("NOT-A-SNAPSHOT\n1 1 1 0.1 8 42\n0\n");
+  EXPECT_EQ(LoadSnapshot(&stream).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SnapshotTest, RejectsTruncatedTuples) {
+  PointSet ps = GenerateIndep(50, 2, 3);
+  FdRmsOptions opt;
+  opt.k = 1;
+  opt.r = 3;
+  opt.max_utilities = 32;
+  FdRms algo(2, opt);
+  ASSERT_TRUE(algo.Initialize(AsTuples(ps)).ok());
+  std::stringstream stream;
+  ASSERT_TRUE(SaveSnapshot(algo, &stream).ok());
+  std::string text = stream.str();
+  std::istringstream cut(text.substr(0, text.size() * 2 / 3));
+  EXPECT_FALSE(LoadSnapshot(&cut).ok());
+}
+
+TEST(SnapshotTest, RejectsBadParameters) {
+  std::stringstream stream("FDRMS-SNAPSHOT-v1\n2 0 3 0.1 8 42\n0\n");  // k=0
+  EXPECT_FALSE(LoadSnapshot(&stream).ok());
+  std::stringstream stream2;  // empty
+  EXPECT_FALSE(LoadSnapshot(&stream2).ok());
+}
+
+TEST(SnapshotTest, EmptyDatabaseRoundTrips) {
+  FdRmsOptions opt;
+  opt.k = 1;
+  opt.r = 3;
+  opt.max_utilities = 32;
+  FdRms algo(2, opt);
+  ASSERT_TRUE(algo.Initialize({}).ok());
+  std::stringstream stream;
+  ASSERT_TRUE(SaveSnapshot(algo, &stream).ok());
+  auto loaded = LoadSnapshot(&stream);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ((*loaded)->size(), 0);
+  ASSERT_TRUE((*loaded)->Insert(1, {0.5, 0.5}).ok());
+}
+
+}  // namespace
+}  // namespace fdrms

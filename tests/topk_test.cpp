@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "geometry/sampling.h"
+#include "topk/topk_maintainer.h"
+
+namespace fdrms {
+namespace {
+
+TEST(TopKMaintainerTest, SingleUtilityBasics) {
+  std::vector<Point> utils{{1.0, 0.0}};
+  TopKMaintainer m(2, /*k=*/1, /*eps=*/0.1, utils);
+  ASSERT_TRUE(m.Insert(0, {0.5, 0.2}, nullptr).ok());
+  ASSERT_TRUE(m.Insert(1, {0.9, 0.1}, nullptr).ok());
+  ASSERT_TRUE(m.Insert(2, {0.85, 0.9}, nullptr).ok());
+  // omega_1 = 0.9; threshold = 0.81: tuples 1 and 2 qualify.
+  EXPECT_DOUBLE_EQ(m.OmegaK(0), 0.9);
+  EXPECT_EQ(m.ApproxTopK(0), (std::unordered_set<int>{1, 2}));
+  EXPECT_TRUE(m.ValidateAgainstBruteForce().ok());
+}
+
+TEST(TopKMaintainerTest, FewerTuplesThanKMeansEveryoneQualifies) {
+  Rng rng(4);
+  auto utils = SampleUtilityVectors(8, 3, &rng);
+  TopKMaintainer m(3, /*k=*/5, /*eps=*/0.05, utils);
+  for (int i = 0; i < 3; ++i) {
+    Point p{rng.Uniform(), rng.Uniform(), rng.Uniform()};
+    ASSERT_TRUE(m.Insert(i, p, nullptr).ok());
+  }
+  for (int u = 0; u < m.num_utilities(); ++u) {
+    EXPECT_EQ(m.ApproxTopK(u).size(), 3u);
+    EXPECT_DOUBLE_EQ(m.OmegaK(u), 0.0);
+  }
+  EXPECT_TRUE(m.ValidateAgainstBruteForce().ok());
+}
+
+TEST(TopKMaintainerTest, DeltasDescribeExactMembershipChanges) {
+  std::vector<Point> utils{{1.0, 0.0}, {0.0, 1.0}};
+  TopKMaintainer m(2, /*k=*/1, /*eps=*/0.0, utils);
+  std::vector<TopKDelta> deltas;
+  ASSERT_TRUE(m.Insert(0, {0.5, 0.5}, &deltas).ok());
+  // Tuple 0 becomes the top of both utilities.
+  EXPECT_EQ(deltas.size(), 2u);
+  deltas.clear();
+  ASSERT_TRUE(m.Insert(1, {0.8, 0.2}, &deltas).ok());
+  // Utility 0: tuple 1 displaces tuple 0 (eps = 0 keeps only the top).
+  ASSERT_EQ(deltas.size(), 2u);
+  bool saw_add = false, saw_remove = false;
+  for (const auto& d : deltas) {
+    if (d.added) {
+      EXPECT_EQ(d.tuple_id, 1);
+      EXPECT_EQ(d.utility, 0);
+      saw_add = true;
+    } else {
+      EXPECT_EQ(d.tuple_id, 0);
+      EXPECT_EQ(d.utility, 0);
+      saw_remove = true;
+    }
+  }
+  EXPECT_TRUE(saw_add);
+  EXPECT_TRUE(saw_remove);
+  // MemberOf mirrors the sets.
+  EXPECT_EQ(m.MemberOf(0), (std::unordered_set<int>{1}));
+  EXPECT_EQ(m.MemberOf(1), (std::unordered_set<int>{0}));
+}
+
+TEST(TopKMaintainerTest, DeleteOfNonMemberTouchesNothing) {
+  std::vector<Point> utils{{1.0, 0.0}};
+  TopKMaintainer m(2, /*k=*/1, /*eps=*/0.0, utils);
+  ASSERT_TRUE(m.Insert(0, {0.9, 0.1}, nullptr).ok());
+  ASSERT_TRUE(m.Insert(1, {0.1, 0.9}, nullptr).ok());
+  std::vector<TopKDelta> deltas;
+  ASSERT_TRUE(m.Delete(1, &deltas).ok());
+  EXPECT_TRUE(deltas.empty());
+  EXPECT_EQ(m.ApproxTopK(0), (std::unordered_set<int>{0}));
+}
+
+TEST(TopKMaintainerTest, DeleteMissingIdFails) {
+  std::vector<Point> utils{{1.0, 0.0}};
+  TopKMaintainer m(2, 1, 0.0, utils);
+  EXPECT_EQ(m.Delete(3, nullptr).code(), StatusCode::kNotFound);
+}
+
+struct ChurnParam {
+  int dim;
+  int k;
+  double eps;
+  int num_utils;
+  int num_ops;
+  uint64_t seed;
+};
+
+class TopKChurnTest : public ::testing::TestWithParam<ChurnParam> {};
+
+TEST_P(TopKChurnTest, StateMatchesBruteForceAndDeltasAreConsistent) {
+  const ChurnParam param = GetParam();
+  Rng rng(param.seed);
+  auto utils = SampleUtilityVectors(param.num_utils, param.dim, &rng);
+  TopKMaintainer m(param.dim, param.k, param.eps, utils);
+  // Shadow Φ sets reconstructed from deltas only.
+  std::vector<std::unordered_set<int>> shadow(param.num_utils);
+  std::unordered_map<int, Point> live;
+  int next_id = 0;
+  for (int op = 0; op < param.num_ops; ++op) {
+    std::vector<TopKDelta> deltas;
+    bool do_insert = live.empty() || rng.Uniform() < 0.55;
+    if (do_insert) {
+      Point p(param.dim);
+      for (double& v : p) v = rng.Uniform();
+      ASSERT_TRUE(m.Insert(next_id, p, &deltas).ok());
+      live.emplace(next_id, p);
+      ++next_id;
+    } else {
+      auto it = live.begin();
+      std::advance(it, rng.UniformInt(static_cast<int>(live.size())));
+      ASSERT_TRUE(m.Delete(it->first, &deltas).ok());
+      live.erase(it);
+    }
+    for (const auto& d : deltas) {
+      if (d.added) {
+        EXPECT_TRUE(shadow[d.utility].insert(d.tuple_id).second)
+            << "duplicate add delta";
+      } else {
+        EXPECT_EQ(shadow[d.utility].erase(d.tuple_id), 1u)
+            << "remove delta for non-member";
+      }
+    }
+    if (op % 20 == 19) {
+      ASSERT_TRUE(m.ValidateAgainstBruteForce().ok()) << "op " << op;
+      for (int u = 0; u < param.num_utils; ++u) {
+        EXPECT_EQ(shadow[u], m.ApproxTopK(u)) << "delta stream diverged";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TopKChurnTest,
+    ::testing::Values(ChurnParam{2, 1, 0.0, 8, 300, 21},
+                      ChurnParam{2, 1, 0.1, 16, 300, 22},
+                      ChurnParam{4, 3, 0.05, 32, 400, 23},
+                      ChurnParam{6, 5, 0.02, 24, 400, 24},
+                      ChurnParam{3, 2, 0.3, 12, 500, 25},
+                      ChurnParam{8, 1, 0.01, 40, 300, 26}),
+    [](const auto& info) {
+      return "d" + std::to_string(info.param.dim) + "k" +
+             std::to_string(info.param.k) + "m" +
+             std::to_string(info.param.num_utils) + "s" +
+             std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace fdrms
