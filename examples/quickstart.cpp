@@ -1,8 +1,8 @@
 /// Quickstart: maintain a k-regret minimizing set over a changing database.
 ///
 /// Build & run:
-///   cmake -B build -G Ninja && cmake --build build
-///   ./build/examples/quickstart
+///   cmake -B build -S . && cmake --build build -j
+///   ./build/quickstart
 ///
 /// The example creates a small product catalog, asks FD-RMS for a 5-tuple
 /// representative subset, then streams price updates (delete + insert) and

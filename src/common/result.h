@@ -4,47 +4,103 @@
 /// \file result.h
 /// Result<T>: a value or a Status, Arrow-style.
 
+#include <new>
+#include <type_traits>
 #include <utility>
-#include <variant>
 
 #include "common/check.h"
 #include "common/status.h"
 
 namespace fdrms {
 
+#if defined(__GNUC__) || defined(__clang__)
+#define FDRMS_RESULT_COLD __attribute__((noinline, cold))
+#else
+#define FDRMS_RESULT_COLD
+#endif
+
 /// Holds either a successfully produced T or the Status explaining why the
 /// value could not be produced. Accessing the value of an errored Result is
 /// a checked programming error.
+///
+/// Storage is an explicit discriminant plus union (absl::StatusOr-style)
+/// rather than std::variant: the destructor dispatch is a plain branch the
+/// optimizer can follow, and the discriminant shares no word with payload.
 template <typename T>
 class Result {
  public:
   /// Implicit from value (success).
-  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
-
-  /// Implicit from error status. `status.ok()` is a programming error.
-  Result(Status status) : repr_(std::move(status)) {  // NOLINT
-    FDRMS_DCHECK(!std::get<Status>(repr_).ok())
-        << "Result constructed from OK status";
+  Result(T value) : has_value_(true) {  // NOLINT(runtime/explicit)
+    ::new (static_cast<void*>(&value_)) T(std::move(value));
   }
 
-  bool ok() const { return std::holds_alternative<T>(repr_); }
+  /// Implicit from error status. `status.ok()` is a programming error.
+  Result(Status status) : has_value_(false) {  // NOLINT(runtime/explicit)
+    ::new (static_cast<void*>(&status_)) Status(std::move(status));
+    FDRMS_DCHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  Result(const Result& other) : has_value_(other.has_value_) {
+    if (has_value_) {
+      ::new (static_cast<void*>(&value_)) T(other.value_);
+    } else {
+      ::new (static_cast<void*>(&status_)) Status(other.status_);
+    }
+  }
+
+  Result(Result&& other) noexcept(std::is_nothrow_move_constructible_v<T>)
+      : has_value_(other.has_value_) {
+    if (has_value_) {
+      ::new (static_cast<void*>(&value_)) T(std::move(other.value_));
+    } else {
+      ::new (static_cast<void*>(&status_)) Status(std::move(other.status_));
+    }
+  }
+
+  Result& operator=(const Result& other) {
+    if (this != &other) {
+      // Copy into a temporary first so a throwing T copy constructor leaves
+      // *this untouched (the old payload is only torn down on success).
+      Result tmp(other);
+      *this = std::move(tmp);
+    }
+    return *this;
+  }
+
+  Result& operator=(Result&& other) noexcept(
+      std::is_nothrow_move_constructible_v<T>) {
+    if (this != &other) {
+      Destroy();
+      has_value_ = other.has_value_;
+      if (has_value_) {
+        ::new (static_cast<void*>(&value_)) T(std::move(other.value_));
+      } else {
+        ::new (static_cast<void*>(&status_)) Status(std::move(other.status_));
+      }
+    }
+    return *this;
+  }
+
+  ~Result() { Destroy(); }
+
+  bool ok() const { return has_value_; }
 
   const Status& status() const {
     static const Status ok_status = Status::OK();
-    return ok() ? ok_status : std::get<Status>(repr_);
+    return has_value_ ? ok_status : status_;
   }
 
   const T& value() const& {
     FDRMS_CHECK(ok()) << "Result::value() on error: " << status().ToString();
-    return std::get<T>(repr_);
+    return value_;
   }
   T& value() & {
     FDRMS_CHECK(ok()) << "Result::value() on error: " << status().ToString();
-    return std::get<T>(repr_);
+    return value_;
   }
   T&& value() && {
     FDRMS_CHECK(ok()) << "Result::value() on error: " << status().ToString();
-    return std::get<T>(std::move(repr_));
+    return std::move(value_);
   }
 
   const T& operator*() const& { return value(); }
@@ -52,11 +108,26 @@ class Result {
 
   /// Moves the value out, or returns `alternative` on error.
   T ValueOr(T alternative) && {
-    return ok() ? std::get<T>(std::move(repr_)) : std::move(alternative);
+    return ok() ? std::move(value_) : std::move(alternative);
   }
 
  private:
-  std::variant<T, Status> repr_;
+  void Destroy() {
+    if (has_value_) {
+      value_.~T();
+    } else {
+      DestroyStatus();
+    }
+  }
+
+  /// Outlined so the (cold) error-path teardown stays off the hot path.
+  FDRMS_RESULT_COLD void DestroyStatus() { status_.~Status(); }
+
+  bool has_value_;
+  union {
+    T value_;
+    Status status_;
+  };
 };
 
 /// Propagates the error of a Result-producing expression, otherwise binds

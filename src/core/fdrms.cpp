@@ -125,11 +125,15 @@ Status FdRms::Update(int id, const Point& p) {
   if (!topk_.tree().Contains(id)) {
     return Status::NotFound("tuple id " + std::to_string(id) + " not present");
   }
-  if (static_cast<int>(p.size()) != dim_) {
-    return Status::Invalid("point dimension mismatch");
-  }
   FDRMS_RETURN_NOT_OK(Delete(id));
-  return Insert(id, p);
+  Status reinsert = Insert(id, p);
+  if (!reinsert.ok()) {
+    // The deletion stands (documented contract); say so in the error.
+    return Status::Invalid("update removed tuple " + std::to_string(id) +
+                           " but could not re-insert it: " +
+                           reinsert.message());
+  }
+  return Status::OK();
 }
 
 Status FdRms::ApplyBatch(const std::vector<BatchOp>& ops) {

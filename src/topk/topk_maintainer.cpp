@@ -58,6 +58,11 @@ void TopKMaintainer::EmitRemove(int utility, int id,
 
 Status TopKMaintainer::Insert(int id, const Point& p,
                               std::vector<TopKDelta>* deltas) {
+  // Validate before the cone query: FindReached dots `p` against dim_-sized
+  // utilities, so a short point would read out of bounds.
+  if (static_cast<int>(p.size()) != dim_) {
+    return Status::Invalid("point dimension mismatch");
+  }
   // The cone tree prunes to utilities whose admission threshold `p` can
   // reach; all Φ and top-k changes are confined to those.
   std::vector<int> affected = cone_.FindReached(p);

@@ -70,8 +70,11 @@ INSTANTIATE_TEST_SUITE_P(
                       ConeParam{256, 6, 13}, ConeParam{500, 9, 14},
                       ConeParam{64, 12, 15}),
     [](const auto& info) {
-      return "m" + std::to_string(info.param.num_utils) + "d" +
-             std::to_string(info.param.dim);
+      std::string name = "m";
+      name += std::to_string(info.param.num_utils);
+      name += 'd';
+      name += std::to_string(info.param.dim);
+      return name;
     });
 
 TEST(ConeTreeTest, ThresholdGetterRoundTrips) {

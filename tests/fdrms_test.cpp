@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <functional>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -193,6 +194,83 @@ TEST(FdRmsTest, DynamicQualityMatchesFromScratchRebuild) {
   double fresh_regret = regret_of(fresh.Result());
   EXPECT_LE(dynamic_regret, fresh_regret + 0.05)
       << "dynamic " << dynamic_regret << " vs fresh " << fresh_regret;
+}
+
+TEST(FdRmsTest, RegretMeetsEpsBoundOnSampledUtilitiesAfterChurn) {
+  // Oracle check of the cover guarantee: after an arbitrary update stream,
+  // every universe utility u_i must have some q in Q_t with
+  //   <u_i, q> >= (1 - eps) * omega_k(u_i, P_t),
+  // i.e. the k-regret ratio of Q_t over the sampled universe is <= eps.
+  // omega_k is recomputed brute-force from the live tuples, independently
+  // of the maintained dual-tree state.
+  const double eps = 0.05;
+  const int k = 2;
+  PointSet ps = GenerateIndep(500, 3, 17);
+  FdRms algo(3, Options(k, 12, eps));
+  std::vector<std::pair<int, Point>> initial;
+  for (int i = 0; i < 250; ++i) initial.emplace_back(i, ps.Get(i));
+  ASSERT_TRUE(algo.Initialize(initial).ok());
+  std::unordered_set<int> live;
+  for (int i = 0; i < 250; ++i) live.insert(i);
+  Rng rng(29);
+  for (int i = 250; i < 500; ++i) {
+    ASSERT_TRUE(algo.Insert(i, ps.Get(i)).ok());
+    live.insert(i);
+    if (rng.Uniform() < 0.5) {
+      int victim = *live.begin();
+      ASSERT_TRUE(algo.Delete(victim).ok());
+      live.erase(victim);
+    }
+  }
+  const std::vector<int> q = algo.Result();
+  ASSERT_FALSE(q.empty());
+  const std::vector<Point>& utilities = algo.topk().utilities();
+  for (int i = 0; i < algo.current_m(); ++i) {
+    const Point& u = utilities[i];
+    // Brute-force omega_k(u, P_t): k-th largest score among live tuples.
+    std::vector<double> scores;
+    scores.reserve(live.size());
+    for (int id : live) scores.push_back(Dot(u, ps.Get(id)));
+    double omega_k = 0.0;  // fewer than k live tuples => omega_k = 0
+    if (static_cast<int>(scores.size()) >= k) {
+      std::nth_element(scores.begin(), scores.begin() + (k - 1), scores.end(),
+                       std::greater<double>());
+      omega_k = scores[k - 1];
+    }
+    double best = 0.0;
+    for (int id : q) best = std::max(best, Dot(u, ps.Get(id)));
+    EXPECT_GE(best, (1.0 - eps) * omega_k - 1e-9)
+        << "utility " << i << ": regret ratio " << 1.0 - best / omega_k
+        << " exceeds eps=" << eps;
+  }
+}
+
+TEST(FdRmsTest, IdenticalSeedsReproduceIdenticalResults) {
+  // Determinism: two instances with the same FdRmsOptions.seed replaying the
+  // same mutation stream must agree on m and Q_t at every checkpoint.
+  PointSet ps = GenerateAntiCor(400, 3, 23);
+  FdRmsOptions opt = Options(1, 10, 0.05, 256, /*seed=*/12345);
+  FdRms a(3, opt), b(3, opt);
+  std::vector<std::pair<int, Point>> initial;
+  for (int i = 0; i < 200; ++i) initial.emplace_back(i, ps.Get(i));
+  ASSERT_TRUE(a.Initialize(initial).ok());
+  ASSERT_TRUE(b.Initialize(initial).ok());
+  EXPECT_EQ(a.current_m(), b.current_m());
+  EXPECT_EQ(a.Result(), b.Result());
+  for (int i = 200; i < 400; ++i) {
+    ASSERT_TRUE(a.Insert(i, ps.Get(i)).ok());
+    ASSERT_TRUE(b.Insert(i, ps.Get(i)).ok());
+    if (i % 2 == 0) {
+      ASSERT_TRUE(a.Delete(i - 200).ok());
+      ASSERT_TRUE(b.Delete(i - 200).ok());
+    }
+    if (i % 50 == 0) {
+      EXPECT_EQ(a.current_m(), b.current_m()) << "after op " << i;
+      EXPECT_EQ(a.Result(), b.Result()) << "after op " << i;
+    }
+  }
+  EXPECT_EQ(a.current_m(), b.current_m());
+  EXPECT_EQ(a.Result(), b.Result());
 }
 
 }  // namespace

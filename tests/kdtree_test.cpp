@@ -120,9 +120,13 @@ INSTANTIATE_TEST_SUITE_P(
                       RandomOpsParam{8, 2, 600, 4},
                       RandomOpsParam{4, 4, 1500, 5}),
     [](const auto& info) {
-      return "d" + std::to_string(info.param.dim) + "k" +
-             std::to_string(info.param.k) + "ops" +
-             std::to_string(info.param.num_ops);
+      std::string name = "d";
+      name += std::to_string(info.param.dim);
+      name += 'k';
+      name += std::to_string(info.param.k);
+      name += "ops";
+      name += std::to_string(info.param.num_ops);
+      return name;
     });
 
 TEST(KdTreeTest, ExplicitRebuildPreservesContents) {

@@ -194,9 +194,13 @@ INSTANTIATE_TEST_SUITE_P(
                       CoverChurnParam{64, 64, 0.03, 500, 44},
                       CoverChurnParam{30, 5, 0.5, 500, 45}),
     [](const auto& info) {
-      return "e" + std::to_string(info.param.num_elements) + "s" +
-             std::to_string(info.param.num_sets) + "seed" +
-             std::to_string(info.param.seed);
+      std::string name = "e";
+      name += std::to_string(info.param.num_elements);
+      name += 's';
+      name += std::to_string(info.param.num_sets);
+      name += "seed";
+      name += std::to_string(info.param.seed);
+      return name;
     });
 
 TEST(DynamicSetCoverTest, ApproximationStaysLogarithmic) {

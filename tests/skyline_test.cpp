@@ -138,8 +138,11 @@ INSTANTIATE_TEST_SUITE_P(
                       SkylineChurnParam{5, 500, 53},
                       SkylineChurnParam{8, 500, 54}),
     [](const auto& info) {
-      return "d" + std::to_string(info.param.dim) + "seed" +
-             std::to_string(info.param.seed);
+      std::string name = "d";
+      name += std::to_string(info.param.dim);
+      name += "seed";
+      name += std::to_string(info.param.seed);
+      return name;
     });
 
 TEST(SkylineGeneratorsTest, AntiCorHasLargerSkylineThanIndepAndCorrelated) {

@@ -146,10 +146,15 @@ INSTANTIATE_TEST_SUITE_P(
                       ChurnParam{3, 2, 0.3, 12, 500, 25},
                       ChurnParam{8, 1, 0.01, 40, 300, 26}),
     [](const auto& info) {
-      return "d" + std::to_string(info.param.dim) + "k" +
-             std::to_string(info.param.k) + "m" +
-             std::to_string(info.param.num_utils) + "s" +
-             std::to_string(info.param.seed);
+      std::string name = "d";
+      name += std::to_string(info.param.dim);
+      name += 'k';
+      name += std::to_string(info.param.k);
+      name += 'm';
+      name += std::to_string(info.param.num_utils);
+      name += 's';
+      name += std::to_string(info.param.seed);
+      return name;
     });
 
 }  // namespace
