@@ -19,10 +19,14 @@
 ///   FDRMS_TIME_ALL_RUNS      time every skyline-trigger recomputation
 ///                            instead of a sample (slow; default off)
 
+#include <cmath>
+#include <cstring>
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "baselines/dmm.h"
@@ -162,6 +166,90 @@ inline void ShapeCheck(bool ok, const std::string& claim) {
   std::cout << "# shape-check: " << (ok ? "PASS" : "FAIL") << " — " << claim
             << "\n";
 }
+
+/// Machine-readable bench output: pass `--json` to a wired bench binary and
+/// it writes BENCH_<name>.json next to the working directory, one record
+/// per measured case with the per-case mean/throughput numbers. Tables on
+/// stdout are unchanged — the JSON is a sidecar for dashboards and
+/// regression tooling.
+class JsonReporter {
+ public:
+  /// `name` is the bench binary's short name (e.g. "bench_concurrent");
+  /// argv is scanned for `--json`.
+  JsonReporter(std::string name, int argc, char** argv)
+      : name_(std::move(name)) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0) enabled_ = true;
+    }
+  }
+
+  bool enabled() const { return enabled_; }
+
+  /// Records one case (no-op unless --json was given). Metrics are flat
+  /// name/value pairs; non-finite values serialize as null.
+  void AddCase(std::string case_name,
+               std::vector<std::pair<std::string, double>> metrics) {
+    if (!enabled_) return;
+    cases_.push_back({std::move(case_name), std::move(metrics)});
+  }
+
+  /// Writes BENCH_<name>.json; call once at the end of main. Returns true
+  /// on success (and always when --json was not given).
+  bool Write() const {
+    if (!enabled_) return true;
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "# json: cannot open " << path << "\n";
+      return false;
+    }
+    out.precision(12);
+    out << "{\n  \"bench\": \"" << Escape(name_) << "\",\n  \"cases\": [";
+    for (size_t c = 0; c < cases_.size(); ++c) {
+      out << (c == 0 ? "" : ",") << "\n    {\"name\": \""
+          << Escape(cases_[c].name) << "\", \"metrics\": {";
+      for (size_t m = 0; m < cases_[c].metrics.size(); ++m) {
+        const auto& [key, value] = cases_[c].metrics[m];
+        out << (m == 0 ? "" : ", ") << "\"" << Escape(key) << "\": ";
+        if (std::isfinite(value)) {
+          out << value;
+        } else {
+          out << "null";
+        }
+      }
+      out << "}}";
+    }
+    out << "\n  ]\n}\n";
+    out.close();
+    if (!out) {
+      std::cerr << "# json: write to " << path << " failed\n";
+      return false;
+    }
+    std::cout << "# json: wrote " << path << " (" << cases_.size()
+              << " cases)\n";
+    return true;
+  }
+
+ private:
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char ch : s) {
+      if (ch == '"' || ch == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(ch) < 0x20) continue;  // drop control chars
+      out.push_back(ch);
+    }
+    return out;
+  }
+
+  struct Case {
+    std::string name;
+    std::vector<std::pair<std::string, double>> metrics;
+  };
+  std::string name_;
+  bool enabled_ = false;
+  std::vector<Case> cases_;
+};
 
 }  // namespace bench
 }  // namespace fdrms

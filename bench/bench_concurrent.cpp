@@ -1,0 +1,86 @@
+/// Concurrent serving throughput: replays the paper's dynamic workload
+/// through FdRmsService while reader threads hammer the lock-free snapshot,
+/// sweeping the reader and submitter counts. Reported per configuration:
+/// applied update ops/s, snapshot reads/s, and the queue-backlog staleness
+/// readers actually observed (mean and max, in operations).
+///
+/// Shapes to expect: update throughput stays within one writer's budget
+/// regardless of reader count (readers are off the write path), query
+/// throughput scales with reader threads until the host runs out of cores,
+/// and staleness stays bounded by the queue capacity.
+///
+/// Flags: --json (write BENCH_bench_concurrent.json), --quick (single
+/// configuration, for smoke runs).
+///
+/// Extra env knobs: FDRMS_BENCH_N (dataset size), FDRMS_BENCH_DIM.
+
+#include <cstring>
+
+#include "bench_common.h"
+#include "eval/service_driver.h"
+
+using namespace fdrms;
+
+int main(int argc, char** argv) {
+  bench::JsonReporter json("bench_concurrent", argc, argv);
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+
+  const int n = static_cast<int>(GetEnvLong("FDRMS_BENCH_N", 4000));
+  const int d = static_cast<int>(GetEnvLong("FDRMS_BENCH_DIM", 4));
+  const int r = 20;
+  PointSet ps = GenerateIndep(n, d, 909);
+  Workload wl(&ps, 2024);
+  std::cout << "Concurrent serving layer: n=" << n << " d=" << d << " r=" << r
+            << " (" << wl.operations().size() << " ops per run)\n\n";
+
+  std::vector<std::pair<int, int>> configs;  // (readers, submitters)
+  if (quick) {
+    configs = {{4, 2}};
+  } else {
+    configs = {{0, 1}, {1, 1}, {4, 2}, {8, 2}, {16, 4}};
+  }
+
+  TablePrinter table({"readers", "submitters", "update_ops/s", "reads/s",
+                      "stale_mean", "stale_max", "batches", "ok"});
+  bool all_consistent = true;
+  for (const auto& [readers, submitters] : configs) {
+    ServiceLoadOptions lopt;
+    lopt.num_readers = readers;
+    lopt.num_submitters = submitters;
+    lopt.service.algo = bench::TunedFdRms(1, r);
+    lopt.service.queue_capacity = 4096;
+    lopt.service.max_batch = 64;
+    ServiceLoadResult res = RunServiceLoad(wl, lopt);
+    all_consistent = all_consistent && res.consistent &&
+                     res.ops_applied + res.ops_rejected == res.ops_submitted;
+    table.BeginRow();
+    table.AddInt(readers);
+    table.AddInt(submitters);
+    table.AddNumber(res.update_throughput, 1);
+    table.AddNumber(res.query_throughput, 1);
+    table.AddNumber(res.mean_staleness_ops, 2);
+    table.AddNumber(res.max_staleness_ops, 0);
+    table.AddInt(static_cast<int>(res.batches));
+    table.AddCell(res.consistent ? "yes" : "NO");
+    json.AddCase(
+        "readers=" + std::to_string(readers) +
+            ",submitters=" + std::to_string(submitters),
+        {{"update_ops_per_s", res.update_throughput},
+         {"query_reads_per_s", res.query_throughput},
+         {"mean_staleness_ops", res.mean_staleness_ops},
+         {"max_staleness_ops", res.max_staleness_ops},
+         {"wall_seconds", res.wall_seconds},
+         {"batches", static_cast<double>(res.batches)},
+         {"ops_applied", static_cast<double>(res.ops_applied)},
+         {"queries", static_cast<double>(res.queries)}});
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+  bench::ShapeCheck(all_consistent,
+                    "every reader observed only consistent snapshots and all "
+                    "submitted operations were consumed");
+  return json.Write() && all_consistent ? 0 : 1;
+}

@@ -30,7 +30,7 @@ std::vector<std::unique_ptr<RmsAlgorithm>> SweepAlgorithms() {
   return algos;
 }
 
-bool RunSweep(bool sweep_d) {
+bool RunSweep(bool sweep_d, bench::JsonReporter* json) {
   const int r = 50;
   bool fdrms_fastest = true;
   for (const char* family : {"Indep", "AntiCor"}) {
@@ -63,6 +63,13 @@ bool RunSweep(bool sweep_d) {
       table.AddInt(x);
       table.AddNumber(fd.mean_update_ms, 4);
       table.AddNumber(fd.mean_regret, 4);
+      const std::string sweep_tag =
+          std::string(family) + (sweep_d ? ",d=" : ",n=") + std::to_string(x);
+      json->AddCase("FD-RMS," + sweep_tag,
+                    {{"mean_update_ms", fd.mean_update_ms},
+                     {"mean_regret", fd.mean_regret},
+                     {"throughput_ops_per_s",
+                      fd.mean_update_ms > 0.0 ? 1e3 / fd.mean_update_ms : 0.0}});
       for (size_t a = 0; a < algos.size(); ++a) {
         table.BeginRow();
         table.AddCell(algos[a]->name());
@@ -82,6 +89,12 @@ bool RunSweep(bool sweep_d) {
         RunResult res = runner.RunStatic(*algos[a], r, /*max_timed_runs=*/2);
         table.AddNumber(res.mean_update_ms, 4);
         table.AddNumber(res.mean_regret, 4);
+        json->AddCase(algos[a]->name() + ("," + sweep_tag),
+                      {{"mean_update_ms", res.mean_update_ms},
+                       {"mean_regret", res.mean_regret},
+                       {"throughput_ops_per_s",
+                        res.mean_update_ms > 0.0 ? 1e3 / res.mean_update_ms
+                                                 : 0.0}});
         if (res.mean_update_ms < fd.mean_update_ms) fdrms_fastest = false;
       }
     }
@@ -94,16 +107,18 @@ bool RunSweep(bool sweep_d) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::JsonReporter json("bench_fig8_scalability", argc, argv);
   bool run_d = true, run_n = true;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--sweep=d") == 0) run_n = false;
     if (std::strcmp(argv[i], "--sweep=n") == 0) run_d = false;
   }
   bool ok = true;
-  if (run_d) ok &= RunSweep(/*sweep_d=*/true);
-  if (run_n) ok &= RunSweep(/*sweep_d=*/false);
+  if (run_d) ok &= RunSweep(/*sweep_d=*/true, &json);
+  if (run_n) ok &= RunSweep(/*sweep_d=*/false, &json);
   bench::ShapeCheck(ok,
                     "FD-RMS outperforms the static baselines across the d and "
                     "n sweeps (Fig. 8)");
+  json.Write();
   return 0;
 }

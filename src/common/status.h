@@ -22,6 +22,7 @@ enum class StatusCode : int {
   kFailedPrecondition = 5,
   kUnimplemented = 6,
   kInternal = 7,
+  kResourceExhausted = 8,
 };
 
 /// Returns a short human-readable name for a StatusCode ("OK", "Invalid", ...).
@@ -60,6 +61,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

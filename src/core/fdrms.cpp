@@ -137,20 +137,45 @@ Status FdRms::Update(int id, const Point& p) {
 }
 
 Status FdRms::ApplyBatch(const std::vector<BatchOp>& ops) {
-  for (const BatchOp& op : ops) {
+  size_t num_applied = 0;
+  return ApplyBatch(ops, &num_applied);
+}
+
+Status FdRms::ApplyBatch(const std::vector<BatchOp>& ops, size_t* num_applied) {
+  return ApplyBatch(ops, 0, num_applied);
+}
+
+Status FdRms::ApplyBatch(const std::vector<BatchOp>& ops, size_t begin,
+                         size_t* num_applied) {
+  for (size_t i = begin; i < ops.size(); ++i) {
+    const BatchOp& op = ops[i];
+    Status st;
     switch (op.kind) {
       case BatchOp::Kind::kInsert:
-        FDRMS_RETURN_NOT_OK(Insert(op.id, op.point));
+        st = Insert(op.id, op.point);
         break;
       case BatchOp::Kind::kDelete:
-        FDRMS_RETURN_NOT_OK(Delete(op.id));
+        st = Delete(op.id);
         break;
       case BatchOp::Kind::kUpdate:
-        FDRMS_RETURN_NOT_OK(Update(op.id, op.point));
+        st = Update(op.id, op.point);
         break;
     }
+    if (!st.ok()) {
+      *num_applied = i - begin;
+      return st;
+    }
   }
+  *num_applied = ops.size() - begin;
   return Status::OK();
+}
+
+std::vector<FdRms::ResultEntry> FdRms::ResolvedResult() const {
+  std::vector<int> ids = cover_.CoverSetIds();
+  std::vector<ResultEntry> out;
+  out.reserve(ids.size());
+  for (int id : ids) out.push_back({id, topk_.tree().GetPoint(id)});
+  return out;
 }
 
 void FdRms::UpdateM() {

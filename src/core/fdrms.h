@@ -72,8 +72,31 @@ class FdRms {
   /// failure. Convenience for replaying update streams.
   Status ApplyBatch(const std::vector<BatchOp>& ops);
 
+  /// As above, but additionally reports how many leading operations were
+  /// applied (all of them on success; the index of the failed operation
+  /// otherwise). The serving layer uses this to resume a drained batch past
+  /// a rejected operation instead of discarding its tail.
+  Status ApplyBatch(const std::vector<BatchOp>& ops, size_t* num_applied);
+
+  /// Applies ops[begin..ops.size()); `*num_applied` counts from `begin`.
+  /// Lets a caller resume past a failed operation without copying the
+  /// batch tail.
+  Status ApplyBatch(const std::vector<BatchOp>& ops, size_t begin,
+                    size_t* num_applied);
+
   /// Current result Q_t (tuple ids, ascending); |Q_t| <= r.
   std::vector<int> Result() const { return cover_.CoverSetIds(); }
+
+  /// One member of a published result: a Q_t id with its attribute vector.
+  struct ResultEntry {
+    int id;
+    Point point;
+  };
+
+  /// Q_t with attributes resolved from the live index (ids ascending).
+  /// This is the state a serving snapshot publishes: readers get usable
+  /// tuples without a second lookup against the (mutating) index.
+  std::vector<ResultEntry> ResolvedResult() const;
 
   int current_m() const { return m_; }
   int dim() const { return dim_; }

@@ -1,0 +1,146 @@
+#include "eval/service_driver.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+
+namespace fdrms {
+
+namespace {
+
+/// Staleness/consistency tallies of one reader thread (no sharing: each
+/// reader owns its accumulator; the driver merges after join).
+struct ReaderTally {
+  uint64_t queries = 0;
+  double staleness_sum = 0.0;
+  double staleness_max = 0.0;
+  bool consistent = true;
+};
+
+}  // namespace
+
+ServiceLoadResult RunServiceLoad(const Workload& workload,
+                                 const ServiceLoadOptions& opts) {
+  FDRMS_CHECK(opts.num_readers >= 0);
+  FDRMS_CHECK(opts.num_submitters >= 1);
+
+  FdRmsService service(workload.data().dim(), opts.service);
+  std::vector<std::pair<int, Point>> initial;
+  initial.reserve(workload.initial_ids().size());
+  for (int id : workload.initial_ids()) {
+    initial.emplace_back(id, workload.data().Get(id));
+  }
+  Status started = service.Start(initial);
+  FDRMS_CHECK(started.ok()) << started.ToString();
+
+  const int r = opts.service.algo.r;
+  const std::vector<Operation>& ops = workload.operations();
+  std::atomic<bool> readers_stop{false};
+  std::atomic<uint64_t> submit_failures{0};
+
+  std::vector<ReaderTally> tallies(
+      static_cast<size_t>(std::max(opts.num_readers, 0)));
+  std::vector<std::thread> threads;
+  Stopwatch wall;
+
+  for (int t = 0; t < opts.num_readers; ++t) {
+    threads.emplace_back([&, t] {
+      ReaderTally& tally = tallies[t];
+      uint64_t last_version = 0;
+      while (!readers_stop.load(std::memory_order_acquire)) {
+        std::shared_ptr<const ResultSnapshot> snap = service.Query();
+        ++tally.queries;
+        if (snap == nullptr) {
+          tally.consistent = false;
+          break;
+        }
+        if (snap->version < last_version) tally.consistent = false;
+        last_version = snap->version;
+        if (static_cast<int>(snap->ids.size()) > r) tally.consistent = false;
+        if (snap->ids.size() != snap->points.size()) tally.consistent = false;
+        if (!std::is_sorted(snap->ids.begin(), snap->ids.end()) ||
+            std::adjacent_find(snap->ids.begin(), snap->ids.end()) !=
+                snap->ids.end()) {
+          tally.consistent = false;
+        }
+        uint64_t submitted = service.ops_submitted();
+        uint64_t consumed = snap->ops_applied + snap->ops_rejected;
+        if (submitted < consumed) tally.consistent = false;  // invariant
+        double backlog = static_cast<double>(submitted - consumed);
+        tally.staleness_sum += backlog;
+        tally.staleness_max = std::max(tally.staleness_max, backlog);
+        std::this_thread::yield();  // keep the writer schedulable on small hosts
+      }
+    });
+  }
+
+  for (int t = 0; t < opts.num_submitters; ++t) {
+    threads.emplace_back([&, t] {
+      // Round-robin partition: submitter t owns ops t, t+M, t+2M, ...
+      for (size_t i = static_cast<size_t>(t); i < ops.size();
+           i += static_cast<size_t>(opts.num_submitters)) {
+        Status st = ops[i].is_insert
+                        ? service.SubmitInsert(ops[i].id,
+                                               workload.data().Get(ops[i].id))
+                        : service.SubmitDelete(ops[i].id);
+        if (!st.ok()) {
+          submit_failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  // Join submitters (they were appended after the readers).
+  for (size_t i = static_cast<size_t>(opts.num_readers); i < threads.size();
+       ++i) {
+    threads[i].join();
+  }
+  Status flushed = service.Flush();
+  FDRMS_CHECK(flushed.ok()) << flushed.ToString();
+  const double wall_seconds = wall.ElapsedSeconds();
+  readers_stop.store(true, std::memory_order_release);
+  for (int t = 0; t < opts.num_readers; ++t) threads[t].join();
+  Status stopped = service.Stop(FdRmsService::StopPolicy::kDrain);
+  FDRMS_CHECK(stopped.ok()) << stopped.ToString();
+
+  ServiceLoadResult result;
+  std::shared_ptr<const ResultSnapshot> last = service.Query();
+  result.ops_submitted = service.ops_submitted();
+  result.ops_applied = last->ops_applied;
+  result.ops_rejected = last->ops_rejected;
+  result.submit_failures = submit_failures.load();
+  result.batches = last->batches;
+  result.wall_seconds = wall_seconds;
+  result.final_version = last->version;
+  result.final_result_size = static_cast<int>(last->ids.size());
+  result.final_m = last->sample_size_m;
+  if (wall_seconds > 0.0) {
+    result.update_throughput =
+        static_cast<double>(result.ops_applied) / wall_seconds;
+  }
+  uint64_t total_queries = 0;
+  double staleness_sum = 0.0;
+  for (const ReaderTally& tally : tallies) {
+    total_queries += tally.queries;
+    staleness_sum += tally.staleness_sum;
+    result.max_staleness_ops =
+        std::max(result.max_staleness_ops, tally.staleness_max);
+    result.consistent = result.consistent && tally.consistent;
+  }
+  result.queries = total_queries;
+  if (wall_seconds > 0.0) {
+    result.query_throughput =
+        static_cast<double>(total_queries) / wall_seconds;
+  }
+  if (total_queries > 0) {
+    result.mean_staleness_ops =
+        staleness_sum / static_cast<double>(total_queries);
+  }
+  return result;
+}
+
+}  // namespace fdrms

@@ -1,0 +1,65 @@
+#ifndef FDRMS_EVAL_SERVICE_DRIVER_H_
+#define FDRMS_EVAL_SERVICE_DRIVER_H_
+
+/// \file service_driver.h
+/// Closed-loop load harness for the concurrent serving layer: M submitter
+/// threads replay a Workload's operation stream through FdRmsService while
+/// N reader threads hammer Query(), and the driver reports update/query
+/// throughput plus the snapshot staleness readers actually observed.
+/// Used by bench_concurrent and the serve tests; deterministic in the
+/// *set* of operations applied (the interleaving is scheduler-chosen).
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "eval/workload.h"
+#include "serve/fdrms_service.h"
+
+namespace fdrms {
+
+/// Shape of one load run.
+struct ServiceLoadOptions {
+  int num_readers = 4;     ///< Query() threads
+  int num_submitters = 2;  ///< threads splitting the workload's op stream
+  FdRmsServiceOptions service;
+};
+
+/// What happened during the run.
+struct ServiceLoadResult {
+  // Volume.
+  uint64_t ops_submitted = 0;
+  uint64_t ops_applied = 0;
+  uint64_t ops_rejected = 0;   ///< consumed but refused by the algorithm
+  uint64_t submit_failures = 0;  ///< kResourceExhausted under Overflow::kReject
+  uint64_t queries = 0;
+  uint64_t batches = 0;
+
+  // Rates (walls include initialization of neither side: the clock starts
+  // when the threads launch and stops when the queue is drained).
+  double wall_seconds = 0.0;
+  double update_throughput = 0.0;  ///< applied ops / second
+  double query_throughput = 0.0;   ///< snapshot reads / second
+
+  // Staleness: queue backlog (submitted - consumed) observed at each read.
+  double mean_staleness_ops = 0.0;
+  double max_staleness_ops = 0.0;
+
+  // Final state.
+  uint64_t final_version = 0;
+  int final_result_size = 0;
+  int final_m = 0;
+
+  /// Every reader saw monotone versions, sorted unique ids, |Q| <= r, and
+  /// ids/points parallel; false flags a serving-layer consistency bug.
+  bool consistent = true;
+};
+
+/// Replays `workload` through a service built from `opts.service` (initial
+/// tuples = the workload's P_0, operations round-robin across submitters)
+/// and measures. The service is drained and stopped before returning.
+ServiceLoadResult RunServiceLoad(const Workload& workload,
+                                 const ServiceLoadOptions& opts);
+
+}  // namespace fdrms
+
+#endif  // FDRMS_EVAL_SERVICE_DRIVER_H_

@@ -41,16 +41,24 @@ Workload::Workload(const PointSet* data, uint64_t seed, int num_checkpoints)
 }
 
 std::vector<int> Workload::LiveIdsAfter(int op_index) const {
-  std::unordered_set<int> live(initial_ids_.begin(), initial_ids_.end());
-  for (int i = 0; i <= op_index && i < static_cast<int>(operations_.size());
-       ++i) {
-    if (operations_[i].is_insert) {
-      live.insert(operations_[i].id);
+  const int target = std::clamp(op_index + 1, 0,
+                                static_cast<int>(operations_.size()));
+  std::lock_guard<std::mutex> lock(memo_mutex_);
+  if (!memo_ready_ || memo_applied_ > target) {
+    memo_live_.clear();
+    memo_live_.insert(initial_ids_.begin(), initial_ids_.end());
+    memo_applied_ = 0;
+    memo_ready_ = true;
+  }
+  for (; memo_applied_ < target; ++memo_applied_) {
+    const Operation& op = operations_[memo_applied_];
+    if (op.is_insert) {
+      memo_live_.insert(op.id);
     } else {
-      live.erase(operations_[i].id);
+      memo_live_.erase(op.id);
     }
   }
-  std::vector<int> out(live.begin(), live.end());
+  std::vector<int> out(memo_live_.begin(), memo_live_.end());
   std::sort(out.begin(), out.end());
   return out;
 }

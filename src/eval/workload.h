@@ -7,6 +7,8 @@
 /// random half of the full dataset is deleted tuple-by-tuple. Results are
 /// recorded at 10 evenly spaced checkpoints.
 
+#include <mutex>
+#include <unordered_set>
 #include <vector>
 
 #include "common/rng.h"
@@ -34,7 +36,11 @@ class Workload {
   const std::vector<int>& checkpoints() const { return checkpoints_; }
 
   /// The set of live row ids right after operation `op_index` (replayed
-  /// from the definition; deterministic).
+  /// from the definition; deterministic). Thread-safe. A memoized replay
+  /// cursor advances incrementally between calls, so sweeping all
+  /// checkpoints in ascending order costs O(ops) total rather than
+  /// O(checkpoints * ops); a call that rewinds resets the cursor and
+  /// replays from operation 0.
   std::vector<int> LiveIdsAfter(int op_index) const;
 
  private:
@@ -42,6 +48,14 @@ class Workload {
   std::vector<int> initial_ids_;
   std::vector<Operation> operations_;
   std::vector<int> checkpoints_;
+
+  // Replay-cursor memo: `memo_live_` is the live set after the first
+  // `memo_applied_` operations. Guarded by `memo_mutex_` (LiveIdsAfter is
+  // const and may be called from concurrent readers).
+  mutable std::mutex memo_mutex_;
+  mutable std::unordered_set<int> memo_live_;
+  mutable int memo_applied_ = 0;
+  mutable bool memo_ready_ = false;
 };
 
 }  // namespace fdrms

@@ -1,0 +1,136 @@
+#ifndef FDRMS_SERVE_BOUNDED_QUEUE_H_
+#define FDRMS_SERVE_BOUNDED_QUEUE_H_
+
+/// \file bounded_queue.h
+/// A bounded multi-producer/single-consumer queue (mutex + condvar) for the
+/// serving layer's update path. Producers are request threads submitting
+/// mutations; the single consumer is the writer thread, which drains up to a
+/// batch of elements per wakeup so the (inherently sequential) FD-RMS update
+/// algorithm amortizes wakeup and publication cost across many operations.
+///
+/// Backpressure: `Push` blocks while the queue is full; `TryPush` returns
+/// false instead, letting the caller surface kResourceExhausted. `Close`
+/// wakes everyone: blocked producers give up (their element is not
+/// enqueued), and the consumer keeps draining until empty, then sees
+/// "closed and empty" as end-of-stream.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace fdrms {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {
+    FDRMS_CHECK(capacity > 0);
+  }
+
+  /// Blocks until there is room (or the queue is closed). Returns true if
+  /// the element was enqueued, false if the queue closed first.
+  bool Push(T value) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
+    if (closed_) return false;
+    items_.push_back(std::move(value));
+    total_pushed_.fetch_add(1, std::memory_order_relaxed);
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push: false when full or closed.
+  bool TryPush(T value) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(value));
+      total_pushed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Consumer side: blocks until at least one element is available, then
+  /// moves up to `max_batch` elements into `out` (cleared first). Returns
+  /// false only when the queue is closed *and* empty — end of stream.
+  bool PopBatch(size_t max_batch, std::vector<T>* out) {
+    out->clear();
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return false;  // closed and drained
+    size_t take = items_.size() < max_batch ? items_.size() : max_batch;
+    out->reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      out->push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    lock.unlock();
+    not_full_.notify_all();
+    return true;
+  }
+
+  /// Discards everything queued; returns how many elements were dropped.
+  size_t Clear() {
+    size_t dropped;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      dropped = items_.size();
+      items_.clear();
+    }
+    not_full_.notify_all();
+    return dropped;
+  }
+
+  /// Closes the queue: subsequent pushes fail, blocked pushes give up, the
+  /// consumer drains what remains. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  /// Elements ever accepted (monotone). Counted under the queue mutex at
+  /// push time, so for any observer that saw an element consumed,
+  /// total_pushed() >= the count of consumed elements — the serving layer
+  /// leans on this to make backlog arithmetic underflow-free.
+  uint64_t total_pushed() const {
+    return total_pushed_.load(std::memory_order_relaxed);
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  std::atomic<uint64_t> total_pushed_{0};
+  bool closed_ = false;
+};
+
+}  // namespace fdrms
+
+#endif  // FDRMS_SERVE_BOUNDED_QUEUE_H_

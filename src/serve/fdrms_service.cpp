@@ -1,0 +1,159 @@
+#include "serve/fdrms_service.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/check.h"
+
+namespace fdrms {
+
+FdRmsService::FdRmsService(int dim, const FdRmsServiceOptions& options)
+    : dim_(dim),
+      options_(options),
+      algo_(dim, options.algo),
+      queue_(options.queue_capacity) {
+  FDRMS_CHECK(options.max_batch > 0);
+}
+
+FdRmsService::~FdRmsService() {
+  if (state_.load() == State::kRunning) {
+    (void)Stop(StopPolicy::kDrain);
+  }
+}
+
+Status FdRmsService::Start(const std::vector<std::pair<int, Point>>& initial) {
+  if (state_.load() != State::kNew) {
+    return Status::FailedPrecondition("service already started");
+  }
+  FDRMS_RETURN_NOT_OK(algo_.Initialize(initial));
+  PublishSnapshot();  // version 0: the post-Initialize state
+  state_.store(State::kRunning);
+  writer_ = std::thread(&FdRmsService::WriterLoop, this);
+  return Status::OK();
+}
+
+Status FdRmsService::Stop(StopPolicy policy) {
+  State expected = State::kRunning;
+  if (!state_.compare_exchange_strong(expected, State::kStopped)) {
+    return expected == State::kStopped
+               ? Status::OK()  // idempotent
+               : Status::FailedPrecondition("service never started");
+  }
+  queue_.Close();
+  if (policy == StopPolicy::kAbort) {
+    // Close first so no producer can slip an op in after the purge; the
+    // writer still finishes its in-flight batch.
+    ops_dropped_.fetch_add(queue_.Clear(), std::memory_order_relaxed);
+  }
+  if (writer_.joinable()) writer_.join();
+  return Status::OK();
+}
+
+Status FdRmsService::Submit(FdRms::BatchOp op) {
+  if (state_.load() != State::kRunning) {
+    return Status::FailedPrecondition("service is not running");
+  }
+  if (options_.overflow == FdRmsServiceOptions::Overflow::kReject) {
+    if (!queue_.TryPush(std::move(op))) {
+      if (queue_.closed()) {
+        return Status::FailedPrecondition("service is shutting down");
+      }
+      return Status::ResourceExhausted("update queue full");
+    }
+  } else {
+    if (!queue_.Push(std::move(op))) {
+      return Status::FailedPrecondition("service is shutting down");
+    }
+  }
+  return Status::OK();
+}
+
+Status FdRmsService::Flush() {
+  if (state_.load() == State::kNew) {
+    return Status::FailedPrecondition("service never started");
+  }
+  const uint64_t target = ops_submitted();
+  std::unique_lock<std::mutex> lock(flush_mutex_);
+  flush_cv_.wait(lock,
+                 [&] { return consumed_published_ >= target || writer_done_; });
+  if (consumed_published_ >= target) return Status::OK();
+  return Status::FailedPrecondition(
+      "writer exited before the backlog drained (aborted?)");
+}
+
+const std::vector<FdRms::BatchOp>& FdRmsService::journal() const {
+  FDRMS_CHECK(state_.load() != State::kRunning)
+      << "journal() is only valid after Stop()";
+  return journal_;
+}
+
+const FdRms& FdRmsService::algorithm() const {
+  FDRMS_CHECK(state_.load() != State::kRunning)
+      << "algorithm() is only valid after Stop()";
+  return algo_;
+}
+
+void FdRmsService::WriterLoop() {
+  std::vector<FdRms::BatchOp> batch;
+  while (queue_.PopBatch(options_.max_batch, &batch)) {
+    ApplyAndPublish(batch);
+  }
+  {
+    std::lock_guard<std::mutex> lock(flush_mutex_);
+    writer_done_ = true;
+  }
+  flush_cv_.notify_all();
+}
+
+void FdRmsService::ApplyAndPublish(const std::vector<FdRms::BatchOp>& batch) {
+  if (options_.batch_delay_us_for_test > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(options_.batch_delay_us_for_test));
+  }
+  if (options_.record_journal) {
+    journal_.insert(journal_.end(), batch.begin(), batch.end());
+  }
+  // The whole drain goes down as one ApplyBatch. On a rejected operation
+  // (duplicate insert, vanished delete target, ...) resume from the next
+  // offset instead of discarding the tail — one submitter's bad op must
+  // not eat its neighbors' writes.
+  size_t pos = 0;
+  while (pos < batch.size()) {
+    size_t applied = 0;
+    Status st = algo_.ApplyBatch(batch, pos, &applied);
+    applied_ += applied;
+    pos += applied;
+    if (!st.ok()) {
+      ++rejected_;
+      ++pos;  // skip the offender
+    }
+  }
+  ++batches_;
+  ++version_;
+  PublishSnapshot();
+  {
+    std::lock_guard<std::mutex> lock(flush_mutex_);
+    consumed_published_ = applied_ + rejected_;
+  }
+  flush_cv_.notify_all();
+}
+
+void FdRmsService::PublishSnapshot() {
+  auto snap = std::make_shared<ResultSnapshot>();
+  snap->version = version_;
+  snap->ops_applied = applied_;
+  snap->ops_rejected = rejected_;
+  snap->batches = batches_;
+  snap->sample_size_m = algo_.current_m();
+  snap->live_tuples = algo_.size();
+  std::vector<FdRms::ResultEntry> entries = algo_.ResolvedResult();
+  snap->ids.reserve(entries.size());
+  snap->points.reserve(entries.size());
+  for (FdRms::ResultEntry& e : entries) {
+    snap->ids.push_back(e.id);
+    snap->points.push_back(std::move(e.point));
+  }
+  snapshot_.store(std::move(snap), std::memory_order_release);
+}
+
+}  // namespace fdrms

@@ -1,0 +1,188 @@
+#ifndef FDRMS_SERVE_FDRMS_SERVICE_H_
+#define FDRMS_SERVE_FDRMS_SERVICE_H_
+
+/// \file fdrms_service.h
+/// Concurrent serving layer over FD-RMS: single writer, many readers.
+///
+/// The update algorithm (Algorithms 3-4) is inherently sequential — every
+/// mutation rewrites the dual-tree and the stable set-cover state — so the
+/// service gives it a dedicated writer thread and keeps everyone else off
+/// it. Producers submit mutations into a bounded MPSC queue; the writer
+/// drains the queue in batches, coalesces each drain into one
+/// FdRms::ApplyBatch call, and after every batch publishes an immutable
+/// ResultSnapshot through std::atomic<std::shared_ptr<const ResultSnapshot>>.
+/// Query() is a single atomic shared_ptr load: readers never take the queue
+/// mutex, never wait for the writer, and keep their snapshot alive for as
+/// long as they hold the pointer.
+///
+///   FdRmsServiceOptions sopt;
+///   sopt.algo.r = 20;
+///   FdRmsService service(dim, sopt);
+///   service.Start(initial_tuples);             // Initialize + spawn writer
+///   service.SubmitInsert(id, p);               // any thread
+///   auto snap = service.Query();               // any thread, wait-free
+///   service.Stop(FdRmsService::StopPolicy::kDrain);
+///
+/// Consistency model: snapshots are point-in-time consistent (each is the
+/// exact FD-RMS state after some batch prefix of the applied operation
+/// sequence) and versions are strictly monotone, but reads are *stale* by
+/// up to the queue backlog plus one in-flight batch. ResultSnapshot carries
+/// the counters a reader needs to bound that staleness.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/fdrms.h"
+#include "serve/bounded_queue.h"
+#include "serve/result_snapshot.h"
+
+namespace fdrms {
+
+/// Knobs of the serving layer (the algorithm's own knobs ride in `algo`).
+struct FdRmsServiceOptions {
+  FdRmsOptions algo;
+
+  /// Bound of the MPSC update queue (operations, not batches).
+  size_t queue_capacity = 4096;
+
+  /// Max operations the writer drains into one ApplyBatch/publication.
+  size_t max_batch = 256;
+
+  /// What a submitter experiences when the queue is full: kBlock parks the
+  /// caller until the writer frees room; kReject returns kResourceExhausted
+  /// immediately (shed load at the edge).
+  enum class Overflow { kBlock, kReject };
+  Overflow overflow = Overflow::kBlock;
+
+  /// Test/debug hook: record every consumed operation in application order
+  /// (retrievable via journal() after Stop). Off in production — it grows
+  /// without bound.
+  bool record_journal = false;
+
+  /// Test hook: the writer sleeps this long before applying each batch,
+  /// making backlog-dependent behavior (backpressure, abort drops)
+  /// deterministic to exercise. 0 in production.
+  int batch_delay_us_for_test = 0;
+};
+
+/// A live FD-RMS instance behind a single-writer/multi-reader façade.
+/// Start/Stop must be called from one controlling thread; Submit*/Query/
+/// Flush are safe from any thread.
+class FdRmsService {
+ public:
+  /// Shutdown behavior: kDrain applies everything still queued before the
+  /// writer exits; kAbort discards the backlog (counted in ops_dropped())
+  /// and exits after the in-flight batch.
+  enum class StopPolicy { kDrain, kAbort };
+
+  FdRmsService(int dim, const FdRmsServiceOptions& options);
+
+  /// Stops with kDrain if still running.
+  ~FdRmsService();
+
+  FdRmsService(const FdRmsService&) = delete;
+  FdRmsService& operator=(const FdRmsService&) = delete;
+
+  /// Bulk-loads P_0 (Algorithm 2), publishes snapshot version 0, and spawns
+  /// the writer thread. Fails (without starting) if initialization fails or
+  /// the service was already started.
+  Status Start(const std::vector<std::pair<int, Point>>& initial);
+
+  /// Stops the writer thread per `policy` and joins it. Idempotent once
+  /// stopped; fails if never started.
+  Status Stop(StopPolicy policy = StopPolicy::kDrain);
+
+  /// Enqueues one mutation. Returns kFailedPrecondition when the service is
+  /// not running (or shut down while the caller was blocked), and
+  /// kResourceExhausted under Overflow::kReject when the queue is full.
+  Status Submit(FdRms::BatchOp op);
+  Status SubmitInsert(int id, const Point& p) {
+    return Submit({FdRms::BatchOp::Kind::kInsert, id, p});
+  }
+  Status SubmitDelete(int id) {
+    return Submit({FdRms::BatchOp::Kind::kDelete, id, Point{}});
+  }
+  Status SubmitUpdate(int id, const Point& p) {
+    return Submit({FdRms::BatchOp::Kind::kUpdate, id, p});
+  }
+
+  /// Blocks until every operation submitted before this call has been
+  /// consumed and its snapshot published. Fails if the writer exited first
+  /// (kAbort dropped the backlog, or the service never started).
+  Status Flush();
+
+  /// Wait-free read of the latest published snapshot. Never null after a
+  /// successful Start(); null before it.
+  std::shared_ptr<const ResultSnapshot> Query() const {
+    return snapshot_.load(std::memory_order_acquire);
+  }
+
+  /// Operations accepted into the queue so far (monotone). Counted inside
+  /// the queue at push time, so ops_submitted() >= Query()->ops_applied +
+  /// ops_rejected always holds (for a snapshot loaded before the read) and
+  /// the difference is the current backlog, underflow-free.
+  uint64_t ops_submitted() const { return queue_.total_pushed(); }
+
+  /// Operations discarded by Stop(kAbort).
+  uint64_t ops_dropped() const {
+    return ops_dropped_.load(std::memory_order_relaxed);
+  }
+
+  bool running() const { return state_.load() == State::kRunning; }
+
+  int dim() const { return dim_; }
+  const FdRmsServiceOptions& options() const { return options_; }
+
+  /// The consumed-operation journal (requires options.record_journal).
+  /// Only valid after Stop() — the writer owns it while running.
+  const std::vector<FdRms::BatchOp>& journal() const;
+
+  /// Direct read access to the owned algorithm for tests and persistence.
+  /// Only valid after Stop() — the writer owns it while running.
+  const FdRms& algorithm() const;
+
+ private:
+  enum class State { kNew, kRunning, kStopped };
+
+  void WriterLoop();
+  void ApplyAndPublish(const std::vector<FdRms::BatchOp>& batch);
+  void PublishSnapshot();
+
+  const int dim_;
+  const FdRmsServiceOptions options_;
+  FdRms algo_;
+
+  BoundedQueue<FdRms::BatchOp> queue_;
+  std::thread writer_;
+  std::atomic<State> state_{State::kNew};
+
+  std::atomic<std::shared_ptr<const ResultSnapshot>> snapshot_;
+
+  std::atomic<uint64_t> ops_dropped_{0};
+
+  // Writer-thread-local tallies, surfaced through the published snapshot.
+  uint64_t applied_ = 0;
+  uint64_t rejected_ = 0;
+  uint64_t batches_ = 0;
+  uint64_t version_ = 0;
+
+  // Flush rendezvous: consumed_published_ tracks applied_ + rejected_ as of
+  // the last publication; writer_done_ flips when the writer exits.
+  mutable std::mutex flush_mutex_;
+  std::condition_variable flush_cv_;
+  uint64_t consumed_published_ = 0;
+  bool writer_done_ = false;
+
+  std::vector<FdRms::BatchOp> journal_;
+};
+
+}  // namespace fdrms
+
+#endif  // FDRMS_SERVE_FDRMS_SERVICE_H_

@@ -52,6 +52,35 @@ TEST(WorkloadTest, LiveIdsReplayIsConsistent) {
   EXPECT_EQ(mid_live.size(), 80u);
 }
 
+TEST(WorkloadTest, LiveIdsAfterRandomAccessMatchesBruteForceReplay) {
+  // The memoized replay cursor must be invisible: any query order (forward
+  // sweeps, rewinds, repeats) returns exactly what a from-scratch replay
+  // computes.
+  PointSet ps = GenerateIndep(70, 2, 4);
+  Workload wl(&ps, 21);
+  auto brute_force = [&](int op_index) {
+    std::unordered_set<int> live(wl.initial_ids().begin(),
+                                 wl.initial_ids().end());
+    for (int i = 0; i <= op_index &&
+                    i < static_cast<int>(wl.operations().size());
+         ++i) {
+      const Operation& op = wl.operations()[i];
+      if (op.is_insert) {
+        live.insert(op.id);
+      } else {
+        live.erase(op.id);
+      }
+    }
+    std::vector<int> out(live.begin(), live.end());
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  const int last = static_cast<int>(wl.operations().size()) - 1;
+  for (int idx : {10, 40, 40, 5, last, 0, -1, 25, last}) {
+    EXPECT_EQ(wl.LiveIdsAfter(idx), brute_force(idx)) << "op_index " << idx;
+  }
+}
+
 TEST(WorkloadRunnerTest, FdRmsRunProducesBoundedRegret) {
   PointSet ps = GenerateIndep(400, 3, 4);
   Workload wl(&ps, 11);

@@ -1,0 +1,394 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/generators.h"
+#include "eval/service_driver.h"
+#include "eval/workload.h"
+#include "serve/bounded_queue.h"
+#include "serve/fdrms_service.h"
+
+// All suites here are named Serve* on purpose: the `tsan` CMake test preset
+// (and the CI ThreadSanitizer job) selects them with the regex ^Serve.
+
+namespace fdrms {
+namespace {
+
+std::vector<std::pair<int, Point>> AsTuples(const PointSet& ps, int count) {
+  std::vector<std::pair<int, Point>> out;
+  for (int i = 0; i < count; ++i) out.emplace_back(i, ps.Get(i));
+  return out;
+}
+
+/// Replays `ops` sequentially on a fresh FdRms with the service's per-op
+/// semantics: a rejected operation is skipped, the rest keep going.
+std::unique_ptr<FdRms> SequentialReplay(
+    int dim, const FdRmsOptions& opt,
+    const std::vector<std::pair<int, Point>>& initial,
+    const std::vector<FdRms::BatchOp>& ops) {
+  auto algo = std::make_unique<FdRms>(dim, opt);
+  EXPECT_TRUE(algo->Initialize(initial).ok());
+  for (const FdRms::BatchOp& op : ops) {
+    switch (op.kind) {
+      case FdRms::BatchOp::Kind::kInsert:
+        (void)algo->Insert(op.id, op.point);
+        break;
+      case FdRms::BatchOp::Kind::kDelete:
+        (void)algo->Delete(op.id);
+        break;
+      case FdRms::BatchOp::Kind::kUpdate:
+        (void)algo->Update(op.id, op.point);
+        break;
+    }
+  }
+  return algo;
+}
+
+TEST(ServeQueueTest, PushPopPreservesFifoOrder) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.Push(i));
+  std::vector<int> got;
+  ASSERT_TRUE(q.PopBatch(3, &got));
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2}));
+  ASSERT_TRUE(q.PopBatch(16, &got));
+  EXPECT_EQ(got, (std::vector<int>{3, 4}));
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(ServeQueueTest, TryPushRefusesWhenFull) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_FALSE(q.TryPush(3));
+  std::vector<int> got;
+  ASSERT_TRUE(q.PopBatch(1, &got));
+  EXPECT_TRUE(q.TryPush(3));  // room again
+}
+
+TEST(ServeQueueTest, CloseWakesBlockedProducerAndDrainsConsumer) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.Push(7));
+  std::atomic<bool> push_returned{false};
+  std::atomic<bool> push_result{true};
+  std::thread producer([&] {
+    push_result = q.Push(8);  // queue full: blocks until Close
+    push_returned = true;
+  });
+  q.Close();
+  producer.join();
+  EXPECT_TRUE(push_returned);
+  EXPECT_FALSE(push_result);     // gave up, element not enqueued
+  EXPECT_FALSE(q.TryPush(9));    // closed refuses new work
+  std::vector<int> got;
+  EXPECT_TRUE(q.PopBatch(4, &got));  // drains what was accepted
+  EXPECT_EQ(got, (std::vector<int>{7}));
+  EXPECT_FALSE(q.PopBatch(4, &got));  // closed + empty: end of stream
+}
+
+TEST(ServeQueueTest, ClearReportsDroppedElements) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(q.Push(i));
+  EXPECT_EQ(q.Clear(), 6u);
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(ServeServiceTest, StartPublishesInitialSnapshot) {
+  PointSet ps = GenerateIndep(120, 3, 1);
+  FdRmsServiceOptions sopt;
+  sopt.algo.r = 8;
+  sopt.algo.max_utilities = 128;
+  FdRmsService service(3, sopt);
+  EXPECT_EQ(service.Query(), nullptr);  // nothing published pre-Start
+  ASSERT_TRUE(service.Start(AsTuples(ps, 120)).ok());
+  auto snap = service.Query();
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->version, 0u);
+  EXPECT_EQ(snap->ops_applied, 0u);
+  EXPECT_EQ(snap->live_tuples, 120);
+  EXPECT_LE(static_cast<int>(snap->ids.size()), 8);
+  EXPECT_EQ(snap->ids.size(), snap->points.size());
+  // The published state is exactly what a direct instance computes.
+  FdRms direct(3, sopt.algo);
+  ASSERT_TRUE(direct.Initialize(AsTuples(ps, 120)).ok());
+  EXPECT_EQ(snap->ids, direct.Result());
+  EXPECT_EQ(snap->sample_size_m, direct.current_m());
+  ASSERT_TRUE(service.Stop().ok());
+}
+
+TEST(ServeServiceTest, SubmitBeforeStartOrAfterStopFails) {
+  FdRmsServiceOptions sopt;
+  sopt.algo.max_utilities = 32;
+  FdRmsService service(2, sopt);
+  EXPECT_EQ(service.SubmitDelete(1).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(service.Stop().code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(service.Start({{0, {0.3, 0.4}}, {1, {0.5, 0.2}}}).ok());
+  ASSERT_TRUE(service.Stop().ok());
+  EXPECT_TRUE(service.Stop().ok());  // idempotent
+  EXPECT_EQ(service.SubmitInsert(9, {0.1, 0.1}).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ServeServiceTest, FlushedStreamMatchesDirectApplication) {
+  PointSet ps = GenerateAntiCor(200, 3, 2);
+  FdRmsServiceOptions sopt;
+  sopt.algo.r = 10;
+  sopt.algo.max_utilities = 128;
+  FdRmsService service(3, sopt);
+  ASSERT_TRUE(service.Start(AsTuples(ps, 100)).ok());
+  FdRms direct(3, sopt.algo);
+  ASSERT_TRUE(direct.Initialize(AsTuples(ps, 100)).ok());
+  for (int i = 100; i < 200; ++i) {
+    ASSERT_TRUE(service.SubmitInsert(i, ps.Get(i)).ok());
+    ASSERT_TRUE(direct.Insert(i, ps.Get(i)).ok());
+  }
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(service.SubmitDelete(i).ok());
+    ASSERT_TRUE(direct.Delete(i).ok());
+  }
+  ASSERT_TRUE(service.Flush().ok());
+  auto snap = service.Query();
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->ops_applied, 150u);
+  EXPECT_EQ(snap->ops_rejected, 0u);
+  EXPECT_EQ(snap->live_tuples, 150);
+  EXPECT_EQ(snap->ids, direct.Result());
+  EXPECT_EQ(snap->sample_size_m, direct.current_m());
+  // Points are resolved against the same live tuples.
+  for (size_t i = 0; i < snap->ids.size(); ++i) {
+    EXPECT_EQ(snap->points[i], ps.Get(snap->ids[i]));
+  }
+  ASSERT_TRUE(service.Stop().ok());
+}
+
+TEST(ServeServiceTest, RejectedOperationDoesNotEatTheBatchTail) {
+  PointSet ps = GenerateIndep(60, 2, 3);
+  FdRmsServiceOptions sopt;
+  sopt.algo.r = 5;
+  sopt.algo.max_utilities = 64;
+  FdRmsService service(2, sopt);
+  ASSERT_TRUE(service.Start(AsTuples(ps, 40)).ok());
+  ASSERT_TRUE(service.SubmitInsert(3, ps.Get(3)).ok());   // duplicate: rejected
+  ASSERT_TRUE(service.SubmitDelete(999).ok());            // absent: rejected
+  ASSERT_TRUE(service.SubmitInsert(40, ps.Get(40)).ok()); // fine
+  ASSERT_TRUE(service.SubmitDelete(0).ok());              // fine
+  ASSERT_TRUE(service.Flush().ok());
+  auto snap = service.Query();
+  EXPECT_EQ(snap->ops_applied, 2u);
+  EXPECT_EQ(snap->ops_rejected, 2u);
+  EXPECT_EQ(snap->live_tuples, 40);  // -1 +1
+  ASSERT_TRUE(service.Stop().ok());
+  EXPECT_TRUE(service.algorithm().topk().tree().Contains(40));
+  EXPECT_FALSE(service.algorithm().topk().tree().Contains(0));
+}
+
+TEST(ServeServiceTest, RejectPolicySurfacesResourceExhausted) {
+  PointSet ps = GenerateIndep(80, 2, 4);
+  FdRmsServiceOptions sopt;
+  sopt.algo.r = 5;
+  sopt.algo.max_utilities = 64;
+  sopt.queue_capacity = 1;
+  sopt.max_batch = 1;
+  sopt.overflow = FdRmsServiceOptions::Overflow::kReject;
+  sopt.batch_delay_us_for_test = 2000;  // writer lags: the queue stays full
+  FdRmsService service(2, sopt);
+  ASSERT_TRUE(service.Start(AsTuples(ps, 40)).ok());
+  int accepted = 0, shed = 0;
+  for (int i = 40; i < 80; ++i) {
+    Status st = service.SubmitInsert(i, ps.Get(i));
+    if (st.ok()) {
+      ++accepted;
+    } else {
+      ASSERT_EQ(st.code(), StatusCode::kResourceExhausted) << st.ToString();
+      ++shed;
+    }
+  }
+  EXPECT_GT(accepted, 0);
+  EXPECT_GT(shed, 0);  // a 2ms-per-op writer cannot keep up with a tight loop
+  ASSERT_TRUE(service.Flush().ok());
+  auto snap = service.Query();
+  EXPECT_EQ(snap->ops_applied, static_cast<uint64_t>(accepted));
+  ASSERT_TRUE(service.Stop().ok());
+}
+
+TEST(ServeServiceTest, StopAbortDropsBacklogAndFailsFlush) {
+  PointSet ps = GenerateIndep(300, 2, 5);
+  FdRmsServiceOptions sopt;
+  sopt.algo.r = 5;
+  sopt.algo.max_utilities = 64;
+  sopt.max_batch = 1;
+  sopt.batch_delay_us_for_test = 3000;
+  FdRmsService service(2, sopt);
+  ASSERT_TRUE(service.Start(AsTuples(ps, 100)).ok());
+  for (int i = 100; i < 300; ++i) {
+    ASSERT_TRUE(service.SubmitInsert(i, ps.Get(i)).ok());
+  }
+  ASSERT_TRUE(service.Stop(FdRmsService::StopPolicy::kAbort).ok());
+  // 200 ops at >= 3ms each would take >= 600ms; submission took far less,
+  // so aborting must have found a backlog to drop.
+  EXPECT_GT(service.ops_dropped(), 0u);
+  auto snap = service.Query();
+  EXPECT_EQ(snap->ops_applied + service.ops_dropped(), 200u);
+  EXPECT_EQ(service.Flush().code(), StatusCode::kFailedPrecondition);
+  // The published state is still a consistent prefix of the stream.
+  EXPECT_EQ(snap->live_tuples, 100 + static_cast<int>(snap->ops_applied));
+}
+
+TEST(ServeServiceTest, DrainStopAppliesEverythingQueued) {
+  PointSet ps = GenerateIndep(200, 2, 6);
+  FdRmsServiceOptions sopt;
+  sopt.algo.r = 6;
+  sopt.algo.max_utilities = 64;
+  sopt.max_batch = 4;
+  sopt.batch_delay_us_for_test = 500;
+  FdRmsService service(2, sopt);
+  ASSERT_TRUE(service.Start(AsTuples(ps, 100)).ok());
+  for (int i = 100; i < 200; ++i) {
+    ASSERT_TRUE(service.SubmitInsert(i, ps.Get(i)).ok());
+  }
+  ASSERT_TRUE(service.Stop(FdRmsService::StopPolicy::kDrain).ok());
+  auto snap = service.Query();
+  EXPECT_EQ(snap->ops_applied, 100u);
+  EXPECT_EQ(snap->live_tuples, 200);
+  EXPECT_EQ(service.ops_dropped(), 0u);
+}
+
+// The acceptance scenario: 4 readers + 3 submitters over a mixed
+// insert/delete stream. Readers assert internal consistency of every
+// snapshot they observe; afterwards the drained final snapshot must equal a
+// sequential replay of the journaled operation order.
+TEST(ServeServiceTest, ConcurrentChurnIsConsistentAndMatchesSequentialReplay) {
+  constexpr int kReaders = 4;
+  constexpr int kSubmitters = 3;
+  PointSet ps = GenerateAntiCor(240, 3, 7);
+  Workload wl(&ps, 31);
+  FdRmsServiceOptions sopt;
+  sopt.algo.r = 10;
+  sopt.algo.max_utilities = 256;
+  sopt.max_batch = 16;
+  sopt.record_journal = true;
+  FdRmsService service(3, sopt);
+  std::vector<std::pair<int, Point>> initial;
+  for (int id : wl.initial_ids()) initial.emplace_back(id, ps.Get(id));
+  ASSERT_TRUE(service.Start(initial).ok());
+
+  std::atomic<bool> stop_readers{false};
+  struct ReaderLog {
+    uint64_t queries = 0;
+    uint64_t distinct_versions = 0;
+    std::string failure;  // first violation seen, empty if none
+  };
+  std::vector<ReaderLog> logs(kReaders);
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      ReaderLog& log = logs[t];
+      uint64_t last_version = 0;
+      uint64_t last_consumed = 0;
+      bool first = true;
+      while (!stop_readers.load(std::memory_order_acquire)) {
+        auto snap = service.Query();
+        ++log.queries;
+        auto fail = [&](const std::string& what) {
+          if (log.failure.empty()) log.failure = what;
+        };
+        if (snap == nullptr) {
+          fail("null snapshot");
+          break;
+        }
+        if (!first && snap->version < last_version) fail("version regressed");
+        if (first || snap->version != last_version) ++log.distinct_versions;
+        uint64_t consumed = snap->ops_applied + snap->ops_rejected;
+        if (!first && consumed < last_consumed) fail("op counter regressed");
+        if (static_cast<int>(snap->ids.size()) > sopt.algo.r) {
+          fail("|Q| exceeds r");
+        }
+        if (snap->ids.size() != snap->points.size()) {
+          fail("ids/points not parallel");
+        }
+        if (!std::is_sorted(snap->ids.begin(), snap->ids.end()) ||
+            std::adjacent_find(snap->ids.begin(), snap->ids.end()) !=
+                snap->ids.end()) {
+          fail("ids not sorted unique");
+        }
+        for (const Point& p : snap->points) {
+          if (static_cast<int>(p.size()) != 3) fail("point dim mismatch");
+        }
+        last_version = snap->version;
+        last_consumed = consumed;
+        first = false;
+        std::this_thread::yield();
+      }
+    });
+  }
+
+  const auto& ops = wl.operations();
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&, t] {
+      for (size_t i = static_cast<size_t>(t); i < ops.size();
+           i += kSubmitters) {
+        Status st = ops[i].is_insert
+                        ? service.SubmitInsert(ops[i].id, ps.Get(ops[i].id))
+                        : service.SubmitDelete(ops[i].id);
+        ASSERT_TRUE(st.ok()) << st.ToString();
+      }
+    });
+  }
+  for (std::thread& th : submitters) th.join();
+  ASSERT_TRUE(service.Flush().ok());
+  stop_readers.store(true, std::memory_order_release);
+  for (std::thread& th : readers) th.join();
+  ASSERT_TRUE(service.Stop().ok());
+
+  for (int t = 0; t < kReaders; ++t) {
+    EXPECT_TRUE(logs[t].failure.empty())
+        << "reader " << t << ": " << logs[t].failure;
+    EXPECT_GT(logs[t].queries, 0u);
+  }
+
+  // Accounting: every submitted op was consumed exactly once.
+  auto final_snap = service.Query();
+  ASSERT_NE(final_snap, nullptr);
+  EXPECT_EQ(final_snap->ops_applied + final_snap->ops_rejected, ops.size());
+  const std::vector<FdRms::BatchOp>& journal = service.journal();
+  ASSERT_EQ(journal.size(), ops.size());
+
+  // The drained snapshot equals a sequential replay of the journaled order.
+  auto replay = SequentialReplay(3, sopt.algo, initial, journal);
+  EXPECT_EQ(final_snap->ids, replay->Result());
+  EXPECT_EQ(final_snap->sample_size_m, replay->current_m());
+  EXPECT_EQ(final_snap->live_tuples, replay->size());
+  EXPECT_EQ(final_snap->ids, service.algorithm().Result());
+  ASSERT_TRUE(service.algorithm().Validate().ok());
+}
+
+TEST(ServeDriverTest, LoadRunDrainsWorkloadAndStaysConsistent) {
+  PointSet ps = GenerateIndep(200, 3, 8);
+  Workload wl(&ps, 17);
+  ServiceLoadOptions lopt;
+  lopt.num_readers = 4;
+  lopt.num_submitters = 2;
+  lopt.service.algo.r = 8;
+  lopt.service.algo.max_utilities = 128;
+  lopt.service.max_batch = 32;
+  ServiceLoadResult res = RunServiceLoad(wl, lopt);
+  EXPECT_TRUE(res.consistent);
+  EXPECT_EQ(res.ops_submitted, wl.operations().size());
+  EXPECT_EQ(res.ops_applied + res.ops_rejected, res.ops_submitted);
+  EXPECT_EQ(res.submit_failures, 0u);
+  EXPECT_GT(res.queries, 0u);
+  EXPECT_GT(res.batches, 0u);
+  EXPECT_GT(res.update_throughput, 0.0);
+  EXPECT_GT(res.query_throughput, 0.0);
+  EXPECT_LE(res.final_result_size, 8);
+  EXPECT_GE(res.mean_staleness_ops, 0.0);
+  EXPECT_GE(res.max_staleness_ops, res.mean_staleness_ops);
+}
+
+}  // namespace
+}  // namespace fdrms

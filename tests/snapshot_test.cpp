@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <functional>
 #include <sstream>
+#include <vector>
 
 #include "core/snapshot.h"
 #include "data/generators.h"
+#include "eval/workload.h"
 
 namespace fdrms {
 namespace {
@@ -91,6 +95,85 @@ TEST(SnapshotTest, RejectsBadParameters) {
   EXPECT_FALSE(LoadSnapshot(&stream).ok());
   std::stringstream stream2;  // empty
   EXPECT_FALSE(LoadSnapshot(&stream2).ok());
+}
+
+// Oracle check of the cover guarantee for one instance: every universe
+// utility u_i must have some q in Q_t with <u_i, q> >= (1 - eps) * omega_k,
+// where omega_k is recomputed brute-force from the live tuple set.
+void ExpectRegretOracleBound(const FdRms& algo, const PointSet& ps,
+                             const std::vector<int>& live,
+                             const std::string& label) {
+  const int k = algo.options().k;
+  const double eps = algo.options().eps;
+  const std::vector<int> q = algo.Result();
+  ASSERT_FALSE(q.empty()) << label;
+  const std::vector<Point>& utilities = algo.topk().utilities();
+  for (int i = 0; i < algo.current_m(); ++i) {
+    const Point& u = utilities[i];
+    std::vector<double> scores;
+    scores.reserve(live.size());
+    for (int id : live) scores.push_back(Dot(u, ps.Get(id)));
+    double omega_k = 0.0;  // fewer than k live tuples => omega_k = 0
+    if (static_cast<int>(scores.size()) >= k) {
+      std::nth_element(scores.begin(), scores.begin() + (k - 1), scores.end(),
+                       std::greater<double>());
+      omega_k = scores[k - 1];
+    }
+    double best = 0.0;
+    for (int id : q) best = std::max(best, Dot(u, ps.Get(id)));
+    EXPECT_GE(best, (1.0 - eps) * omega_k - 1e-9)
+        << label << ": utility " << i << " regret ratio "
+        << 1.0 - best / omega_k << " exceeds eps=" << eps;
+  }
+}
+
+TEST(SnapshotTest, MidWorkloadSaveLoadReplayKeepsRegretBound) {
+  // Persistence under churn: run the paper's dynamic protocol halfway,
+  // snapshot, restore, replay the remaining operations on both instances.
+  // Both must keep serving and both must satisfy the regret-ratio oracle
+  // bound on the final live set. (Q_t itself may differ: the cover is
+  // recomputed on load, and any stable solution is a valid carrier.)
+  PointSet ps = GenerateAntiCor(300, 3, 9);
+  Workload wl(&ps, 23);
+  FdRmsOptions opt;
+  opt.k = 1;
+  opt.r = 10;
+  opt.eps = 0.05;
+  opt.max_utilities = 256;
+  opt.seed = 77;
+  FdRms original(3, opt);
+  std::vector<std::pair<int, Point>> initial;
+  for (int id : wl.initial_ids()) initial.emplace_back(id, ps.Get(id));
+  ASSERT_TRUE(original.Initialize(initial).ok());
+
+  const auto& ops = wl.operations();
+  const int half = static_cast<int>(ops.size()) / 2;
+  auto apply = [&](FdRms* algo, int from, int to) {
+    for (int i = from; i < to; ++i) {
+      Status st = ops[i].is_insert ? algo->Insert(ops[i].id, ps.Get(ops[i].id))
+                                   : algo->Delete(ops[i].id);
+      ASSERT_TRUE(st.ok()) << "op " << i << ": " << st.ToString();
+    }
+  };
+  apply(&original, 0, half);
+
+  std::stringstream stream;
+  ASSERT_TRUE(SaveSnapshot(original, &stream).ok());
+  auto loaded = LoadSnapshot(&stream);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  FdRms& restored = **loaded;
+  EXPECT_EQ(restored.size(), original.size());
+
+  apply(&original, half, static_cast<int>(ops.size()));
+  apply(&restored, half, static_cast<int>(ops.size()));
+
+  ASSERT_TRUE(original.Validate().ok());
+  ASSERT_TRUE(restored.Validate().ok());
+  std::vector<int> live = wl.LiveIdsAfter(static_cast<int>(ops.size()) - 1);
+  EXPECT_EQ(original.size(), static_cast<int>(live.size()));
+  EXPECT_EQ(restored.size(), static_cast<int>(live.size()));
+  ExpectRegretOracleBound(original, ps, live, "original");
+  ExpectRegretOracleBound(restored, ps, live, "restored");
 }
 
 TEST(SnapshotTest, EmptyDatabaseRoundTrips) {

@@ -136,5 +136,24 @@ TEST_F(UpdateTest, EmptyBatchIsOk) {
   EXPECT_TRUE(algo_->ApplyBatch({}).ok());
 }
 
+TEST_F(UpdateTest, ApplyBatchReportsAppliedCountAndResumesFromOffset) {
+  std::vector<FdRms::BatchOp> ops;
+  ops.push_back({FdRms::BatchOp::Kind::kInsert, 304, {0.2, 0.2, 0.2}});
+  ops.push_back({FdRms::BatchOp::Kind::kDelete, 9999, {}});  // not live
+  ops.push_back({FdRms::BatchOp::Kind::kInsert, 305, {0.3, 0.3, 0.3}});
+  ops.push_back({FdRms::BatchOp::Kind::kDelete, 3, {}});
+  size_t applied = 0;
+  Status s = algo_->ApplyBatch(ops, &applied);
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(applied, 1u);  // index of the failed op
+  // Resume past the offender: counts are relative to `begin`.
+  ASSERT_TRUE(algo_->ApplyBatch(ops, /*begin=*/2, &applied).ok());
+  EXPECT_EQ(applied, 2u);
+  EXPECT_TRUE(algo_->topk().tree().Contains(304));
+  EXPECT_TRUE(algo_->topk().tree().Contains(305));
+  EXPECT_FALSE(algo_->topk().tree().Contains(3));
+  EXPECT_TRUE(algo_->Validate().ok());
+}
+
 }  // namespace
 }  // namespace fdrms
