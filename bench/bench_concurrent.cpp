@@ -44,7 +44,8 @@ int main(int argc, char** argv) {
   }
 
   TablePrinter table({"readers", "submitters", "update_ops/s", "reads/s",
-                      "stale_mean", "stale_max", "batches", "ok"});
+                      "stale_mean", "stale_max", "pub_p50_us", "pub_p99_us",
+                      "batches", "ok"});
   bool all_consistent = true;
   for (const auto& [readers, submitters] : configs) {
     ServiceLoadOptions lopt;
@@ -63,6 +64,8 @@ int main(int argc, char** argv) {
     table.AddNumber(res.query_throughput, 1);
     table.AddNumber(res.mean_staleness_ops, 2);
     table.AddNumber(res.max_staleness_ops, 0);
+    table.AddNumber(res.publish_p50_us, 0);
+    table.AddNumber(res.publish_p99_us, 0);
     table.AddInt(static_cast<int>(res.batches));
     table.AddCell(res.consistent ? "yes" : "NO");
     json.AddCase(
@@ -72,6 +75,9 @@ int main(int argc, char** argv) {
          {"query_reads_per_s", res.query_throughput},
          {"mean_staleness_ops", res.mean_staleness_ops},
          {"max_staleness_ops", res.max_staleness_ops},
+         {"publish_p50_us", res.publish_p50_us},
+         {"publish_p99_us", res.publish_p99_us},
+         {"writer_busy_seconds", res.writer_busy_seconds},
          {"wall_seconds", res.wall_seconds},
          {"batches", static_cast<double>(res.batches)},
          {"ops_applied", static_cast<double>(res.ops_applied)},

@@ -1,0 +1,140 @@
+/// Sharded service demo: one product catalog partitioned across four
+/// independent FD-RMS writers, served through merged snapshot reads.
+///
+/// Build & run:
+///   cmake -B build -S . && cmake --build build -j
+///   ./build/sharded_catalog
+///
+/// A ShardedFdRmsService hash-routes every catalog id to one of four
+/// single-writer shards. Ingest threads stream catalog changes — each
+/// mutation lands on the queue of the shard that owns the id — while
+/// frontend threads read the merged view: the union of the four shard
+/// shortlists, re-covered down to a global budget of 10, stamped with the
+/// version vector of the four publications it was composed from.
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "shard/sharded_service.h"
+
+using fdrms::MergedSnapshot;
+using fdrms::Point;
+using fdrms::ShardedFdRmsService;
+using fdrms::ShardedServiceOptions;
+
+int main() {
+  const int kDim = 4;
+  const int kCatalog = 4000;
+  const int kShards = 4;
+  fdrms::Rng rng(2026);
+  std::vector<std::pair<int, Point>> catalog;
+  for (int id = 0; id < kCatalog; ++id) {
+    Point p(kDim);
+    for (double& v : p) v = rng.Uniform();
+    catalog.emplace_back(id, p);
+  }
+
+  ShardedServiceOptions sopt;
+  sopt.num_shards = kShards;
+  sopt.shard.algo.k = 1;
+  sopt.shard.algo.r = 6;        // per-shard shortlist budget
+  sopt.shard.algo.eps = 0.02;
+  sopt.shard.algo.max_utilities = 512;
+  sopt.shard.queue_capacity = 1024;
+  sopt.shard.max_batch = 64;
+  sopt.merged_budget_r = 10;    // global shortlist served to users
+  ShardedFdRmsService service(kDim, sopt);
+  fdrms::Status st = service.Start(catalog);
+  if (!st.ok()) {
+    std::fprintf(stderr, "Start failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("service up: %d items over %d shards (router: %s)\n", kCatalog,
+              service.num_shards(), service.router().name());
+
+  // Two ingest threads stream 800 catalog changes each.
+  const int kIngestThreads = 2;
+  const int kChangesPerThread = 800;
+  std::vector<std::thread> ingest;
+  for (int t = 0; t < kIngestThreads; ++t) {
+    ingest.emplace_back([&service, t] {
+      fdrms::Rng local(8100 + t);
+      int next_id = kCatalog + t * kChangesPerThread;  // disjoint id ranges
+      for (int step = 0; step < kChangesPerThread; ++step) {
+        double dice = local.Uniform();
+        Point p(kDim);
+        for (double& v : p) v = local.Uniform();
+        fdrms::Status op_status;
+        if (dice < 0.4) {
+          op_status = service.SubmitInsert(next_id++, p);
+        } else if (dice < 0.7) {
+          op_status = service.SubmitUpdate(local.UniformInt(kCatalog), p);
+        } else {
+          op_status = service.SubmitDelete(local.UniformInt(kCatalog));
+        }
+        if (!op_status.ok()) {
+          std::fprintf(stderr, "submit failed: %s\n",
+                       op_status.ToString().c_str());
+          return;
+        }
+      }
+    });
+  }
+
+  // Frontends read the merged view until ingest finishes.
+  std::atomic<bool> open_for_business{true};
+  std::atomic<long> requests_served{0};
+  std::vector<std::thread> frontends;
+  for (int t = 0; t < 3; ++t) {
+    frontends.emplace_back([&] {
+      while (open_for_business.load(std::memory_order_acquire)) {
+        std::shared_ptr<const MergedSnapshot> snap = service.Query();
+        if (snap != nullptr) {
+          requests_served.fetch_add(1, std::memory_order_relaxed);
+        }
+        std::this_thread::yield();
+      }
+    });
+  }
+
+  for (std::thread& th : ingest) th.join();
+  st = service.Flush();
+  if (!st.ok()) {
+    std::fprintf(stderr, "Flush failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  open_for_business.store(false, std::memory_order_release);
+  for (std::thread& th : frontends) th.join();
+
+  std::shared_ptr<const MergedSnapshot> final_snap = service.Query();
+  std::printf("ingest done: %llu ops applied, %llu rejected, %llu batches "
+              "across %d writers\n",
+              static_cast<unsigned long long>(final_snap->ops_applied),
+              static_cast<unsigned long long>(final_snap->ops_rejected),
+              static_cast<unsigned long long>(final_snap->batches), kShards);
+  std::printf("version vector [");
+  for (int s = 0; s < kShards; ++s) {
+    std::printf("%s%llu", s ? ", " : "",
+                static_cast<unsigned long long>(final_snap->versions[s]));
+  }
+  std::printf("], %d live tuples, union %zu -> shortlist %zu (budget %d)\n",
+              final_snap->live_tuples, final_snap->union_size,
+              final_snap->ids.size(), sopt.merged_budget_r);
+  std::printf("frontends served %ld merged reads; worst shard publish p99 "
+              "%.0f us\n",
+              requests_served.load(), final_snap->publish_p99_us_max);
+  for (size_t i = 0; i < final_snap->ids.size(); ++i) {
+    const int id = final_snap->ids[i];
+    std::printf("  #%-5d shard %d [", id, service.router().Route(id));
+    for (int j = 0; j < kDim; ++j) {
+      std::printf("%s%.2f", j ? ", " : "", final_snap->points[i][j]);
+    }
+    std::printf("]\n");
+  }
+  (void)service.Stop();
+  std::printf("all shards stopped cleanly.\n");
+  return 0;
+}

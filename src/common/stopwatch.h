@@ -2,9 +2,11 @@
 #define FDRMS_COMMON_STOPWATCH_H_
 
 /// \file stopwatch.h
-/// Wall-clock timing utilities for the experiment harness.
+/// Wall-clock and per-thread CPU timing utilities for the experiment
+/// harness.
 
 #include <chrono>
+#include <ctime>
 
 namespace fdrms {
 
@@ -47,6 +49,25 @@ class TimeAccumulator {
   double total_seconds_ = 0.0;
   long count_ = 0;
 };
+
+/// CPU seconds consumed by the *calling thread* so far. Unlike wall time,
+/// this excludes periods the thread spent descheduled or blocked, so on an
+/// oversubscribed host (more busy threads than cores) it still measures the
+/// work a thread actually did — the serving layer uses it to report
+/// per-writer cost that is meaningful regardless of how many writers share
+/// a core. Falls back to wall time where the POSIX clock is unavailable.
+inline double ThreadCpuSeconds() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+#endif
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 }  // namespace fdrms
 

@@ -115,6 +115,9 @@ ServiceLoadResult RunServiceLoad(const Workload& workload,
   result.submit_failures = submit_failures.load();
   result.batches = last->batches;
   result.wall_seconds = wall_seconds;
+  result.writer_busy_seconds = last->writer_busy_seconds;
+  result.publish_p50_us = last->publish_p50_us;
+  result.publish_p99_us = last->publish_p99_us;
   result.final_version = last->version;
   result.final_result_size = static_cast<int>(last->ids.size());
   result.final_m = last->sample_size_m;
@@ -139,6 +142,180 @@ ServiceLoadResult RunServiceLoad(const Workload& workload,
   if (total_queries > 0) {
     result.mean_staleness_ops =
         staleness_sum / static_cast<double>(total_queries);
+  }
+  return result;
+}
+
+namespace {
+
+/// Staleness/consistency tallies of one merged-snapshot reader thread.
+struct ShardedReaderTally {
+  uint64_t queries = 0;
+  double staleness_sum = 0.0;
+  double staleness_max = 0.0;
+  std::vector<double> per_shard_staleness_sum;
+  bool consistent = true;
+};
+
+}  // namespace
+
+ShardedLoadResult RunShardedLoad(const Workload& workload,
+                                 const ShardedLoadOptions& opts) {
+  FDRMS_CHECK(opts.num_readers >= 0);
+  FDRMS_CHECK(opts.num_submitters >= 1);
+  const int num_shards = opts.service.num_shards;
+
+  ShardedFdRmsService service(workload.data().dim(), opts.service);
+  std::vector<std::pair<int, Point>> initial;
+  initial.reserve(workload.initial_ids().size());
+  for (int id : workload.initial_ids()) {
+    initial.emplace_back(id, workload.data().Get(id));
+  }
+  Status started = service.Start(initial);
+  FDRMS_CHECK(started.ok()) << started.ToString();
+
+  // The merged result bound: the explicit merge budget when set, else the
+  // pure union of S per-shard budgets.
+  const int result_bound =
+      opts.service.merged_budget_r > 0
+          ? opts.service.merged_budget_r
+          : num_shards * opts.service.shard.algo.r;
+  const std::vector<Operation>& ops = workload.operations();
+  std::atomic<bool> readers_stop{false};
+  std::atomic<uint64_t> submit_failures{0};
+
+  std::vector<ShardedReaderTally> tallies(
+      static_cast<size_t>(std::max(opts.num_readers, 0)));
+  for (ShardedReaderTally& tally : tallies) {
+    tally.per_shard_staleness_sum.assign(static_cast<size_t>(num_shards), 0.0);
+  }
+  std::vector<std::thread> threads;
+  Stopwatch wall;
+
+  for (int t = 0; t < opts.num_readers; ++t) {
+    threads.emplace_back([&, t] {
+      ShardedReaderTally& tally = tallies[t];
+      std::vector<uint64_t> last_versions(static_cast<size_t>(num_shards), 0);
+      while (!readers_stop.load(std::memory_order_acquire)) {
+        std::shared_ptr<const MergedSnapshot> snap = service.Query();
+        ++tally.queries;
+        if (snap == nullptr) {
+          tally.consistent = false;
+          break;
+        }
+        if (snap->versions.size() != static_cast<size_t>(num_shards) ||
+            snap->shards.size() != static_cast<size_t>(num_shards)) {
+          tally.consistent = false;
+          break;
+        }
+        if (static_cast<int>(snap->ids.size()) > result_bound) {
+          tally.consistent = false;
+        }
+        if (snap->ids.size() != snap->points.size()) tally.consistent = false;
+        if (!std::is_sorted(snap->ids.begin(), snap->ids.end()) ||
+            std::adjacent_find(snap->ids.begin(), snap->ids.end()) !=
+                snap->ids.end()) {
+          tally.consistent = false;
+        }
+        double backlog_total = 0.0;
+        for (int s = 0; s < num_shards; ++s) {
+          // Component-wise monotone version vector per reader.
+          if (snap->versions[s] < last_versions[s]) tally.consistent = false;
+          last_versions[s] = snap->versions[s];
+          uint64_t submitted = service.shard(s).ops_submitted();
+          uint64_t consumed = snap->shards[s]->ops_applied +
+                              snap->shards[s]->ops_rejected;
+          if (submitted < consumed) tally.consistent = false;  // invariant
+          double backlog = static_cast<double>(submitted - consumed);
+          tally.per_shard_staleness_sum[s] += backlog;
+          backlog_total += backlog;
+        }
+        tally.staleness_sum += backlog_total;
+        tally.staleness_max = std::max(tally.staleness_max, backlog_total);
+        std::this_thread::yield();  // keep the writers schedulable
+      }
+    });
+  }
+
+  for (int t = 0; t < opts.num_submitters; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t i = static_cast<size_t>(t); i < ops.size();
+           i += static_cast<size_t>(opts.num_submitters)) {
+        Status st = ops[i].is_insert
+                        ? service.SubmitInsert(ops[i].id,
+                                               workload.data().Get(ops[i].id))
+                        : service.SubmitDelete(ops[i].id);
+        if (!st.ok()) {
+          submit_failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  for (size_t i = static_cast<size_t>(opts.num_readers); i < threads.size();
+       ++i) {
+    threads[i].join();
+  }
+  Status flushed = service.Flush();
+  FDRMS_CHECK(flushed.ok()) << flushed.ToString();
+  const double wall_seconds = wall.ElapsedSeconds();
+  readers_stop.store(true, std::memory_order_release);
+  for (int t = 0; t < opts.num_readers; ++t) threads[t].join();
+  Status stopped = service.Stop(FdRmsService::StopPolicy::kDrain);
+  FDRMS_CHECK(stopped.ok()) << stopped.ToString();
+
+  ShardedLoadResult result;
+  std::shared_ptr<const MergedSnapshot> last = service.Query();
+  FDRMS_CHECK(last != nullptr);
+  result.ops_submitted = service.ops_submitted();
+  result.ops_applied = last->ops_applied;
+  result.ops_rejected = last->ops_rejected;
+  result.submit_failures = submit_failures.load();
+  result.batches = last->batches;
+  result.wall_seconds = wall_seconds;
+  result.final_versions = last->versions;
+  result.final_result_size = static_cast<int>(last->ids.size());
+  result.final_union_size = last->union_size;
+  result.final_min_m = last->min_sample_size_m;
+  result.publish_p50_us = last->publish_p50_us_max;
+  result.publish_p99_us = last->publish_p99_us_max;
+  for (int s = 0; s < num_shards; ++s) {
+    result.per_shard_applied.push_back(last->shards[s]->ops_applied);
+    result.per_shard_busy_seconds.push_back(
+        last->shards[s]->writer_busy_seconds);
+  }
+  if (wall_seconds > 0.0) {
+    result.update_throughput =
+        static_cast<double>(result.ops_applied) / wall_seconds;
+  }
+  if (last->writer_busy_seconds_max > 0.0) {
+    result.update_capacity = static_cast<double>(result.ops_applied) /
+                             last->writer_busy_seconds_max;
+  }
+  uint64_t total_queries = 0;
+  double staleness_sum = 0.0;
+  result.per_shard_mean_staleness.assign(static_cast<size_t>(num_shards), 0.0);
+  for (const ShardedReaderTally& tally : tallies) {
+    total_queries += tally.queries;
+    staleness_sum += tally.staleness_sum;
+    result.max_staleness_ops =
+        std::max(result.max_staleness_ops, tally.staleness_max);
+    for (int s = 0; s < num_shards; ++s) {
+      result.per_shard_mean_staleness[s] += tally.per_shard_staleness_sum[s];
+    }
+    result.consistent = result.consistent && tally.consistent;
+  }
+  result.queries = total_queries;
+  if (wall_seconds > 0.0) {
+    result.query_throughput =
+        static_cast<double>(total_queries) / wall_seconds;
+  }
+  if (total_queries > 0) {
+    result.mean_staleness_ops =
+        staleness_sum / static_cast<double>(total_queries);
+    for (double& s : result.per_shard_mean_staleness) {
+      s /= static_cast<double>(total_queries);
+    }
   }
   return result;
 }

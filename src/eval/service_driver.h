@@ -2,18 +2,21 @@
 #define FDRMS_EVAL_SERVICE_DRIVER_H_
 
 /// \file service_driver.h
-/// Closed-loop load harness for the concurrent serving layer: M submitter
-/// threads replay a Workload's operation stream through FdRmsService while
-/// N reader threads hammer Query(), and the driver reports update/query
-/// throughput plus the snapshot staleness readers actually observed.
-/// Used by bench_concurrent and the serve tests; deterministic in the
-/// *set* of operations applied (the interleaving is scheduler-chosen).
+/// Closed-loop load harnesses for the concurrent serving layer: M submitter
+/// threads replay a Workload's operation stream through FdRmsService (or a
+/// ShardedFdRmsService) while N reader threads hammer Query(), and the
+/// driver reports update/query throughput plus the snapshot staleness
+/// readers actually observed. Used by bench_concurrent/bench_sharded and
+/// the serve/shard tests; deterministic in the *set* of operations applied
+/// (the interleaving is scheduler-chosen).
 
 #include <cstdint>
+#include <vector>
 
 #include "common/status.h"
 #include "eval/workload.h"
 #include "serve/fdrms_service.h"
+#include "shard/sharded_service.h"
 
 namespace fdrms {
 
@@ -44,6 +47,12 @@ struct ServiceLoadResult {
   double mean_staleness_ops = 0.0;
   double max_staleness_ops = 0.0;
 
+  // Writer-side cost of the run: cumulative apply CPU seconds and the
+  // p50/p99 batch publication latency window at the end (µs).
+  double writer_busy_seconds = 0.0;
+  double publish_p50_us = 0.0;
+  double publish_p99_us = 0.0;
+
   // Final state.
   uint64_t final_version = 0;
   int final_result_size = 0;
@@ -59,6 +68,66 @@ struct ServiceLoadResult {
 /// and measures. The service is drained and stopped before returning.
 ServiceLoadResult RunServiceLoad(const Workload& workload,
                                  const ServiceLoadOptions& opts);
+
+/// Shape of one sharded load run.
+struct ShardedLoadOptions {
+  int num_readers = 4;     ///< merged-Query() threads
+  int num_submitters = 2;  ///< threads splitting the workload's op stream
+  ShardedServiceOptions service;
+};
+
+/// What happened during a sharded run.
+struct ShardedLoadResult {
+  // Volume (summed across shards).
+  uint64_t ops_submitted = 0;
+  uint64_t ops_applied = 0;
+  uint64_t ops_rejected = 0;
+  uint64_t submit_failures = 0;
+  uint64_t queries = 0;
+  uint64_t batches = 0;
+
+  // Rates. `update_throughput` is measured wall-clock (applied ops /
+  // second, all shards sharing this host's cores); `update_capacity` is
+  // applied ops / the slowest shard's measured writer CPU seconds — the
+  // rate a deployment with one core per writer sustains, since each writer
+  // then owns a core and the critical path is the busiest shard. On a
+  // single-core host wall throughput cannot scale with S but capacity
+  // does; on an >= S core host the two converge.
+  double wall_seconds = 0.0;
+  double update_throughput = 0.0;
+  double update_capacity = 0.0;
+  double query_throughput = 0.0;
+
+  // Staleness in queue-backlog operations observed at each merged read:
+  // aggregate (summed across shards per read) and per shard.
+  double mean_staleness_ops = 0.0;
+  double max_staleness_ops = 0.0;
+  std::vector<double> per_shard_mean_staleness;
+
+  // Per-shard load balance and cost.
+  std::vector<uint64_t> per_shard_applied;
+  std::vector<double> per_shard_busy_seconds;
+  double publish_p50_us = 0.0;  ///< worst shard at the end
+  double publish_p99_us = 0.0;
+
+  // Final merged state.
+  std::vector<uint64_t> final_versions;
+  int final_result_size = 0;
+  size_t final_union_size = 0;
+  int final_min_m = 0;
+
+  /// Every reader saw component-wise monotone version vectors, sorted
+  /// unique ids, parallel ids/points, and |Q| within the merge budget.
+  bool consistent = true;
+};
+
+/// Replays `workload` through a ShardedFdRmsService built from
+/// `opts.service`. Same protocol as RunServiceLoad: initial tuples are the
+/// workload's P_0 (routed across shards), operations go round-robin across
+/// submitters, readers hammer the merged Query(). Drained and stopped
+/// before returning.
+ShardedLoadResult RunShardedLoad(const Workload& workload,
+                                 const ShardedLoadOptions& opts);
 
 }  // namespace fdrms
 

@@ -2,10 +2,31 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <fstream>
 
 #include "common/check.h"
+#include "common/stopwatch.h"
+#include "core/snapshot.h"
 
 namespace fdrms {
+
+namespace {
+
+/// How many completed batch latencies the p50/p99 window holds.
+constexpr size_t kLatencyWindow = 512;
+
+/// Quantile over an unordered sample (by value: nth_element reorders).
+double Quantile(std::vector<double> sample, double q) {
+  if (sample.empty()) return 0.0;
+  size_t idx = static_cast<size_t>(q * static_cast<double>(sample.size() - 1) +
+                                   0.5);
+  idx = std::min(idx, sample.size() - 1);
+  std::nth_element(sample.begin(), sample.begin() + idx, sample.end());
+  return sample[idx];
+}
+
+}  // namespace
 
 FdRmsService::FdRmsService(int dim, const FdRmsServiceOptions& options)
     : dim_(dim),
@@ -98,6 +119,9 @@ void FdRmsService::WriterLoop() {
   while (queue_.PopBatch(options_.max_batch, &batch)) {
     ApplyAndPublish(batch);
   }
+  // Final save on the way out (drain or abort — the applied prefix is a
+  // consistent state either way), so a clean shutdown persists everything.
+  MaybePersist(/*force=*/true);
   {
     std::lock_guard<std::mutex> lock(flush_mutex_);
     writer_done_ = true;
@@ -106,6 +130,8 @@ void FdRmsService::WriterLoop() {
 }
 
 void FdRmsService::ApplyAndPublish(const std::vector<FdRms::BatchOp>& batch) {
+  Stopwatch batch_watch;
+  const double cpu_start = ThreadCpuSeconds();
   if (options_.batch_delay_us_for_test > 0) {
     std::this_thread::sleep_for(
         std::chrono::microseconds(options_.batch_delay_us_for_test));
@@ -128,14 +154,61 @@ void FdRmsService::ApplyAndPublish(const std::vector<FdRms::BatchOp>& batch) {
       ++pos;  // skip the offender
     }
   }
+  busy_seconds_ += ThreadCpuSeconds() - cpu_start;
   ++batches_;
   ++version_;
+  MaybePersist(/*force=*/false);
   PublishSnapshot();
   {
     std::lock_guard<std::mutex> lock(flush_mutex_);
     consumed_published_ = applied_ + rejected_;
   }
   flush_cv_.notify_all();
+  // This batch's drain→publish latency feeds the window the *next*
+  // publication reports (its own snapshot was built before the duration
+  // was known).
+  const double latency_us = batch_watch.ElapsedMicros();
+  if (latency_window_.size() < kLatencyWindow) {
+    latency_window_.push_back(latency_us);
+  } else {
+    latency_window_[latency_next_] = latency_us;
+    latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+  }
+}
+
+void FdRmsService::MaybePersist(bool force) {
+  if (options_.persist_every_batches == 0) return;
+  if (batches_ == persisted_batches_) return;  // everything durable already
+  // Throttle on the last *attempt* so a failing disk is retried once per
+  // interval, not once per batch; gate on the last *success* above so the
+  // forced exit save still fires whenever any batch is not yet durable.
+  if (!force &&
+      batches_ - attempted_persist_batches_ < options_.persist_every_batches) {
+    return;
+  }
+  attempted_persist_batches_ = batches_;
+  const std::string tmp = options_.persist_path + ".tmp";
+  Status st;
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      st = Status::Internal("cannot open " + tmp);
+    } else {
+      st = SaveSnapshot(algo_, &out);
+      out.close();
+      if (st.ok() && !out) st = Status::Internal("write to " + tmp + " failed");
+    }
+  }
+  if (st.ok() &&
+      std::rename(tmp.c_str(), options_.persist_path.c_str()) != 0) {
+    st = Status::Internal("rename to " + options_.persist_path + " failed");
+  }
+  if (st.ok()) {
+    persisted_batches_ = attempted_persist_batches_;
+    persists_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    persist_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 void FdRmsService::PublishSnapshot() {
@@ -146,6 +219,10 @@ void FdRmsService::PublishSnapshot() {
   snap->batches = batches_;
   snap->sample_size_m = algo_.current_m();
   snap->live_tuples = algo_.size();
+  snap->writer_busy_seconds = busy_seconds_;
+  snap->publish_p50_us = Quantile(latency_window_, 0.50);
+  snap->publish_p99_us = Quantile(latency_window_, 0.99);
+  snap->persisted = persists_.load(std::memory_order_relaxed);
   std::vector<FdRms::ResultEntry> entries = algo_.ResolvedResult();
   snap->ids.reserve(entries.size());
   snap->points.reserve(entries.size());
@@ -153,7 +230,9 @@ void FdRmsService::PublishSnapshot() {
     snap->ids.push_back(e.id);
     snap->points.push_back(std::move(e.point));
   }
-  snapshot_.store(std::move(snap), std::memory_order_release);
+  std::shared_ptr<const ResultSnapshot> published = std::move(snap);
+  snapshot_.store(published, std::memory_order_release);
+  if (options_.on_publish) options_.on_publish(*published);
 }
 
 }  // namespace fdrms

@@ -32,8 +32,10 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -60,6 +62,21 @@ struct FdRmsServiceOptions {
   /// immediately (shed load at the edge).
   enum class Overflow { kBlock, kReject };
   Overflow overflow = Overflow::kBlock;
+
+  /// Background persistence: every N batches the writer saves the full
+  /// FD-RMS state (core/snapshot.h SaveSnapshot) to `persist_path` with an
+  /// atomic write-to-temp + rename, and once more when the writer exits, so
+  /// a crash loses at most N batches and a clean shutdown loses nothing.
+  /// 0 = off. Failures are counted (persist_failures()), never fatal: a
+  /// full disk must not take the serving path down.
+  size_t persist_every_batches = 0;
+  std::string persist_path = "fdrms_service.snapshot";
+
+  /// Writer-thread hook invoked after every snapshot publication (the
+  /// version-0 publication runs on the Start() caller's thread). The shard
+  /// layer uses it to observe publication cadence. Must be cheap and must
+  /// not call back into the service.
+  std::function<void(const ResultSnapshot&)> on_publish;
 
   /// Test/debug hook: record every consumed operation in application order
   /// (retrievable via journal() after Stop). Off in production — it grows
@@ -135,6 +152,15 @@ class FdRmsService {
     return ops_dropped_.load(std::memory_order_relaxed);
   }
 
+  /// Background persistence runs completed / failed so far (0/0 when
+  /// options.persist_every_batches is 0).
+  uint64_t persists() const {
+    return persists_.load(std::memory_order_relaxed);
+  }
+  uint64_t persist_failures() const {
+    return persist_failures_.load(std::memory_order_relaxed);
+  }
+
   bool running() const { return state_.load() == State::kRunning; }
 
   int dim() const { return dim_; }
@@ -155,6 +181,11 @@ class FdRmsService {
   void ApplyAndPublish(const std::vector<FdRms::BatchOp>& batch);
   void PublishSnapshot();
 
+  /// Saves the algorithm state to options_.persist_path if a persistence
+  /// interval is configured and due (`force` persists whenever any batch
+  /// landed since the last save). Writer-thread only.
+  void MaybePersist(bool force);
+
   const int dim_;
   const FdRmsServiceOptions options_;
   FdRms algo_;
@@ -166,12 +197,22 @@ class FdRmsService {
   std::atomic<std::shared_ptr<const ResultSnapshot>> snapshot_;
 
   std::atomic<uint64_t> ops_dropped_{0};
+  std::atomic<uint64_t> persists_{0};
+  std::atomic<uint64_t> persist_failures_{0};
 
   // Writer-thread-local tallies, surfaced through the published snapshot.
   uint64_t applied_ = 0;
   uint64_t rejected_ = 0;
   uint64_t batches_ = 0;
   uint64_t version_ = 0;
+  uint64_t persisted_batches_ = 0;  ///< batches_ as of the last *successful* save
+  uint64_t attempted_persist_batches_ = 0;  ///< batches_ as of the last attempt
+  double busy_seconds_ = 0.0;
+
+  // Sliding window of completed batch publication latencies (µs), feeding
+  // the p50/p99 the next publication reports. Writer-thread only.
+  std::vector<double> latency_window_;
+  size_t latency_next_ = 0;
 
   // Flush rendezvous: consumed_published_ tracks applied_ + rejected_ as of
   // the last publication; writer_done_ flips when the writer exits.

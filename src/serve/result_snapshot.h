@@ -38,6 +38,27 @@ struct ResultSnapshot {
   /// Live tuple count after the batch.
   int live_tuples = 0;
 
+  /// Cumulative CPU seconds the writer thread has spent applying batches
+  /// (per-thread CPU time: excludes queue waits, snapshot construction,
+  /// and — on an oversubscribed host — periods spent descheduled while
+  /// other threads ran). The operator's utilization signal: busy/wall near
+  /// 1.0 means the writer is saturated and the tuple space should be
+  /// sharded wider.
+  double writer_busy_seconds = 0.0;
+
+  /// p50/p99 batch publication latency in microseconds — the time from a
+  /// batch leaving the queue to its snapshot being published — over a
+  /// sliding window of batches published before this snapshot (a batch's
+  /// own latency is only known once its publication completes, so each
+  /// publication reports the window up to its predecessor). 0 until the
+  /// second batch.
+  double publish_p50_us = 0.0;
+  double publish_p99_us = 0.0;
+
+  /// Background persistence runs completed so far (0 unless
+  /// FdRmsServiceOptions::persist_every_batches is set).
+  uint64_t persisted = 0;
+
   /// Q_t tuple ids, ascending; |ids| <= r.
   std::vector<int> ids;
 

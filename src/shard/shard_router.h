@@ -1,0 +1,70 @@
+#ifndef FDRMS_SHARD_SHARD_ROUTER_H_
+#define FDRMS_SHARD_SHARD_ROUTER_H_
+
+/// \file shard_router.h
+/// Tuple-space partitioning for the sharded serving layer.
+///
+/// A ShardRouter maps a tuple id to the shard that owns it. Routing must be
+/// a pure function of the id: every mutation of a tuple has to land on the
+/// same single-writer FdRmsService instance, or the per-shard FD-RMS states
+/// diverge from the operation stream. Routers are read concurrently from
+/// every submitter thread and must therefore be immutable after
+/// construction.
+///
+/// HashShardRouter is the default: a 64-bit finalizer hash of the id modulo
+/// the shard count, which balances adversarial id ranges (sequential ids,
+/// id ranges per tenant) without any data statistics. Skyline-aware routing
+/// — placing likely-skyline tuples so per-shard result sets stay small — can
+/// slot in behind the same interface once the workload justifies it.
+
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace fdrms {
+
+/// Maps tuple ids to shard indices in [0, num_shards). Implementations
+/// must be deterministic, stateless after construction, and thread-safe.
+class ShardRouter {
+ public:
+  virtual ~ShardRouter() = default;
+
+  /// Number of shards this router partitions across.
+  virtual int num_shards() const = 0;
+
+  /// The owning shard of `id`; must be in [0, num_shards()) and identical
+  /// for every call with the same id.
+  virtual int Route(int id) const = 0;
+
+  /// Short routing-policy name for logs and bench output.
+  virtual const char* name() const = 0;
+};
+
+/// Default router: splitmix64 finalizer over the id, modulo the shard
+/// count. Uniform over any id distribution, no coordination, O(1).
+class HashShardRouter final : public ShardRouter {
+ public:
+  explicit HashShardRouter(int num_shards) : num_shards_(num_shards) {
+    FDRMS_CHECK(num_shards >= 1);
+  }
+
+  int num_shards() const override { return num_shards_; }
+
+  int Route(int id) const override {
+    uint64_t x = static_cast<uint64_t>(static_cast<uint32_t>(id));
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<int>(x % static_cast<uint64_t>(num_shards_));
+  }
+
+  const char* name() const override { return "hash"; }
+
+ private:
+  const int num_shards_;
+};
+
+}  // namespace fdrms
+
+#endif  // FDRMS_SHARD_SHARD_ROUTER_H_

@@ -1,0 +1,346 @@
+#include "shard/sharded_service.h"
+
+#include <algorithm>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "geometry/sampling.h"
+
+namespace fdrms {
+
+namespace {
+
+/// Combines fan-out statuses: the first non-OK wins (shard order, so the
+/// report is deterministic).
+Status FirstError(const std::vector<Status>& statuses) {
+  for (const Status& st : statuses) {
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+/// Runs `fn(s)` for every shard index on its own thread and joins. Used
+/// for lifecycle fan-out (Start bulk loads, Stop drains) where the
+/// per-shard work is independent and potentially long.
+void ForEachShardConcurrently(size_t num_shards,
+                              const std::function<void(size_t)>& fn) {
+  std::vector<std::thread> workers;
+  workers.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) workers.emplace_back(fn, s);
+  for (std::thread& w : workers) w.join();
+}
+
+}  // namespace
+
+ShardedFdRmsService::ShardedFdRmsService(int dim,
+                                         const ShardedServiceOptions& options,
+                                         std::unique_ptr<ShardRouter> router)
+    : dim_(dim),
+      options_(options),
+      router_(router ? std::move(router)
+                     : std::make_unique<HashShardRouter>(options.num_shards)) {
+  FDRMS_CHECK(options.num_shards >= 1);
+  FDRMS_CHECK(router_->num_shards() == options.num_shards)
+      << "router partitions " << router_->num_shards() << " shards, service has "
+      << options.num_shards;
+  if (options_.merged_budget_r > 0) {
+    FDRMS_CHECK(options_.merge_directions > 0);
+    Rng rng(options_.merge_seed);
+    merge_directions_.reserve(static_cast<size_t>(options_.merge_directions));
+    for (int i = 0; i < options_.merge_directions; ++i) {
+      merge_directions_.push_back(SampleUnitVectorNonneg(dim, &rng));
+    }
+  }
+  BuildShards();
+}
+
+void ShardedFdRmsService::BuildShards() {
+  shards_.clear();
+  for (int s = 0; s < options_.num_shards; ++s) {
+    FdRmsServiceOptions per_shard = options_.shard;
+    if (per_shard.persist_every_batches > 0) {
+      per_shard.persist_path += ".shard" + std::to_string(s);
+    }
+    auto user_hook = per_shard.on_publish;
+    per_shard.on_publish = [this,
+                            user_hook = std::move(user_hook)](
+                               const ResultSnapshot& snap) {
+      publications_.fetch_add(1, std::memory_order_relaxed);
+      if (user_hook) user_hook(snap);
+    };
+    shards_.push_back(std::make_unique<FdRmsService>(dim_, per_shard));
+  }
+}
+
+Status ShardedFdRmsService::Start(
+    const std::vector<std::pair<int, Point>>& initial) {
+  bool expected = false;
+  if (!started_.compare_exchange_strong(expected, true)) {
+    return Status::FailedPrecondition("sharded service already started");
+  }
+  const size_t num_shards = shards_.size();
+  std::vector<std::vector<std::pair<int, Point>>> partitions(num_shards);
+  for (const auto& [id, point] : initial) {
+    const int s = router_->Route(id);
+    if (s < 0 || s >= static_cast<int>(num_shards)) {
+      started_.store(false);  // no shard started yet: plain retryable failure
+      return Status::Internal("router sent id " + std::to_string(id) +
+                              " to out-of-range shard " + std::to_string(s));
+    }
+    partitions[static_cast<size_t>(s)].emplace_back(id, point);
+  }
+  std::vector<Status> statuses(num_shards);
+  ForEachShardConcurrently(num_shards, [&](size_t s) {
+    statuses[s] = shards_[s]->Start(partitions[s]);
+  });
+  Status combined = FirstError(statuses);
+  if (!combined.ok()) {
+    // A partial constellation must not accept traffic: abort the shards
+    // that did come up, then rebuild everything fresh (a stopped
+    // FdRmsService cannot restart) so the caller may retry Start.
+    for (size_t s = 0; s < num_shards; ++s) {
+      if (statuses[s].ok()) (void)shards_[s]->Stop(StopPolicy::kAbort);
+    }
+    BuildShards();
+    started_.store(false);
+  }
+  return combined;
+}
+
+Status ShardedFdRmsService::Stop(StopPolicy policy) {
+  if (!started_.load()) {
+    return Status::FailedPrecondition("sharded service never started");
+  }
+  std::vector<Status> statuses(shards_.size());
+  ForEachShardConcurrently(shards_.size(), [&](size_t s) {
+    statuses[s] = shards_[s]->Stop(policy);
+  });
+  return FirstError(statuses);
+}
+
+Status ShardedFdRmsService::Submit(FdRms::BatchOp op) {
+  const int s = router_->Route(op.id);
+  if (s < 0 || s >= num_shards()) {
+    return Status::Internal("router sent id " + std::to_string(op.id) +
+                            " to out-of-range shard " + std::to_string(s));
+  }
+  return shards_[static_cast<size_t>(s)]->Submit(std::move(op));
+}
+
+Status ShardedFdRmsService::Flush() {
+  std::vector<Status> statuses(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    statuses[s] = shards_[s]->Flush();
+  }
+  return FirstError(statuses);
+}
+
+uint64_t ShardedFdRmsService::ops_submitted() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->ops_submitted();
+  return total;
+}
+
+uint64_t ShardedFdRmsService::ops_dropped() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->ops_dropped();
+  return total;
+}
+
+bool ShardedFdRmsService::running() const {
+  for (const auto& shard : shards_) {
+    if (!shard->running()) return false;
+  }
+  return started_.load();
+}
+
+std::shared_ptr<const MergedSnapshot> ShardedFdRmsService::Query() const {
+  const size_t num_shards = shards_.size();
+  std::vector<std::shared_ptr<const ResultSnapshot>> parts(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    parts[s] = shards_[s]->Query();
+    if (parts[s] == nullptr) return nullptr;  // not every shard is up yet
+  }
+  std::shared_ptr<const MergedSnapshot> cached =
+      merged_cache_.load(std::memory_order_acquire);
+  if (cached != nullptr) {
+    bool fresh = true;
+    for (size_t s = 0; s < num_shards; ++s) {
+      if (cached->versions[s] != parts[s]->version) {
+        fresh = false;
+        break;
+      }
+    }
+    if (fresh) return cached;
+  }
+  std::shared_ptr<const MergedSnapshot> merged = BuildMerged(std::move(parts));
+  // Racing readers may each publish their own merge; every candidate is
+  // internally consistent and version-keyed, so last-writer-wins is safe —
+  // a reader that loads a "stale" cache entry just rebuilds.
+  merged_cache_.store(merged, std::memory_order_release);
+  return merged;
+}
+
+std::shared_ptr<const MergedSnapshot> ShardedFdRmsService::BuildMerged(
+    std::vector<std::shared_ptr<const ResultSnapshot>> parts) const {
+  auto merged = std::make_shared<MergedSnapshot>();
+  const size_t num_shards = parts.size();
+  merged->versions.reserve(num_shards);
+
+  std::vector<int> ids;
+  std::vector<const Point*> points;
+  std::vector<size_t> order;
+  for (size_t s = 0; s < num_shards; ++s) {
+    const ResultSnapshot& snap = *parts[s];
+    merged->versions.push_back(snap.version);
+    merged->ops_applied += snap.ops_applied;
+    merged->ops_rejected += snap.ops_rejected;
+    merged->batches += snap.batches;
+    merged->persisted += snap.persisted;
+    merged->live_tuples += snap.live_tuples;
+    merged->min_sample_size_m =
+        s == 0 ? snap.sample_size_m
+               : std::min(merged->min_sample_size_m, snap.sample_size_m);
+    merged->writer_busy_seconds_max =
+        std::max(merged->writer_busy_seconds_max, snap.writer_busy_seconds);
+    merged->writer_busy_seconds_sum += snap.writer_busy_seconds;
+    merged->publish_p50_us_max =
+        std::max(merged->publish_p50_us_max, snap.publish_p50_us);
+    merged->publish_p99_us_max =
+        std::max(merged->publish_p99_us_max, snap.publish_p99_us);
+    for (size_t i = 0; i < snap.ids.size(); ++i) {
+      ids.push_back(snap.ids[i]);
+      points.push_back(&snap.points[i]);
+    }
+  }
+  order.resize(ids.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return ids[a] < ids[b]; });
+  // Ids are disjoint across shards by routing; drop duplicates anyway so a
+  // misbehaving custom router degrades to a correct (if lopsided) view.
+  order.erase(std::unique(order.begin(), order.end(),
+                          [&](size_t a, size_t b) { return ids[a] == ids[b]; }),
+              order.end());
+  merged->union_size = order.size();
+
+  if (options_.merged_budget_r > 0 &&
+      order.size() > static_cast<size_t>(options_.merged_budget_r)) {
+    GreedyReCover(ids, points, &order);
+    merged->reduced = true;
+  }
+
+  merged->ids.reserve(order.size());
+  merged->points.reserve(order.size());
+  for (size_t i : order) {
+    merged->ids.push_back(ids[i]);
+    merged->points.push_back(*points[i]);
+  }
+  merged->shards = std::move(parts);
+  return merged;
+}
+
+void ShardedFdRmsService::GreedyReCover(const std::vector<int>& ids,
+                                        const std::vector<const Point*>& points,
+                                        std::vector<size_t>* keep) const {
+  const size_t budget = static_cast<size_t>(options_.merged_budget_r);
+  const std::vector<size_t>& candidates = *keep;
+  const size_t num_dirs = merge_directions_.size();
+
+  // Score matrix + the union's per-direction optimum.
+  std::vector<double> scores(candidates.size() * num_dirs);
+  std::vector<double> best(num_dirs, 0.0);
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    const Point& p = *points[candidates[c]];
+    for (size_t j = 0; j < num_dirs; ++j) {
+      const double score = Dot(merge_directions_[j], p);
+      scores[c * num_dirs + j] = score;
+      best[j] = std::max(best[j], score);
+    }
+  }
+
+  // A direction with no positive optimum is trivially covered; otherwise it
+  // wants a selected tuple within (1-merge_eps) of the union's best.
+  std::vector<bool> covered(num_dirs);
+  size_t uncovered = 0;
+  for (size_t j = 0; j < num_dirs; ++j) {
+    covered[j] = best[j] <= 0.0;
+    if (!covered[j]) ++uncovered;
+  }
+
+  std::vector<bool> picked(candidates.size(), false);
+  std::vector<size_t> selection;  // slots into `candidates`/`scores`
+  while (selection.size() < budget && uncovered > 0) {
+    size_t best_c = candidates.size();
+    size_t best_gain = 0;
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      if (picked[c]) continue;
+      size_t gain = 0;
+      for (size_t j = 0; j < num_dirs; ++j) {
+        if (!covered[j] && scores[c * num_dirs + j] >=
+                               (1.0 - options_.merge_eps) * best[j]) {
+          ++gain;
+        }
+      }
+      if (gain > best_gain) {  // ties resolve to the smallest id (scan order)
+        best_gain = gain;
+        best_c = c;
+      }
+    }
+    if (best_c == candidates.size()) break;  // nobody covers anything new
+    picked[best_c] = true;
+    selection.push_back(best_c);
+    for (size_t j = 0; j < num_dirs; ++j) {
+      if (!covered[j] && scores[best_c * num_dirs + j] >=
+                             (1.0 - options_.merge_eps) * best[j]) {
+        covered[j] = true;
+        --uncovered;
+      }
+    }
+  }
+
+  // Top-up: coverage can saturate well before the budget (a few strong
+  // tuples clear the (1-ε) bar everywhere). Spend the remaining slots on
+  // the picks that raise the selected set's per-direction optimum the
+  // most, so the served set keeps closing the gap to the union's quality.
+  std::vector<double> selected_best(num_dirs, 0.0);
+  for (size_t slot : selection) {
+    for (size_t j = 0; j < num_dirs; ++j) {
+      selected_best[j] = std::max(selected_best[j], scores[slot * num_dirs + j]);
+    }
+  }
+  while (selection.size() < budget) {
+    size_t best_c = candidates.size();
+    double best_gain = 0.0;
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      if (picked[c]) continue;
+      double gain = 0.0;
+      for (size_t j = 0; j < num_dirs; ++j) {
+        gain += std::max(0.0, scores[c * num_dirs + j] - selected_best[j]);
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_c = c;
+      }
+    }
+    if (best_c == candidates.size()) break;  // nobody improves any direction
+    picked[best_c] = true;
+    selection.push_back(best_c);
+    for (size_t j = 0; j < num_dirs; ++j) {
+      selected_best[j] =
+          std::max(selected_best[j], scores[best_c * num_dirs + j]);
+    }
+  }
+
+  std::vector<size_t> kept;
+  kept.reserve(selection.size());
+  for (size_t slot : selection) kept.push_back(candidates[slot]);
+  std::sort(kept.begin(), kept.end(),
+            [&](size_t a, size_t b) { return ids[a] < ids[b]; });
+  *keep = std::move(kept);
+}
+
+}  // namespace fdrms

@@ -1,0 +1,182 @@
+#ifndef FDRMS_SHARD_SHARDED_SERVICE_H_
+#define FDRMS_SHARD_SHARDED_SERVICE_H_
+
+/// \file sharded_service.h
+/// Sharded serving: the tuple space hash-partitioned across S independent
+/// FdRmsService instances, with merged snapshot reads.
+///
+/// The FD-RMS update algorithm is inherently sequential, so one
+/// FdRmsService tops out at a single writer thread's budget. Because the
+/// update cost is per-instance, partitioning the tuple space across S
+/// instances gives ~S× aggregate update capacity on id-partitionable
+/// workloads: each shard runs its own writer thread over its own bounded
+/// queue, and a mutation only ever touches the shard that owns its id.
+///
+///   ShardedServiceOptions sopt;
+///   sopt.num_shards = 4;
+///   sopt.shard.algo.r = 20;
+///   ShardedFdRmsService service(dim, sopt);       // hash router by default
+///   service.Start(initial_tuples);                // fan-out bulk load
+///   service.SubmitInsert(id, p);                  // routed to the owner
+///   auto merged = service.Query();                // composed view, S snapshots
+///   service.Stop(ShardedFdRmsService::StopPolicy::kDrain);
+///
+/// Reads compose the S independently published ResultSnapshots into one
+/// MergedSnapshot (see merged_snapshot.h for the version-vector consistency
+/// model). The merge is cached behind an atomic shared_ptr keyed on the
+/// version vector: while no shard publishes, Query() costs S+1 atomic loads
+/// and a vector compare; after a publication the first reader rebuilds the
+/// merge and every later reader hits the cache again.
+///
+/// Merge policy: the per-shard result sets are unioned (ids are disjoint by
+/// routing). Every shard keeps its own budget of r, so the union can reach
+/// S·r; when `merged_budget_r` is set, a greedy re-cover tops the union
+/// down to the global budget by picking the members that preserve
+/// (1-merge_eps) coverage of a fixed sample of utility directions.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/fdrms.h"
+#include "serve/fdrms_service.h"
+#include "shard/merged_snapshot.h"
+#include "shard/shard_router.h"
+
+namespace fdrms {
+
+/// Knobs of the sharded layer; per-shard serving and algorithm knobs ride
+/// in `shard` and apply to every instance.
+struct ShardedServiceOptions {
+  int num_shards = 4;
+
+  /// Options handed to every shard. The shared algo.seed means all shards
+  /// sample the same utility sequence, which is what makes the merged
+  /// result's regret guarantee testable on the shared prefix (see
+  /// MergedSnapshot::min_sample_size_m). When persistence is on, shard s
+  /// writes to `persist_path + ".shard<s>"`.
+  FdRmsServiceOptions shard;
+
+  /// Global result budget of the merged view: 0 serves the pure union
+  /// (|Q| <= num_shards * algo.r); > 0 greedily re-covers the union down
+  /// to this size when it is larger.
+  int merged_budget_r = 0;
+
+  /// Coverage slack of the greedy re-cover: a direction counts as covered
+  /// once a selected tuple scores >= (1 - merge_eps) of the union's best.
+  double merge_eps = 0.05;
+
+  /// How many utility directions the re-cover scores against (sampled once
+  /// at construction from merge_seed).
+  int merge_directions = 512;
+  uint64_t merge_seed = 4242;
+};
+
+/// S single-writer FdRmsService instances behind one façade. Start/Stop
+/// must be called from one controlling thread; Submit*/Query/Flush are safe
+/// from any thread.
+class ShardedFdRmsService {
+ public:
+  using StopPolicy = FdRmsService::StopPolicy;
+
+  /// `router` must partition across exactly options.num_shards shards;
+  /// nullptr installs HashShardRouter(options.num_shards).
+  ShardedFdRmsService(int dim, const ShardedServiceOptions& options,
+                      std::unique_ptr<ShardRouter> router = nullptr);
+
+  ~ShardedFdRmsService() = default;
+  ShardedFdRmsService(const ShardedFdRmsService&) = delete;
+  ShardedFdRmsService& operator=(const ShardedFdRmsService&) = delete;
+
+  /// Routes P_0 across the shards and Start()s them all concurrently (bulk
+  /// load is per-shard sequential but independent). On any failure the
+  /// already-started shards are aborted, the constellation is rebuilt
+  /// fresh, and the first error is returned — Start may then be retried.
+  /// The failure-path rebuild is not synchronized with concurrent
+  /// Submit/Query; route traffic only after Start has returned OK.
+  Status Start(const std::vector<std::pair<int, Point>>& initial);
+
+  /// Fans Stop(policy) out to every shard concurrently and joins all
+  /// writer threads. kDrain waits for every shard's backlog; kAbort drops
+  /// the backlogs (summed in ops_dropped()). Idempotent once stopped.
+  Status Stop(StopPolicy policy = StopPolicy::kDrain);
+
+  /// Enqueues one mutation on the owning shard. Same status surface as
+  /// FdRmsService::Submit, plus kInternal if the router misroutes.
+  Status Submit(FdRms::BatchOp op);
+  Status SubmitInsert(int id, const Point& p) {
+    return Submit({FdRms::BatchOp::Kind::kInsert, id, p});
+  }
+  Status SubmitDelete(int id) {
+    return Submit({FdRms::BatchOp::Kind::kDelete, id, Point{}});
+  }
+  Status SubmitUpdate(int id, const Point& p) {
+    return Submit({FdRms::BatchOp::Kind::kUpdate, id, p});
+  }
+
+  /// Blocks until every shard has consumed everything submitted to it
+  /// before this call. First per-shard failure wins.
+  Status Flush();
+
+  /// The latest merged view, or nullptr before every shard has published
+  /// its version-0 snapshot. Wait-free when no shard published since the
+  /// last merge (cache hit); the first reader after a publication pays the
+  /// O(S·r log(S·r) + re-cover) merge.
+  std::shared_ptr<const MergedSnapshot> Query() const;
+
+  /// Aggregates across shards (each monotone).
+  uint64_t ops_submitted() const;
+  uint64_t ops_dropped() const;
+
+  /// Per-shard snapshot publications observed via the on_publish hook
+  /// (includes the S version-0 publications).
+  uint64_t publications() const {
+    return publications_.load(std::memory_order_relaxed);
+  }
+
+  bool running() const;
+
+  int dim() const { return dim_; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  const ShardedServiceOptions& options() const { return options_; }
+  const ShardRouter& router() const { return *router_; }
+
+  /// Read access to one shard (counters always; journal()/algorithm() only
+  /// after Stop, per FdRmsService's contract).
+  const FdRmsService& shard(int s) const { return *shards_[s]; }
+
+ private:
+  /// (Re)creates the S shard services from options_. Used at construction
+  /// and to reset a constellation whose Start failed partway.
+  void BuildShards();
+
+  std::shared_ptr<const MergedSnapshot> BuildMerged(
+      std::vector<std::shared_ptr<const ResultSnapshot>> parts) const;
+
+  /// Greedily selects <= merged_budget_r entries of the union that keep
+  /// every merge direction covered at (1-merge_eps) of the union's best
+  /// score. `entries` holds indices into ids/points; reduced in place.
+  void GreedyReCover(const std::vector<int>& ids,
+                     const std::vector<const Point*>& points,
+                     std::vector<size_t>* keep) const;
+
+  const int dim_;
+  const ShardedServiceOptions options_;
+  std::unique_ptr<ShardRouter> router_;
+  std::vector<Point> merge_directions_;
+  std::atomic<uint64_t> publications_{0};
+  std::atomic<bool> started_{false};
+
+  mutable std::atomic<std::shared_ptr<const MergedSnapshot>> merged_cache_;
+
+  // Declared last: destroyed first, so shard writer threads (joined in
+  // FdRmsService's destructor) can never observe the members above gone.
+  std::vector<std::unique_ptr<FdRmsService>> shards_;
+};
+
+}  // namespace fdrms
+
+#endif  // FDRMS_SHARD_SHARDED_SERVICE_H_

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "core/snapshot.h"
 #include "data/generators.h"
 #include "eval/service_driver.h"
 #include "eval/workload.h"
@@ -365,6 +367,99 @@ TEST(ServeServiceTest, ConcurrentChurnIsConsistentAndMatchesSequentialReplay) {
   EXPECT_EQ(final_snap->live_tuples, replay->size());
   EXPECT_EQ(final_snap->ids, service.algorithm().Result());
   ASSERT_TRUE(service.algorithm().Validate().ok());
+}
+
+TEST(ServePersistTest, WriterPersistsPeriodicallyAndFinalStateOnDrainStop) {
+  PointSet ps = GenerateIndep(200, 3, 9);
+  const std::string path = ::testing::TempDir() + "serve_persist.snapshot";
+  FdRmsServiceOptions sopt;
+  sopt.algo.r = 6;
+  sopt.algo.max_utilities = 64;
+  sopt.max_batch = 8;
+  sopt.persist_every_batches = 2;
+  sopt.persist_path = path;
+  FdRmsService service(3, sopt);
+  ASSERT_TRUE(service.Start(AsTuples(ps, 120)).ok());
+  for (int i = 120; i < 200; ++i) {
+    ASSERT_TRUE(service.SubmitInsert(i, ps.Get(i)).ok());
+  }
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(service.SubmitDelete(i).ok());
+  }
+  ASSERT_TRUE(service.Flush().ok());
+  ASSERT_TRUE(service.Stop(FdRmsService::StopPolicy::kDrain).ok());
+  // Periodic saves happened while serving, and the exit save captured the
+  // fully drained state.
+  EXPECT_GE(service.persists(), 1u);
+  EXPECT_EQ(service.persist_failures(), 0u);
+  // The persist counter rides the snapshot: >= 120 ops at max_batch 8 means
+  // >= 15 batches, so with an interval of 2 a periodic save completed
+  // before the last publication (the exit save may add one more).
+  EXPECT_GE(service.Query()->persisted, 1u);
+  EXPECT_LE(service.Query()->persisted, service.persists());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "no snapshot at " << path;
+  auto loaded = LoadSnapshot(&in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const FdRms& restored = **loaded;
+  EXPECT_EQ(restored.size(), service.algorithm().size());
+  EXPECT_EQ(restored.current_m(), service.algorithm().current_m());
+  ASSERT_TRUE(restored.Validate().ok());
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_FALSE(restored.topk().tree().Contains(i)) << i;
+  }
+  for (int i = 120; i < 200; ++i) {
+    EXPECT_TRUE(restored.topk().tree().Contains(i)) << i;
+  }
+}
+
+TEST(ServePersistTest, PersistFailuresAreCountedNotFatal) {
+  PointSet ps = GenerateIndep(120, 2, 10);
+  FdRmsServiceOptions sopt;
+  sopt.algo.r = 4;
+  sopt.algo.max_utilities = 32;
+  sopt.max_batch = 4;
+  sopt.persist_every_batches = 1;
+  sopt.persist_path = ::testing::TempDir() + "no_such_dir/serve.snapshot";
+  FdRmsService service(2, sopt);
+  ASSERT_TRUE(service.Start(AsTuples(ps, 60)).ok());
+  for (int i = 60; i < 120; ++i) {
+    ASSERT_TRUE(service.SubmitInsert(i, ps.Get(i)).ok());
+  }
+  ASSERT_TRUE(service.Flush().ok());
+  ASSERT_TRUE(service.Stop().ok());
+  // The serving path kept going; only the persistence attempts failed.
+  EXPECT_EQ(service.Query()->ops_applied, 60u);
+  EXPECT_GT(service.persist_failures(), 0u);
+  EXPECT_EQ(service.persists(), 0u);
+}
+
+TEST(ServeLatencyTest, SnapshotCarriesPublicationLatencyQuantiles) {
+  PointSet ps = GenerateIndep(160, 2, 11);
+  FdRmsServiceOptions sopt;
+  sopt.algo.r = 4;
+  sopt.algo.max_utilities = 32;
+  sopt.max_batch = 4;
+  sopt.batch_delay_us_for_test = 1000;  // every batch takes >= 1ms
+  FdRmsService service(2, sopt);
+  ASSERT_TRUE(service.Start(AsTuples(ps, 80)).ok());
+  auto initial = service.Query();
+  EXPECT_EQ(initial->publish_p50_us, 0.0);  // no batch completed yet
+  EXPECT_EQ(initial->writer_busy_seconds, 0.0);
+  for (int i = 80; i < 160; ++i) {
+    ASSERT_TRUE(service.SubmitInsert(i, ps.Get(i)).ok());
+    if (i % 4 == 3) {
+      ASSERT_TRUE(service.Flush().ok());  // force many batches
+    }
+  }
+  ASSERT_TRUE(service.Flush().ok());
+  // At least one Flush-separated batch completed before the last published
+  // batch, so the window is populated and reflects the injected delay.
+  auto snap = service.Query();
+  EXPECT_GE(snap->publish_p50_us, 1000.0);
+  EXPECT_GE(snap->publish_p99_us, snap->publish_p50_us);
+  EXPECT_GT(snap->writer_busy_seconds, 0.0);
+  ASSERT_TRUE(service.Stop().ok());
 }
 
 TEST(ServeDriverTest, LoadRunDrainsWorkloadAndStaysConsistent) {
