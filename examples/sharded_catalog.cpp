@@ -10,7 +10,11 @@
 /// mutation lands on the queue of the shard that owns the id — while
 /// frontend threads read the merged view: the union of the four shard
 /// shortlists, re-covered down to a global budget of 10, stamped with the
-/// version vector of the four publications it was composed from.
+/// version vector of the four publications it was composed from. Mid-run
+/// the constellation scales out to a fifth shard with AddShard(): a live
+/// migration freezes the moving hash slots, drains and replays them as
+/// ordinary journaled operations, and publishes the next routing epoch —
+/// the frontends keep reading throughout.
 
 #include <atomic>
 #include <cstdio>
@@ -100,6 +104,28 @@ int main() {
     });
   }
 
+  // Black Friday: scale out to a fifth writer while ingest churns. The
+  // migration is invisible to the frontends — reads stay wait-free and the
+  // moving slots cut over atomically at the next routing epoch.
+  st = service.AddShard();
+  if (!st.ok()) {
+    std::fprintf(stderr, "AddShard failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("scaled out online: now %d shards, routing epoch %llu, "
+              "%llu migrations\n",
+              service.num_shards(),
+              static_cast<unsigned long long>(service.epoch()),
+              static_cast<unsigned long long>(service.migrations()));
+  {
+    std::vector<int> load = service.routing_table()->SlotLoad();
+    std::printf("slot ownership after rebalancing: [");
+    for (size_t s = 0; s < load.size(); ++s) {
+      std::printf("%s%d", s ? ", " : "", load[s]);
+    }
+    std::printf("] of %d slots\n", fdrms::kNumHashSlots);
+  }
+
   for (std::thread& th : ingest) th.join();
   st = service.Flush();
   if (!st.ok()) {
@@ -114,9 +140,11 @@ int main() {
               "across %d writers\n",
               static_cast<unsigned long long>(final_snap->ops_applied),
               static_cast<unsigned long long>(final_snap->ops_rejected),
-              static_cast<unsigned long long>(final_snap->batches), kShards);
-  std::printf("version vector [");
-  for (int s = 0; s < kShards; ++s) {
+              static_cast<unsigned long long>(final_snap->batches),
+              service.num_shards());
+  std::printf("epoch %llu version vector [",
+              static_cast<unsigned long long>(final_snap->epoch));
+  for (size_t s = 0; s < final_snap->versions.size(); ++s) {
     std::printf("%s%llu", s ? ", " : "",
                 static_cast<unsigned long long>(final_snap->versions[s]));
   }

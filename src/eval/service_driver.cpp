@@ -151,6 +151,7 @@ namespace {
 /// Staleness/consistency tallies of one merged-snapshot reader thread.
 struct ShardedReaderTally {
   uint64_t queries = 0;
+  uint64_t null_queries = 0;
   double staleness_sum = 0.0;
   double staleness_max = 0.0;
   std::vector<double> per_shard_staleness_sum;
@@ -164,6 +165,18 @@ ShardedLoadResult RunShardedLoad(const Workload& workload,
   FDRMS_CHECK(opts.num_readers >= 0);
   FDRMS_CHECK(opts.num_submitters >= 1);
   const int num_shards = opts.service.num_shards;
+  const bool fixed_topology = opts.migrations.empty();
+  // Staleness is derived from service.ops_submitted() (which keeps counting
+  // retired shards, monotone) minus the merged view's consumed ops (live
+  // shards only). Once a shard retires, its lifetime op count inflates that
+  // difference forever, so runs with kRemoveShard events skip the staleness
+  // tally instead of reporting a phantom backlog.
+  bool track_staleness = true;
+  for (const ShardedLoadOptions::MigrationEvent& event : opts.migrations) {
+    if (event.kind == ShardedLoadOptions::MigrationEvent::Kind::kRemoveShard) {
+      track_staleness = false;
+    }
+  }
 
   ShardedFdRmsService service(workload.data().dim(), opts.service);
   std::vector<std::pair<int, Point>> initial;
@@ -174,15 +187,21 @@ ShardedLoadResult RunShardedLoad(const Workload& workload,
   Status started = service.Start(initial);
   FDRMS_CHECK(started.ok()) << started.ToString();
 
-  // The merged result bound: the explicit merge budget when set, else the
-  // pure union of S per-shard budgets.
-  const int result_bound =
-      opts.service.merged_budget_r > 0
-          ? opts.service.merged_budget_r
-          : num_shards * opts.service.shard.algo.r;
+  // Upper bound of the live shard count over the run (AddShard events can
+  // only grow it one at a time) — the merged result bound scales with it.
+  int max_shards = num_shards;
+  for (const ShardedLoadOptions::MigrationEvent& event : opts.migrations) {
+    if (event.kind == ShardedLoadOptions::MigrationEvent::Kind::kAddShard) {
+      ++max_shards;
+    }
+  }
   const std::vector<Operation>& ops = workload.operations();
   std::atomic<bool> readers_stop{false};
   std::atomic<uint64_t> submit_failures{0};
+  // Workload operations pushed so far (excludes migration-internal ops, so
+  // the controller's event fractions track the stream, not the churn).
+  std::atomic<uint64_t> workload_submitted{0};
+  std::atomic<bool> submitters_done{false};
 
   std::vector<ShardedReaderTally> tallies(
       static_cast<size_t>(std::max(opts.num_readers, 0)));
@@ -195,19 +214,48 @@ ShardedLoadResult RunShardedLoad(const Workload& workload,
   for (int t = 0; t < opts.num_readers; ++t) {
     threads.emplace_back([&, t] {
       ShardedReaderTally& tally = tallies[t];
-      std::vector<uint64_t> last_versions(static_cast<size_t>(num_shards), 0);
+      uint64_t last_epoch = 0;
+      std::vector<uint64_t> last_versions;
+      bool first = true;
       while (!readers_stop.load(std::memory_order_acquire)) {
         std::shared_ptr<const MergedSnapshot> snap = service.Query();
         ++tally.queries;
         if (snap == nullptr) {
-          tally.consistent = false;
-          break;
+          // Null is only legal before every shard published version 0;
+          // once a reader has seen a merged view, a later null is a
+          // serving error (migrations must never block or fail reads).
+          if (!first) {
+            ++tally.null_queries;
+            tally.consistent = false;
+          }
+          std::this_thread::yield();
+          continue;
         }
-        if (snap->versions.size() != static_cast<size_t>(num_shards) ||
-            snap->shards.size() != static_cast<size_t>(num_shards)) {
+        if (snap->versions.size() != snap->shards.size()) {
           tally.consistent = false;
-          break;
         }
+        if (!first) {
+          if (snap->epoch < last_epoch) tally.consistent = false;
+          if (snap->epoch == last_epoch) {
+            // Within an epoch the shard set is fixed: the vector keeps its
+            // arity and advances component-wise.
+            if (snap->versions.size() != last_versions.size()) {
+              tally.consistent = false;
+            } else {
+              for (size_t s = 0; s < snap->versions.size(); ++s) {
+                if (snap->versions[s] < last_versions[s]) {
+                  tally.consistent = false;
+                }
+              }
+            }
+          }
+        }
+        last_epoch = snap->epoch;
+        last_versions = snap->versions;
+        const int result_bound =
+            opts.service.merged_budget_r > 0
+                ? opts.service.merged_budget_r
+                : max_shards * opts.service.shard.algo.r;
         if (static_cast<int>(snap->ids.size()) > result_bound) {
           tally.consistent = false;
         }
@@ -217,21 +265,30 @@ ShardedLoadResult RunShardedLoad(const Workload& workload,
                 snap->ids.end()) {
           tally.consistent = false;
         }
-        double backlog_total = 0.0;
-        for (int s = 0; s < num_shards; ++s) {
-          // Component-wise monotone version vector per reader.
-          if (snap->versions[s] < last_versions[s]) tally.consistent = false;
-          last_versions[s] = snap->versions[s];
-          uint64_t submitted = service.shard(s).ops_submitted();
-          uint64_t consumed = snap->shards[s]->ops_applied +
-                              snap->shards[s]->ops_rejected;
-          if (submitted < consumed) tally.consistent = false;  // invariant
-          double backlog = static_cast<double>(submitted - consumed);
-          tally.per_shard_staleness_sum[s] += backlog;
-          backlog_total += backlog;
+        // Aggregate backlog: ops accepted anywhere (monotone, includes
+        // retired shards) minus ops this view has consumed.
+        if (track_staleness) {
+          uint64_t submitted = service.ops_submitted();
+          uint64_t consumed = snap->ops_applied + snap->ops_rejected;
+          if (submitted >= consumed) {
+            double backlog = static_cast<double>(submitted - consumed);
+            tally.staleness_sum += backlog;
+            tally.staleness_max = std::max(tally.staleness_max, backlog);
+          } else if (fixed_topology) {
+            tally.consistent = false;  // invariant under a fixed shard set
+          }
         }
-        tally.staleness_sum += backlog_total;
-        tally.staleness_max = std::max(tally.staleness_max, backlog_total);
+        if (fixed_topology) {
+          for (int s = 0; s < num_shards; ++s) {
+            uint64_t shard_submitted = service.shard(s).ops_submitted();
+            uint64_t shard_consumed = snap->shards[s]->ops_applied +
+                                      snap->shards[s]->ops_rejected;
+            if (shard_submitted < shard_consumed) tally.consistent = false;
+            tally.per_shard_staleness_sum[s] +=
+                static_cast<double>(shard_submitted - shard_consumed);
+          }
+        }
+        first = false;
         std::this_thread::yield();  // keep the writers schedulable
       }
     });
@@ -248,14 +305,62 @@ ShardedLoadResult RunShardedLoad(const Workload& workload,
         if (!st.ok()) {
           submit_failures.fetch_add(1, std::memory_order_relaxed);
         }
+        workload_submitted.fetch_add(1, std::memory_order_relaxed);
       }
     });
   }
 
+  // Controller: fires the topology events at their stream fractions while
+  // the submitters churn.
+  ShardedLoadResult result;
+  std::thread controller;
+  if (!fixed_topology) {
+    controller = std::thread([&] {
+      using Kind = ShardedLoadOptions::MigrationEvent::Kind;
+      for (const ShardedLoadOptions::MigrationEvent& event : opts.migrations) {
+        const uint64_t threshold = static_cast<uint64_t>(
+            event.at_fraction * static_cast<double>(ops.size()));
+        while (workload_submitted.load(std::memory_order_relaxed) < threshold &&
+               !submitters_done.load(std::memory_order_acquire)) {
+          std::this_thread::yield();
+        }
+        std::shared_ptr<const MergedSnapshot> before = service.Query();
+        Stopwatch timer;
+        Status st;
+        switch (event.kind) {
+          case Kind::kAddShard:
+            st = service.AddShard();
+            break;
+          case Kind::kRemoveShard:
+            st = service.RemoveShard();
+            break;
+          case Kind::kPlan:
+            st = service.Migrate(event.plan);
+            break;
+        }
+        const double seconds = timer.ElapsedSeconds();
+        std::shared_ptr<const MergedSnapshot> after = service.Query();
+        ++result.migrations_attempted;
+        if (!st.ok()) ++result.migrations_failed;
+        result.migration_seconds.push_back(seconds);
+        result.migration_seconds_total += seconds;
+        if (before != nullptr && after != nullptr && seconds > 0.0 &&
+            after->ops_applied >= before->ops_applied) {
+          // Aggregated below into migration_update_throughput.
+          result.migration_update_throughput +=
+              static_cast<double>(after->ops_applied - before->ops_applied);
+        }
+      }
+    });
+  }
+
+  // Join submitters (they were appended after the readers).
   for (size_t i = static_cast<size_t>(opts.num_readers); i < threads.size();
        ++i) {
     threads[i].join();
   }
+  submitters_done.store(true, std::memory_order_release);
+  if (controller.joinable()) controller.join();
   Status flushed = service.Flush();
   FDRMS_CHECK(flushed.ok()) << flushed.ToString();
   const double wall_seconds = wall.ElapsedSeconds();
@@ -264,9 +369,9 @@ ShardedLoadResult RunShardedLoad(const Workload& workload,
   Status stopped = service.Stop(FdRmsService::StopPolicy::kDrain);
   FDRMS_CHECK(stopped.ok()) << stopped.ToString();
 
-  ShardedLoadResult result;
   std::shared_ptr<const MergedSnapshot> last = service.Query();
   FDRMS_CHECK(last != nullptr);
+  const int final_shards = static_cast<int>(last->shards.size());
   result.ops_submitted = service.ops_submitted();
   result.ops_applied = last->ops_applied;
   result.ops_rejected = last->ops_rejected;
@@ -277,9 +382,11 @@ ShardedLoadResult RunShardedLoad(const Workload& workload,
   result.final_result_size = static_cast<int>(last->ids.size());
   result.final_union_size = last->union_size;
   result.final_min_m = last->min_sample_size_m;
+  result.final_epoch = last->epoch;
+  result.final_num_shards = final_shards;
   result.publish_p50_us = last->publish_p50_us_max;
   result.publish_p99_us = last->publish_p99_us_max;
-  for (int s = 0; s < num_shards; ++s) {
+  for (int s = 0; s < final_shards; ++s) {
     result.per_shard_applied.push_back(last->shards[s]->ops_applied);
     result.per_shard_busy_seconds.push_back(
         last->shards[s]->writer_busy_seconds);
@@ -287,6 +394,9 @@ ShardedLoadResult RunShardedLoad(const Workload& workload,
   if (wall_seconds > 0.0) {
     result.update_throughput =
         static_cast<double>(result.ops_applied) / wall_seconds;
+  }
+  if (result.migration_seconds_total > 0.0) {
+    result.migration_update_throughput /= result.migration_seconds_total;
   }
   if (last->writer_busy_seconds_max > 0.0) {
     result.update_capacity = static_cast<double>(result.ops_applied) /
@@ -297,6 +407,7 @@ ShardedLoadResult RunShardedLoad(const Workload& workload,
   result.per_shard_mean_staleness.assign(static_cast<size_t>(num_shards), 0.0);
   for (const ShardedReaderTally& tally : tallies) {
     total_queries += tally.queries;
+    result.null_queries += tally.null_queries;
     staleness_sum += tally.staleness_sum;
     result.max_staleness_ops =
         std::max(result.max_staleness_ops, tally.staleness_max);

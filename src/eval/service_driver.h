@@ -74,6 +74,19 @@ struct ShardedLoadOptions {
   int num_readers = 4;     ///< merged-Query() threads
   int num_submitters = 2;  ///< threads splitting the workload's op stream
   ShardedServiceOptions service;
+
+  /// One topology event fired while the load runs: when the submitters
+  /// have pushed `at_fraction` of the workload's operations, the driver's
+  /// controller thread calls AddShard, RemoveShard, or Migrate(plan) on
+  /// the live service. Events fire in the given order (sort fractions
+  /// ascending for sane timings).
+  struct MigrationEvent {
+    enum class Kind { kAddShard, kRemoveShard, kPlan };
+    Kind kind = Kind::kAddShard;
+    double at_fraction = 0.5;
+    MigrationPlan plan;  ///< kPlan only
+  };
+  std::vector<MigrationEvent> migrations;
 };
 
 /// What happened during a sharded run.
@@ -99,10 +112,29 @@ struct ShardedLoadResult {
   double query_throughput = 0.0;
 
   // Staleness in queue-backlog operations observed at each merged read:
-  // aggregate (summed across shards per read) and per shard.
+  // aggregate (submitted-but-unconsumed ops at read time) and per shard.
+  // The per-shard breakdown is only populated when the run has no
+  // migration events (a changing topology has no stable shard indexing),
+  // and the aggregate is zeroed when a kRemoveShard event is configured (a
+  // retired shard's lifetime op count would inflate the backlog forever).
   double mean_staleness_ops = 0.0;
   double max_staleness_ops = 0.0;
   std::vector<double> per_shard_mean_staleness;
+
+  // Topology events (zero when no migrations were configured).
+  uint64_t migrations_attempted = 0;
+  uint64_t migrations_failed = 0;
+  double migration_seconds_total = 0.0;  ///< wall time inside the calls
+  std::vector<double> migration_seconds;  ///< per event, in firing order
+  /// Applied-ops throughput measured across the migration windows only —
+  /// compare against update_throughput for the dip a migration costs.
+  /// (Counts include the migration's own replayed operations.)
+  double migration_update_throughput = 0.0;
+  uint64_t final_epoch = 0;
+  int final_num_shards = 0;
+  /// Merged reads that returned nullptr after the service was up — must
+  /// stay 0: a live migration never blocks or errors a read.
+  uint64_t null_queries = 0;
 
   // Per-shard load balance and cost.
   std::vector<uint64_t> per_shard_applied;

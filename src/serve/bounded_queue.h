@@ -61,12 +61,16 @@ class BoundedQueue {
 
   /// Consumer side: blocks until at least one element is available, then
   /// moves up to `max_batch` elements into `out` (cleared first). Returns
-  /// false only when the queue is closed *and* empty — end of stream.
+  /// false only when the queue is closed *and* empty — end of stream. A
+  /// Kick() wakes the wait early: the call then returns true with an empty
+  /// batch so the consumer can run out-of-band work (e.g. a state
+  /// inspection) and loop back.
   bool PopBatch(size_t max_batch, std::vector<T>* out) {
     out->clear();
     std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
-    if (items_.empty()) return false;  // closed and drained
+    not_empty_.wait(lock, [&] { return !items_.empty() || closed_ || kicked_; });
+    kicked_ = false;
+    if (items_.empty()) return !closed_;  // closed: end of stream; kicked: spin
     size_t take = items_.size() < max_batch ? items_.size() : max_batch;
     out->reserve(take);
     for (size_t i = 0; i < take; ++i) {
@@ -88,6 +92,18 @@ class BoundedQueue {
     }
     not_full_.notify_all();
     return dropped;
+  }
+
+  /// Wakes the consumer even when nothing is queued: the next (or a
+  /// currently blocked) PopBatch returns true with an empty batch instead
+  /// of waiting for elements. One kick wakes one PopBatch; used to hand the
+  /// consumer out-of-band control work without enqueuing sentinel elements.
+  void Kick() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      kicked_ = true;
+    }
+    not_empty_.notify_all();
   }
 
   /// Closes the queue: subsequent pushes fail, blocked pushes give up, the
@@ -129,6 +145,7 @@ class BoundedQueue {
   std::deque<T> items_;
   std::atomic<uint64_t> total_pushed_{0};
   bool closed_ = false;
+  bool kicked_ = false;
 };
 
 }  // namespace fdrms

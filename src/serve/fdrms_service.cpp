@@ -46,10 +46,51 @@ Status FdRmsService::Start(const std::vector<std::pair<int, Point>>& initial) {
   if (state_.load() != State::kNew) {
     return Status::FailedPrecondition("service already started");
   }
-  FDRMS_RETURN_NOT_OK(algo_.Initialize(initial));
+  FDRMS_RETURN_NOT_OK(InitializeAlgo(initial));
   PublishSnapshot();  // version 0: the post-Initialize state
   state_.store(State::kRunning);
   writer_ = std::thread(&FdRmsService::WriterLoop, this);
+  return Status::OK();
+}
+
+Status FdRmsService::InitializeAlgo(
+    const std::vector<std::pair<int, Point>>& initial) {
+  if (options_.resume_path.empty()) {
+    return algo_.Initialize(initial);
+  }
+  std::ifstream in(options_.resume_path);
+  if (!in.good()) {
+    // First boot: no snapshot on disk yet, start from the given tuples.
+    return algo_.Initialize(initial);
+  }
+  auto loaded = LoadSnapshot(&in);
+  if (!loaded.ok()) return loaded.status();
+  const FdRms& snap = **loaded;
+  if (snap.dim() != dim_) {
+    return Status::Invalid("resume snapshot has dim " +
+                           std::to_string(snap.dim()) + ", service has " +
+                           std::to_string(dim_));
+  }
+  // The snapshot's options (incl. the utility-sampling seed) define the
+  // restored guarantee; silently serving it under different knobs would
+  // misreport eps/r, so a mismatch is an error. Compare against the
+  // normalized options (the FdRms constructor may raise max_utilities).
+  const FdRmsOptions& ours = algo_.options();
+  const FdRmsOptions& theirs = snap.options();
+  if (theirs.k != ours.k || theirs.r != ours.r || theirs.eps != ours.eps ||
+      theirs.max_utilities != ours.max_utilities ||
+      theirs.seed != ours.seed) {
+    return Status::Invalid(
+        "resume snapshot algorithm options differ from the service's");
+  }
+  std::vector<std::pair<int, Point>> tuples;
+  tuples.reserve(static_cast<size_t>(snap.size()));
+  snap.topk().tree().ForEach(
+      [&](int id, const Point& p) { tuples.emplace_back(id, p); });
+  std::sort(tuples.begin(), tuples.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  FDRMS_RETURN_NOT_OK(algo_.Initialize(tuples));
+  resumed_ = true;
   return Status::OK();
 }
 
@@ -102,6 +143,68 @@ Status FdRmsService::Flush() {
       "writer exited before the backlog drained (aborted?)");
 }
 
+Status FdRmsService::Inspect(const std::function<void(const FdRms&)>& fn) {
+  if (state_.load() != State::kRunning) {
+    return Status::FailedPrecondition("service is not running");
+  }
+  InspectRequest req{&fn, /*done=*/false, Status::OK()};
+  {
+    std::lock_guard<std::mutex> lock(inspect_mutex_);
+    if (inspect_closed_) {
+      return Status::FailedPrecondition("writer already exited");
+    }
+    inspect_queue_.push_back(&req);
+  }
+  queue_.Kick();  // wake the writer even if the op queue is empty
+  std::unique_lock<std::mutex> lock(inspect_mutex_);
+  inspect_cv_.wait(lock, [&] { return req.done; });
+  return req.status;
+}
+
+Status FdRmsService::CollectRange(const std::function<bool(int)>& pred,
+                                  std::vector<std::pair<int, Point>>* out) {
+  out->clear();
+  Status st = Inspect([&](const FdRms& algo) {
+    algo.topk().tree().ForEach([&](int id, const Point& p) {
+      if (pred(id)) out->emplace_back(id, p);
+    });
+  });
+  if (!st.ok()) return st;
+  std::sort(out->begin(), out->end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return Status::OK();
+}
+
+void FdRmsService::RunPendingInspections() {
+  for (;;) {
+    InspectRequest* req = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(inspect_mutex_);
+      if (inspect_queue_.empty()) return;
+      req = inspect_queue_.front();
+      inspect_queue_.erase(inspect_queue_.begin());
+    }
+    // Run outside the lock: the caller waits on req->done, not the queue.
+    (*req->fn)(algo_);
+    {
+      std::lock_guard<std::mutex> lock(inspect_mutex_);
+      req->done = true;
+    }
+    inspect_cv_.notify_all();
+  }
+}
+
+void FdRmsService::CloseInspections() {
+  std::lock_guard<std::mutex> lock(inspect_mutex_);
+  inspect_closed_ = true;
+  for (InspectRequest* req : inspect_queue_) {
+    req->status = Status::FailedPrecondition("writer exited");
+    req->done = true;
+  }
+  inspect_queue_.clear();
+  inspect_cv_.notify_all();
+}
+
 const std::vector<FdRms::BatchOp>& FdRmsService::journal() const {
   FDRMS_CHECK(state_.load() != State::kRunning)
       << "journal() is only valid after Stop()";
@@ -116,9 +219,15 @@ const FdRms& FdRmsService::algorithm() const {
 
 void FdRmsService::WriterLoop() {
   std::vector<FdRms::BatchOp> batch;
-  while (queue_.PopBatch(options_.max_batch, &batch)) {
-    ApplyAndPublish(batch);
+  for (;;) {
+    RunPendingInspections();
+    if (!queue_.PopBatch(options_.max_batch, &batch)) break;
+    // An empty batch is a Kick() wakeup: loop back for the control work.
+    if (!batch.empty()) ApplyAndPublish(batch);
   }
+  // Serve inspections that raced shutdown (they observe the final drained
+  // state, which is as point-in-time as any other), then refuse the rest.
+  RunPendingInspections();
   // Final save on the way out (drain or abort — the applied prefix is a
   // consistent state either way), so a clean shutdown persists everything.
   MaybePersist(/*force=*/true);
@@ -127,6 +236,7 @@ void FdRmsService::WriterLoop() {
     writer_done_ = true;
   }
   flush_cv_.notify_all();
+  CloseInspections();
 }
 
 void FdRmsService::ApplyAndPublish(const std::vector<FdRms::BatchOp>& batch) {

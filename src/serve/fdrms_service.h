@@ -72,6 +72,16 @@ struct FdRmsServiceOptions {
   size_t persist_every_batches = 0;
   std::string persist_path = "fdrms_service.snapshot";
 
+  /// Restart-from-snapshot: when non-empty and the file exists at Start(),
+  /// the service initializes from the persisted snapshot (core/snapshot.h)
+  /// instead of the `initial` tuples, so a restarted process resumes
+  /// without replaying its history. A missing file falls back to `initial`
+  /// (first boot); a corrupt file, a dimension mismatch, or algorithm
+  /// options that differ from the snapshot's fail Start. Typically set to
+  /// the same path as `persist_path`. Whether the resume actually happened
+  /// is reported by resumed().
+  std::string resume_path;
+
   /// Writer-thread hook invoked after every snapshot publication (the
   /// version-0 publication runs on the Start() caller's thread). The shard
   /// layer uses it to observe publication cadence. Must be cheap and must
@@ -135,6 +145,23 @@ class FdRmsService {
   /// (kAbort dropped the backlog, or the service never started).
   Status Flush();
 
+  /// Runs `fn` on the writer thread, between batches, against the live
+  /// algorithm state — a point-in-time view after some applied batch
+  /// prefix. Blocks the caller until `fn` returns; fails without running
+  /// it when the service is not running (or the writer exits first). `fn`
+  /// must not call back into the service. This is the hook the shard
+  /// layer's live migration uses to read a frozen id range out of a
+  /// running shard without stopping its writer.
+  Status Inspect(const std::function<void(const FdRms&)>& fn);
+
+  /// Drain-range hook: collects every live tuple whose id satisfies `pred`
+  /// into `out` (sorted by id), via Inspect — a consistent cut of the
+  /// range as of some applied batch prefix. Callers that have stopped
+  /// routing new mutations for the range to this shard (and Flush()ed it)
+  /// get the range's final state.
+  Status CollectRange(const std::function<bool(int)>& pred,
+                      std::vector<std::pair<int, Point>>* out);
+
   /// Wait-free read of the latest published snapshot. Never null after a
   /// successful Start(); null before it.
   std::shared_ptr<const ResultSnapshot> Query() const {
@@ -163,6 +190,10 @@ class FdRmsService {
 
   bool running() const { return state_.load() == State::kRunning; }
 
+  /// True when Start() initialized from options.resume_path instead of the
+  /// `initial` tuples.
+  bool resumed() const { return resumed_; }
+
   int dim() const { return dim_; }
   const FdRmsServiceOptions& options() const { return options_; }
 
@@ -177,9 +208,26 @@ class FdRmsService {
  private:
   enum class State { kNew, kRunning, kStopped };
 
+  /// One caller parked in Inspect(); completed (or failed) by the writer.
+  struct InspectRequest {
+    const std::function<void(const FdRms&)>* fn;
+    bool done = false;
+    Status status;
+  };
+
   void WriterLoop();
   void ApplyAndPublish(const std::vector<FdRms::BatchOp>& batch);
   void PublishSnapshot();
+
+  /// Initializes algo_ from `initial` or, when configured and present, the
+  /// resume snapshot. Start()-caller thread, pre-writer.
+  Status InitializeAlgo(const std::vector<std::pair<int, Point>>& initial);
+
+  /// Writer-thread only: serves queued InspectRequests in FIFO order.
+  void RunPendingInspections();
+
+  /// Writer-thread only, on exit: fails every pending and future Inspect.
+  void CloseInspections();
 
   /// Saves the algorithm state to options_.persist_path if a persistence
   /// interval is configured and due (`force` persists whenever any batch
@@ -193,6 +241,7 @@ class FdRmsService {
   BoundedQueue<FdRms::BatchOp> queue_;
   std::thread writer_;
   std::atomic<State> state_{State::kNew};
+  bool resumed_ = false;  ///< written before the writer spawns, const after
 
   std::atomic<std::shared_ptr<const ResultSnapshot>> snapshot_;
 
@@ -220,6 +269,14 @@ class FdRmsService {
   std::condition_variable flush_cv_;
   uint64_t consumed_published_ = 0;
   bool writer_done_ = false;
+
+  // Inspect rendezvous: callers append requests, the writer serves them
+  // between batches; inspect_closed_ flips on writer exit so late callers
+  // fail instead of hanging.
+  std::mutex inspect_mutex_;
+  std::condition_variable inspect_cv_;
+  std::vector<InspectRequest*> inspect_queue_;
+  bool inspect_closed_ = false;
 
   std::vector<FdRms::BatchOp> journal_;
 };

@@ -28,9 +28,16 @@ namespace fdrms {
 /// One merged view over S shard snapshots. Immutable after construction;
 /// holds the component snapshots alive for per-shard inspection.
 struct MergedSnapshot {
+  /// Routing epoch this view was composed under (see shard/migration.h).
+  /// Monotone across merged snapshots observed by any single reader; the
+  /// shard count — and so the version vector's length — only changes when
+  /// the epoch advances.
+  uint64_t epoch = 0;
+
   /// Version vector: versions[s] is the publication version of shard s's
   /// component. Component-wise monotone across merged snapshots observed
-  /// by any single reader.
+  /// by any single reader *within one epoch*; a topology-changing epoch
+  /// re-indexes the components.
   std::vector<uint64_t> versions;
 
   /// Operation counters summed across shards.

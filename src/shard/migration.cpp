@@ -1,0 +1,216 @@
+#include "shard/migration.h"
+
+#include <algorithm>
+#include <string>
+
+namespace fdrms {
+
+namespace {
+constexpr char kMagic[] = "FDRMS-ROUTING-v1";
+}  // namespace
+
+std::shared_ptr<const RoutingTable> RoutingTable::Slotted(int num_shards) {
+  FDRMS_CHECK(num_shards >= 1);
+  auto table = std::shared_ptr<RoutingTable>(new RoutingTable());
+  table->num_shards_ = num_shards;
+  table->slot_to_shard_.resize(kNumHashSlots);
+  for (int slot = 0; slot < kNumHashSlots; ++slot) {
+    table->slot_to_shard_[slot] = slot % num_shards;
+  }
+  return table;
+}
+
+std::shared_ptr<const RoutingTable> RoutingTable::Delegating(
+    std::shared_ptr<const ShardRouter> base) {
+  FDRMS_CHECK(base != nullptr);
+  auto table = std::shared_ptr<RoutingTable>(new RoutingTable());
+  table->num_shards_ = base->num_shards();
+  table->base_ = std::move(base);
+  return table;
+}
+
+int RoutingTable::Route(int id) const {
+  for (auto it = id_rules_.rbegin(); it != id_rules_.rend(); ++it) {
+    if (id >= it->begin && id < it->end) return it->target;
+  }
+  if (slotted()) return slot_to_shard_[static_cast<size_t>(HashSlotOf(id))];
+  return base_->Route(id);
+}
+
+std::vector<int> RoutingTable::SlotsOwnedBy(int shard) const {
+  FDRMS_CHECK(slotted());
+  std::vector<int> owned;
+  for (int slot = 0; slot < kNumHashSlots; ++slot) {
+    if (slot_to_shard_[static_cast<size_t>(slot)] == shard) {
+      owned.push_back(slot);
+    }
+  }
+  return owned;
+}
+
+std::vector<int> RoutingTable::SlotLoad() const {
+  FDRMS_CHECK(slotted());
+  std::vector<int> load(static_cast<size_t>(num_shards_), 0);
+  for (int owner : slot_to_shard_) {
+    if (owner >= 0 && owner < num_shards_) ++load[static_cast<size_t>(owner)];
+  }
+  return load;
+}
+
+Result<std::shared_ptr<const RoutingTable>> RoutingTable::Apply(
+    const MigrationPlan& plan, int new_num_shards) const {
+  if (plan.empty()) {
+    return Status::Invalid("migration plan moves nothing");
+  }
+  if (new_num_shards < num_shards_) {
+    return Status::Invalid("Apply cannot shrink the shard space (use "
+                           "WithoutLastShard after migrating ownership away)");
+  }
+  if (!plan.slot_moves.empty() && !slotted()) {
+    return Status::FailedPrecondition(
+        "slot moves require the default slot-mapped router; this "
+        "constellation routes through a custom ShardRouter");
+  }
+  for (const MigrationPlan::SlotMove& move : plan.slot_moves) {
+    if (move.slot < 0 || move.slot >= kNumHashSlots) {
+      return Status::Invalid("slot " + std::to_string(move.slot) +
+                             " out of range");
+    }
+    if (move.target < 0 || move.target >= new_num_shards) {
+      return Status::Invalid("slot target " + std::to_string(move.target) +
+                             " out of range");
+    }
+  }
+  if (plan.has_range() &&
+      (plan.id_target < 0 || plan.id_target >= new_num_shards)) {
+    return Status::Invalid("range target " + std::to_string(plan.id_target) +
+                           " out of range");
+  }
+
+  auto next = std::shared_ptr<RoutingTable>(new RoutingTable());
+  next->epoch_ = epoch_ + 1;
+  next->num_shards_ = new_num_shards;
+  next->slot_to_shard_ = slot_to_shard_;
+  next->base_ = base_;
+  next->id_rules_ = id_rules_;
+  for (const MigrationPlan::SlotMove& move : plan.slot_moves) {
+    next->slot_to_shard_[static_cast<size_t>(move.slot)] = move.target;
+  }
+  if (plan.has_range()) {
+    // Replace an exact-range rule in place so repeated re-targeting of the
+    // same range does not grow the rule list without bound.
+    bool replaced = false;
+    for (IdRangeRule& rule : next->id_rules_) {
+      if (rule.begin == plan.id_begin && rule.end == plan.id_end) {
+        rule.target = plan.id_target;
+        replaced = true;
+      }
+    }
+    if (!replaced) {
+      next->id_rules_.push_back({plan.id_begin, plan.id_end, plan.id_target});
+    }
+  }
+  return std::shared_ptr<const RoutingTable>(std::move(next));
+}
+
+std::shared_ptr<const RoutingTable> RoutingTable::WithNumShards(
+    int num_shards) const {
+  FDRMS_CHECK(num_shards >= num_shards_)
+      << "WithNumShards cannot shrink the shard space";
+  auto next = std::shared_ptr<RoutingTable>(new RoutingTable());
+  next->epoch_ = epoch_ + 1;
+  next->num_shards_ = num_shards;
+  next->slot_to_shard_ = slot_to_shard_;
+  next->base_ = base_;
+  next->id_rules_ = id_rules_;
+  return next;
+}
+
+Result<std::shared_ptr<const RoutingTable>> RoutingTable::WithoutLastShard()
+    const {
+  if (num_shards_ < 2) {
+    return Status::FailedPrecondition("cannot remove the only shard");
+  }
+  const int victim = num_shards_ - 1;
+  for (int owner : slot_to_shard_) {
+    if (owner == victim) {
+      return Status::FailedPrecondition(
+          "shard " + std::to_string(victim) +
+          " still owns slots; migrate them away first");
+    }
+  }
+  for (const IdRangeRule& rule : id_rules_) {
+    if (rule.target == victim) {
+      return Status::FailedPrecondition(
+          "an id-range rule still targets shard " + std::to_string(victim) +
+          "; re-target it first");
+    }
+  }
+  auto next = std::shared_ptr<RoutingTable>(new RoutingTable());
+  next->epoch_ = epoch_ + 1;
+  next->num_shards_ = num_shards_ - 1;
+  next->slot_to_shard_ = slot_to_shard_;
+  next->base_ = base_;
+  next->id_rules_ = id_rules_;
+  return std::shared_ptr<const RoutingTable>(std::move(next));
+}
+
+Status RoutingTable::Save(std::ostream* os) const {
+  if (os == nullptr) return Status::Invalid("null output stream");
+  if (!slotted()) {
+    return Status::FailedPrecondition(
+        "only slot-mapped routing tables serialize (custom ShardRouters "
+        "cannot round-trip)");
+  }
+  *os << kMagic << "\n";
+  *os << epoch_ << " " << num_shards_ << " " << id_rules_.size() << "\n";
+  for (int slot = 0; slot < kNumHashSlots; ++slot) {
+    *os << (slot ? " " : "") << slot_to_shard_[static_cast<size_t>(slot)];
+  }
+  *os << "\n";
+  for (const IdRangeRule& rule : id_rules_) {
+    *os << rule.begin << " " << rule.end << " " << rule.target << "\n";
+  }
+  if (!os->good()) return Status::Internal("stream write failed");
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const RoutingTable>> RoutingTable::Load(
+    std::istream* is) {
+  if (is == nullptr) return Status::Invalid("null input stream");
+  std::string magic;
+  if (!std::getline(*is, magic) || magic != kMagic) {
+    return Status::Invalid("bad routing table header: '" + magic + "'");
+  }
+  uint64_t epoch = 0;
+  int num_shards = 0;
+  size_t num_rules = 0;
+  *is >> epoch >> num_shards >> num_rules;
+  if (!is->good() || num_shards < 1 || num_rules > 1u << 20) {
+    return Status::Invalid("bad routing table parameter block");
+  }
+  auto table = std::shared_ptr<RoutingTable>(new RoutingTable());
+  table->epoch_ = epoch;
+  table->num_shards_ = num_shards;
+  table->slot_to_shard_.resize(kNumHashSlots);
+  for (int slot = 0; slot < kNumHashSlots; ++slot) {
+    int owner = -1;
+    *is >> owner;
+    if (is->fail() || owner < 0 || owner >= num_shards) {
+      return Status::Invalid("bad slot owner at slot " + std::to_string(slot));
+    }
+    table->slot_to_shard_[static_cast<size_t>(slot)] = owner;
+  }
+  for (size_t i = 0; i < num_rules; ++i) {
+    IdRangeRule rule{};
+    *is >> rule.begin >> rule.end >> rule.target;
+    if (is->fail() || rule.end <= rule.begin || rule.target < 0 ||
+        rule.target >= num_shards) {
+      return Status::Invalid("bad id-range rule " + std::to_string(i));
+    }
+    table->id_rules_.push_back(rule);
+  }
+  return std::shared_ptr<const RoutingTable>(std::move(table));
+}
+
+}  // namespace fdrms

@@ -1,0 +1,198 @@
+#ifndef FDRMS_SHARD_MIGRATION_H_
+#define FDRMS_SHARD_MIGRATION_H_
+
+/// \file migration.h
+/// Routing-table epochs and migration plans for live shard rebalancing.
+///
+/// The sharded layer (sharded_service.h) fixes nothing about *which* shard
+/// owns which ids beyond "routing is a pure function of the id". This file
+/// makes that function versioned and movable:
+///
+///  - A MigrationPlan names a moving range — a set of hash slots
+///    (shard_router.h) each with a target shard, and/or a contiguous id
+///    range with a target — without saying anything about timing.
+///  - A RoutingTable is one immutable epoch of the routing function: a full
+///    slot→shard array (or a delegating wrapper around a custom ShardRouter)
+///    plus the id-range rules layered on top. Applying a plan to a table
+///    yields the next epoch; the table itself never mutates, so readers can
+///    hold an epoch across a cutover.
+///  - An EpochShardRouter is the ShardRouter the sharded service actually
+///    routes through: an atomic pointer to the current table, swapped in one
+///    release store at migration cutover. Route() at any instant is the pure
+///    function of exactly one epoch.
+///
+/// Because every id maps to exactly one slot and every slot (and range rule)
+/// names exactly one target, every id routes to exactly one shard at every
+/// epoch — the property tests/migration_test.cpp exercises across random
+/// plan sequences and across save/restore (tables serialize to a versioned
+/// text format so a persisted constellation can resume with its migrated
+/// routing intact).
+
+#include <atomic>
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "shard/shard_router.h"
+
+namespace fdrms {
+
+/// One rebalancing step: which ids move, and where each of them goes.
+/// Declarative only — ShardedFdRmsService::Migrate supplies the freeze/
+/// drain/replay/cutover mechanics. Slot moves require a slot-mapped routing
+/// table (the default hash router); an id range works over any router.
+struct MigrationPlan {
+  struct SlotMove {
+    int slot;    ///< hash slot in [0, kNumHashSlots)
+    int target;  ///< shard that owns the slot after the cutover
+  };
+  std::vector<SlotMove> slot_moves;
+
+  /// Id-range form, active when id_end > id_begin: every id in
+  /// [id_begin, id_end) moves to id_target. Range rules are layered on top
+  /// of slot routing and later rules win, so a plan's range overrides any
+  /// earlier epoch's rule for the same ids.
+  int id_begin = 0;
+  int id_end = 0;
+  int id_target = -1;
+
+  bool has_range() const { return id_end > id_begin; }
+  bool empty() const { return slot_moves.empty() && !has_range(); }
+
+  /// Every listed slot to one target shard.
+  static MigrationPlan Slots(const std::vector<int>& slots, int target) {
+    MigrationPlan plan;
+    plan.slot_moves.reserve(slots.size());
+    for (int slot : slots) plan.slot_moves.push_back({slot, target});
+    return plan;
+  }
+
+  /// Every id in [begin, end) to one target shard.
+  static MigrationPlan IdRange(int begin, int end, int target) {
+    MigrationPlan plan;
+    plan.id_begin = begin;
+    plan.id_end = end;
+    plan.id_target = target;
+    return plan;
+  }
+};
+
+/// One immutable epoch of the routing function. Constructed via the static
+/// builders or by Apply(); never mutated afterwards, so concurrent readers
+/// need no synchronization beyond acquiring the pointer.
+class RoutingTable {
+ public:
+  /// An id-range rule layered over slot routing; later rules win.
+  struct IdRangeRule {
+    int begin;
+    int end;  ///< exclusive
+    int target;
+  };
+
+  /// Epoch 0 of the default router: slot t owned by shard t mod S (exactly
+  /// HashShardRouter's map).
+  static std::shared_ptr<const RoutingTable> Slotted(int num_shards);
+
+  /// Epoch 0 over a custom router: ids route through `base` unless an
+  /// id-range rule claims them. Slot moves are rejected on delegating
+  /// tables (a custom router's id→shard map need not be slot-expressible).
+  static std::shared_ptr<const RoutingTable> Delegating(
+      std::shared_ptr<const ShardRouter> base);
+
+  /// The owning shard of `id` at this epoch: the latest matching id-range
+  /// rule, else the slot owner (or the base router's choice). A delegating
+  /// table forwards the base router's value unchecked, so like any custom
+  /// ShardRouter it may return out of range; slotted tables never do.
+  int Route(int id) const;
+
+  uint64_t epoch() const { return epoch_; }
+  int num_shards() const { return num_shards_; }
+
+  /// True when the table carries a full slot→shard array (default router);
+  /// false for delegating tables.
+  bool slotted() const { return !slot_to_shard_.empty(); }
+  const std::vector<int>& slot_to_shard() const { return slot_to_shard_; }
+  const std::vector<IdRangeRule>& id_rules() const { return id_rules_; }
+
+  /// Slots owned by `shard`, ascending (slotted tables only).
+  std::vector<int> SlotsOwnedBy(int shard) const;
+
+  /// Owned-slot count per shard (slotted tables only) — the balance signal
+  /// AddShard/RemoveShard plan against.
+  std::vector<int> SlotLoad() const;
+
+  /// The next epoch with `plan` applied. Validates the plan against this
+  /// table: targets must be in [0, new_num_shards), slots in range and only
+  /// on slotted tables. `new_num_shards` >= num_shards() lets AddShard
+  /// grow the shard space in the same step. Nothing is mutated on error.
+  Result<std::shared_ptr<const RoutingTable>> Apply(const MigrationPlan& plan,
+                                                    int new_num_shards) const;
+
+  /// The next epoch with the shard space grown/kept at `num_shards` and
+  /// every route unchanged (used to expose a freshly started shard before
+  /// any slots move onto it).
+  std::shared_ptr<const RoutingTable> WithNumShards(int num_shards) const;
+
+  /// The next epoch with the last shard removed. Fails if any slot or
+  /// id-range rule still routes to it — migrate its ownership away first.
+  Result<std::shared_ptr<const RoutingTable>> WithoutLastShard() const;
+
+  /// Serializes the table (slotted tables only — a delegating table's base
+  /// is an arbitrary ShardRouter and cannot round-trip). Byte-exact for
+  /// identical tables.
+  Status Save(std::ostream* os) const;
+
+  /// Rebuilds a table from Save()'s output; routes identically to the
+  /// saved instance.
+  static Result<std::shared_ptr<const RoutingTable>> Load(std::istream* is);
+
+ private:
+  RoutingTable() = default;
+
+  uint64_t epoch_ = 0;
+  int num_shards_ = 0;
+  std::vector<int> slot_to_shard_;           ///< size kNumHashSlots, or empty
+  std::shared_ptr<const ShardRouter> base_;  ///< used only when not slotted
+  std::vector<IdRangeRule> id_rules_;        ///< later entries win
+};
+
+/// The ShardRouter the sharded service routes through: an atomic pointer to
+/// the current RoutingTable. Route()/num_shards() read one coherent epoch;
+/// Publish() is the single release store that makes a migration's cutover
+/// visible to every submitter.
+class EpochShardRouter final : public ShardRouter {
+ public:
+  explicit EpochShardRouter(std::shared_ptr<const RoutingTable> initial)
+      : table_(std::move(initial)) {
+    FDRMS_CHECK(table_.load() != nullptr);
+  }
+
+  int num_shards() const override { return table()->num_shards(); }
+  int Route(int id) const override { return table()->Route(id); }
+  const char* name() const override { return "epoch"; }
+
+  uint64_t epoch() const { return table()->epoch(); }
+
+  std::shared_ptr<const RoutingTable> table() const {
+    return table_.load(std::memory_order_acquire);
+  }
+
+  /// Installs the next epoch. Epochs must advance — a stale or replayed
+  /// table is a programming error.
+  void Publish(std::shared_ptr<const RoutingTable> next) {
+    FDRMS_CHECK(next != nullptr);
+    FDRMS_CHECK(next->epoch() > table()->epoch())
+        << "routing epochs must advance";
+    table_.store(std::move(next), std::memory_order_release);
+  }
+
+ private:
+  std::atomic<std::shared_ptr<const RoutingTable>> table_;
+};
+
+}  // namespace fdrms
+
+#endif  // FDRMS_SHARD_MIGRATION_H_

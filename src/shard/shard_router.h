@@ -11,17 +11,39 @@
 /// every submitter thread and must therefore be immutable after
 /// construction.
 ///
-/// HashShardRouter is the default: a 64-bit finalizer hash of the id modulo
-/// the shard count, which balances adversarial id ranges (sequential ids,
-/// id ranges per tenant) without any data statistics. Skyline-aware routing
-/// — placing likely-skyline tuples so per-shard result sets stay small — can
-/// slot in behind the same interface once the workload justifies it.
+/// HashShardRouter is the default: a 64-bit finalizer hash of the id mapped
+/// onto kNumHashSlots fixed hash slots, each slot owned by one shard. The
+/// slot indirection balances adversarial id ranges (sequential ids, id
+/// ranges per tenant) without any data statistics, and gives live
+/// rebalancing (shard/migration.h) a finite, enumerable unit of ownership:
+/// a migration moves whole slots between shards, so routing stays a pure
+/// function of the id at every epoch. Skyline-aware routing — placing
+/// likely-skyline tuples so per-shard result sets stay small — can slot in
+/// behind the same interface once the workload justifies it.
 
 #include <cstdint>
 
 #include "common/check.h"
 
 namespace fdrms {
+
+/// Number of fixed hash slots the id space is divided into. Every id maps
+/// to exactly one slot (HashSlotOf); routers and routing tables map slots
+/// to shards. 256 slots keep per-slot load near 0.4% of the id space —
+/// fine-grained enough for balanced rebalancing, small enough to enumerate
+/// and serialize.
+inline constexpr int kNumHashSlots = 256;
+
+/// The hash slot of `id`: splitmix64 finalizer over the id, modulo the slot
+/// count. Uniform over any id distribution, no coordination, O(1).
+inline int HashSlotOf(int id) {
+  uint64_t x = static_cast<uint64_t>(static_cast<uint32_t>(id));
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<int>(x % static_cast<uint64_t>(kNumHashSlots));
+}
 
 /// Maps tuple ids to shard indices in [0, num_shards). Implementations
 /// must be deterministic, stateless after construction, and thread-safe.
@@ -40,8 +62,11 @@ class ShardRouter {
   virtual const char* name() const = 0;
 };
 
-/// Default router: splitmix64 finalizer over the id, modulo the shard
-/// count. Uniform over any id distribution, no coordination, O(1).
+/// Default router: the id's hash slot modulo the shard count. Uniform over
+/// any id distribution, no coordination, O(1). Slot-mapped on purpose:
+/// shard s owns exactly the slots {t : t ≡ s (mod S)}, which is the
+/// epoch-0 routing table live rebalancing starts from (see
+/// shard/migration.h).
 class HashShardRouter final : public ShardRouter {
  public:
   explicit HashShardRouter(int num_shards) : num_shards_(num_shards) {
@@ -51,12 +76,7 @@ class HashShardRouter final : public ShardRouter {
   int num_shards() const override { return num_shards_; }
 
   int Route(int id) const override {
-    uint64_t x = static_cast<uint64_t>(static_cast<uint32_t>(id));
-    x += 0x9e3779b97f4a7c15ULL;
-    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-    x ^= x >> 31;
-    return static_cast<int>(x % static_cast<uint64_t>(num_shards_));
+    return HashSlotOf(id) % num_shards_;
   }
 
   const char* name() const override { return "hash"; }

@@ -1,6 +1,10 @@
 #include "shard/sharded_service.h"
 
 #include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <functional>
 #include <string>
 #include <thread>
@@ -33,19 +37,62 @@ void ForEachShardConcurrently(size_t num_shards,
   for (std::thread& w : workers) w.join();
 }
 
+/// Submits a migration-internal operation, absorbing kResourceExhausted
+/// backpressure (Overflow::kReject shards shed load at the edge, but a
+/// migration's replay must land).
+Status SubmitWithRetry(FdRmsService* shard, FdRms::BatchOp op) {
+  for (;;) {
+    Status st = shard->Submit(op);
+    if (st.code() != StatusCode::kResourceExhausted) return st;
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+}
+
 }  // namespace
+
+/// The freeze interposer of one in-flight migration: Submit diverts every
+/// operation whose id matches the moving range into `buffered` (in
+/// submission order); the migration drains the buffer into the targets
+/// before the cutover epoch publishes.
+struct ShardedFdRmsService::MigrationState {
+  explicit MigrationState(const MigrationPlan& plan) {
+    for (const MigrationPlan::SlotMove& move : plan.slot_moves) {
+      slot_moved[static_cast<size_t>(move.slot)] = true;
+      any_slot = true;
+    }
+    if (plan.has_range()) {
+      id_begin = plan.id_begin;
+      id_end = plan.id_end;
+    }
+  }
+
+  bool Matches(int id) const {
+    if (id_begin < id_end && id >= id_begin && id < id_end) return true;
+    return any_slot && slot_moved[static_cast<size_t>(HashSlotOf(id))];
+  }
+
+  std::array<bool, kNumHashSlots> slot_moved{};
+  bool any_slot = false;
+  int id_begin = 0;
+  int id_end = 0;
+
+  std::mutex mu;
+  std::vector<FdRms::BatchOp> buffered;
+};
 
 ShardedFdRmsService::ShardedFdRmsService(int dim,
                                          const ShardedServiceOptions& options,
                                          std::unique_ptr<ShardRouter> router)
-    : dim_(dim),
-      options_(options),
-      router_(router ? std::move(router)
-                     : std::make_unique<HashShardRouter>(options.num_shards)) {
+    : dim_(dim), options_(options) {
   FDRMS_CHECK(options.num_shards >= 1);
-  FDRMS_CHECK(router_->num_shards() == options.num_shards)
-      << "router partitions " << router_->num_shards() << " shards, service has "
-      << options.num_shards;
+  if (router != nullptr) {
+    FDRMS_CHECK(router->num_shards() == options.num_shards)
+        << "router partitions " << router->num_shards()
+        << " shards, service has " << options.num_shards;
+    initial_table_ = RoutingTable::Delegating(std::move(router));
+  } else {
+    initial_table_ = RoutingTable::Slotted(options.num_shards);
+  }
   if (options_.merged_budget_r > 0) {
     FDRMS_CHECK(options_.merge_directions > 0);
     Rng rng(options_.merge_seed);
@@ -54,37 +101,85 @@ ShardedFdRmsService::ShardedFdRmsService(int dim,
       merge_directions_.push_back(SampleUnitVectorNonneg(dim, &rng));
     }
   }
-  BuildShards();
+  ResetTopology();
 }
 
-void ShardedFdRmsService::BuildShards() {
-  shards_.clear();
-  for (int s = 0; s < options_.num_shards; ++s) {
-    FdRmsServiceOptions per_shard = options_.shard;
-    if (per_shard.persist_every_batches > 0) {
-      per_shard.persist_path += ".shard" + std::to_string(s);
-    }
-    auto user_hook = per_shard.on_publish;
-    per_shard.on_publish = [this,
-                            user_hook = std::move(user_hook)](
-                               const ResultSnapshot& snap) {
-      publications_.fetch_add(1, std::memory_order_relaxed);
-      if (user_hook) user_hook(snap);
-    };
-    shards_.push_back(std::make_unique<FdRmsService>(dim_, per_shard));
+std::shared_ptr<FdRmsService> ShardedFdRmsService::MakeShard(int index,
+                                                              bool resumable) {
+  FdRmsServiceOptions per_shard = options_.shard;
+  if (per_shard.persist_every_batches > 0) {
+    per_shard.persist_path += ".shard" + std::to_string(index);
   }
+  if (resumable && !per_shard.resume_path.empty()) {
+    per_shard.resume_path += ".shard" + std::to_string(index);
+  } else {
+    // A shard added to a live constellation starts empty by definition.
+    per_shard.resume_path.clear();
+  }
+  auto user_hook = per_shard.on_publish;
+  per_shard.on_publish = [this, user_hook = std::move(user_hook)](
+                             const ResultSnapshot& snap) {
+    publications_.fetch_add(1, std::memory_order_relaxed);
+    if (user_hook) user_hook(snap);
+  };
+  return std::make_shared<FdRmsService>(dim_, per_shard);
+}
+
+void ShardedFdRmsService::ResetTopology() {
+  auto topo = std::make_shared<Topology>();
+  topo->table = initial_table_;
+  topo->shards.reserve(static_cast<size_t>(options_.num_shards));
+  for (int s = 0; s < options_.num_shards; ++s) {
+    topo->shards.push_back(MakeShard(s, /*resumable=*/true));
+  }
+  router_ = std::make_unique<EpochShardRouter>(initial_table_);
+  merged_cache_.store(nullptr, std::memory_order_release);
+  topology_.store(std::move(topo), std::memory_order_release);
 }
 
 Status ShardedFdRmsService::Start(
     const std::vector<std::pair<int, Point>>& initial) {
+  std::lock_guard<std::mutex> admin(admin_mutex_);
   bool expected = false;
   if (!started_.compare_exchange_strong(expected, true)) {
     return Status::FailedPrecondition("sharded service already started");
   }
-  const size_t num_shards = shards_.size();
+  std::shared_ptr<const Topology> topo = topology();
+  const size_t num_shards = topo->shards.size();
+
+  // Restore the routing table first: a persisted constellation must resume
+  // with its migrated routing, or per-shard snapshots and routing would
+  // disagree about ownership.
+  if (!options_.shard.resume_path.empty()) {
+    std::ifstream in(options_.shard.resume_path + ".routing");
+    if (in.good()) {
+      auto table_or = RoutingTable::Load(&in);
+      if (!table_or.ok()) {
+        started_.store(false);
+        return table_or.status();
+      }
+      std::shared_ptr<const RoutingTable> table = *table_or;
+      if (table->num_shards() != static_cast<int>(num_shards)) {
+        started_.store(false);
+        return Status::Invalid(
+            "resumed routing table spans " +
+            std::to_string(table->num_shards()) +
+            " shards, constellation has " + std::to_string(num_shards) +
+            " (construct with the persisted shard count)");
+      }
+      if (table->epoch() > router_->epoch()) {
+        router_->Publish(table);
+        auto next = std::make_shared<Topology>(*topo);
+        next->table = table;
+        topo = next;
+        topology_.store(topo, std::memory_order_release);
+      }
+    }
+  }
+
   std::vector<std::vector<std::pair<int, Point>>> partitions(num_shards);
   for (const auto& [id, point] : initial) {
-    const int s = router_->Route(id);
+    const int s = topo->table->Route(id);
     if (s < 0 || s >= static_cast<int>(num_shards)) {
       started_.store(false);  // no shard started yet: plain retryable failure
       return Status::Internal("router sent id " + std::to_string(id) +
@@ -94,7 +189,7 @@ Status ShardedFdRmsService::Start(
   }
   std::vector<Status> statuses(num_shards);
   ForEachShardConcurrently(num_shards, [&](size_t s) {
-    statuses[s] = shards_[s]->Start(partitions[s]);
+    statuses[s] = topo->shards[s]->Start(partitions[s]);
   });
   Status combined = FirstError(statuses);
   if (!combined.ok()) {
@@ -102,71 +197,396 @@ Status ShardedFdRmsService::Start(
     // that did come up, then rebuild everything fresh (a stopped
     // FdRmsService cannot restart) so the caller may retry Start.
     for (size_t s = 0; s < num_shards; ++s) {
-      if (statuses[s].ok()) (void)shards_[s]->Stop(StopPolicy::kAbort);
+      if (statuses[s].ok()) (void)topo->shards[s]->Stop(StopPolicy::kAbort);
     }
-    BuildShards();
+    ResetTopology();
     started_.store(false);
   }
   return combined;
 }
 
 Status ShardedFdRmsService::Stop(StopPolicy policy) {
+  std::lock_guard<std::mutex> admin(admin_mutex_);
   if (!started_.load()) {
     return Status::FailedPrecondition("sharded service never started");
   }
-  std::vector<Status> statuses(shards_.size());
-  ForEachShardConcurrently(shards_.size(), [&](size_t s) {
-    statuses[s] = shards_[s]->Stop(policy);
+  std::shared_ptr<const Topology> topo = topology();
+  std::vector<Status> statuses(topo->shards.size());
+  ForEachShardConcurrently(topo->shards.size(), [&](size_t s) {
+    statuses[s] = topo->shards[s]->Stop(policy);
   });
   return FirstError(statuses);
 }
 
 Status ShardedFdRmsService::Submit(FdRms::BatchOp op) {
-  const int s = router_->Route(op.id);
-  if (s < 0 || s >= num_shards()) {
+  std::shared_lock<std::shared_mutex> lock(route_mutex_);
+  std::shared_ptr<MigrationState> mig =
+      migration_.load(std::memory_order_acquire);
+  if (mig != nullptr && mig->Matches(op.id)) {
+    std::lock_guard<std::mutex> g(mig->mu);
+    mig->buffered.push_back(std::move(op));
+    return Status::OK();
+  }
+  std::shared_ptr<const Topology> topo = topology();
+  const int s = topo->table->Route(op.id);
+  if (s < 0 || s >= static_cast<int>(topo->shards.size())) {
     return Status::Internal("router sent id " + std::to_string(op.id) +
                             " to out-of-range shard " + std::to_string(s));
   }
-  return shards_[static_cast<size_t>(s)]->Submit(std::move(op));
+  return topo->shards[static_cast<size_t>(s)]->Submit(std::move(op));
 }
 
 Status ShardedFdRmsService::Flush() {
-  std::vector<Status> statuses(shards_.size());
-  for (size_t s = 0; s < shards_.size(); ++s) {
-    statuses[s] = shards_[s]->Flush();
+  std::shared_ptr<const Topology> topo = topology();
+  std::vector<Status> statuses(topo->shards.size());
+  for (size_t s = 0; s < topo->shards.size(); ++s) {
+    statuses[s] = topo->shards[s]->Flush();
   }
   return FirstError(statuses);
 }
 
+Status ShardedFdRmsService::Migrate(const MigrationPlan& plan) {
+  std::lock_guard<std::mutex> admin(admin_mutex_);
+  return MigrateLocked(plan);
+}
+
+Status ShardedFdRmsService::MigrateLocked(const MigrationPlan& plan) {
+  if (!started_.load()) {
+    return Status::FailedPrecondition("sharded service never started");
+  }
+  std::shared_ptr<const Topology> topo = topology();
+  const int num_shards = static_cast<int>(topo->shards.size());
+  auto next_or = topo->table->Apply(plan, num_shards);
+  if (!next_or.ok()) return next_or.status();
+  std::shared_ptr<const RoutingTable> next = *next_or;
+
+  // (1) Freeze: divert new mutations of the moving range into the side
+  // buffer. The exclusive section is only the pointer swap, so no submit
+  // can be mid-route across the freeze.
+  auto state = std::make_shared<MigrationState>(plan);
+  {
+    std::unique_lock<std::shared_mutex> lock(route_mutex_);
+    migration_.store(state, std::memory_order_release);
+  }
+
+  // (2) Drain: once every queue is flushed, each source's applied state
+  // holds every pre-freeze mutation of the range, and the range can no
+  // longer change there (new matching mutations sit in the buffer).
+  for (int s = 0; s < num_shards; ++s) {
+    Status st = topo->shards[s]->Flush();
+    if (!st.ok()) {
+      AbortFreeze(state, *topo);
+      return st;
+    }
+  }
+
+  // Read the frozen range out of its sources (drain-range hook; runs on
+  // each shard's writer thread against a consistent cut).
+  struct MovedTuple {
+    int source;
+    int target;
+    int id;
+    Point point;
+  };
+  std::vector<MovedTuple> moved;
+  for (int s = 0; s < num_shards; ++s) {
+    std::vector<std::pair<int, Point>> in_range;
+    Status st = topo->shards[s]->CollectRange(
+        [&state](int id) { return state->Matches(id); }, &in_range);
+    if (!st.ok()) {
+      AbortFreeze(state, *topo);
+      return st;
+    }
+    for (auto& [id, point] : in_range) {
+      const int target = next->Route(id);
+      if (target < 0 || target >= num_shards) {
+        AbortFreeze(state, *topo);
+        return Status::Internal("post-migration route of id " +
+                                std::to_string(id) + " is out of range");
+      }
+      if (target != s) moved.push_back({s, target, id, std::move(point)});
+    }
+  }
+
+  // (3) Replay, as ordinary journaled operations (the FD-RMS update is
+  // delete-then-reinsert by construction, so a migration is just those two
+  // halves landing on different shards). Inserts reach the targets and are
+  // flushed before any source delete is issued: no merged view ever loses
+  // a moved tuple, and transient double-ownership de-duplicates in the
+  // merge. Failures past this point are not rolled back — they are
+  // unreachable through the public API (Stop serializes behind the
+  // migration) — the first error is reported after the cutover unfreezes
+  // the range.
+  Status first_error = Status::OK();
+  auto note = [&first_error](Status st) {
+    if (!st.ok() && first_error.ok()) first_error = std::move(st);
+  };
+  for (const MovedTuple& m : moved) {
+    note(SubmitWithRetry(topo->shards[static_cast<size_t>(m.target)].get(),
+                         {FdRms::BatchOp::Kind::kInsert, m.id, m.point}));
+  }
+  for (int s = 0; s < num_shards; ++s) {
+    note(topo->shards[s]->Flush());  // the targets now hold the range
+  }
+  for (const MovedTuple& m : moved) {
+    note(SubmitWithRetry(topo->shards[static_cast<size_t>(m.source)].get(),
+                         {FdRms::BatchOp::Kind::kDelete, m.id, Point{}}));
+  }
+
+  // (4) Cutover: catch the side buffer up without blocking submitters,
+  // then swap the epoch with the last stragglers under the exclusive lock.
+  // Buffer order is preserved, and every buffered op follows the replayed
+  // inserts already flushed into its target, so per-id order holds.
+  for (int round = 0; round < 4; ++round) {
+    std::vector<FdRms::BatchOp> chunk;
+    {
+      std::lock_guard<std::mutex> g(state->mu);
+      chunk.swap(state->buffered);
+    }
+    if (chunk.empty()) break;
+    for (FdRms::BatchOp& op : chunk) {
+      const int target = next->Route(op.id);
+      note(SubmitWithRetry(topo->shards[static_cast<size_t>(target)].get(),
+                           std::move(op)));
+    }
+  }
+  {
+    std::unique_lock<std::shared_mutex> lock(route_mutex_);
+    std::vector<FdRms::BatchOp> rest;
+    {
+      std::lock_guard<std::mutex> g(state->mu);
+      rest.swap(state->buffered);
+    }
+    for (FdRms::BatchOp& op : rest) {
+      const int target = next->Route(op.id);
+      note(SubmitWithRetry(topo->shards[static_cast<size_t>(target)].get(),
+                           std::move(op)));
+    }
+    router_->Publish(next);
+    auto cut = std::make_shared<Topology>(*topo);
+    cut->table = next;
+    topology_.store(std::move(cut), std::memory_order_release);
+    migration_.store(nullptr, std::memory_order_release);
+  }
+
+  // Post-cutover flush: the source deletes and side-buffered operations
+  // are all applied before Migrate reports success, so ownership matches
+  // the published epoch exactly when we return.
+  for (int s = 0; s < num_shards; ++s) {
+    note(topo->shards[s]->Flush());
+  }
+  if (first_error.ok()) {
+    PersistRoutingTable(*next);
+    migrations_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return first_error;
+}
+
+void ShardedFdRmsService::AbortFreeze(
+    const std::shared_ptr<MigrationState>& state, const Topology& topo) {
+  std::unique_lock<std::shared_mutex> lock(route_mutex_);
+  std::vector<FdRms::BatchOp> leftover;
+  {
+    std::lock_guard<std::mutex> g(state->mu);
+    leftover.swap(state->buffered);
+  }
+  migration_.store(nullptr, std::memory_order_release);
+  // Nothing has moved yet: the pre-migration table still owns the range,
+  // so the buffer replays to the old owners. These operations were already
+  // acknowledged to their submitters, so backpressure is absorbed (retry on
+  // kResourceExhausted) rather than shedding them; only a shard that has
+  // stopped accepting work can still lose one, and in that state the whole
+  // constellation is down and Migrate is returning the underlying error.
+  for (FdRms::BatchOp& op : leftover) {
+    const int s = topo.table->Route(op.id);
+    if (s >= 0 && s < static_cast<int>(topo.shards.size())) {
+      (void)SubmitWithRetry(topo.shards[static_cast<size_t>(s)].get(),
+                            std::move(op));
+    }
+  }
+}
+
+Status ShardedFdRmsService::AddShard() {
+  std::lock_guard<std::mutex> admin(admin_mutex_);
+  if (!started_.load()) {
+    return Status::FailedPrecondition("sharded service never started");
+  }
+  std::shared_ptr<const Topology> topo = topology();
+  if (!topo->table->slotted()) {
+    return Status::FailedPrecondition(
+        "AddShard requires the default slot-mapped hash router");
+  }
+  const int num_shards = static_cast<int>(topo->shards.size());
+  std::shared_ptr<FdRmsService> fresh =
+      MakeShard(num_shards, /*resumable=*/false);
+  FDRMS_RETURN_NOT_OK(fresh->Start({}));
+  std::shared_ptr<const RoutingTable> grown =
+      topo->table->WithNumShards(num_shards + 1);
+  {
+    std::unique_lock<std::shared_mutex> lock(route_mutex_);
+    auto next = std::make_shared<Topology>(*topo);
+    next->table = grown;
+    next->shards.push_back(std::move(fresh));
+    router_->Publish(grown);
+    topology_.store(std::move(next), std::memory_order_release);
+  }
+
+  // Slot-balanced plan: hand the newcomer its even share, drawn one slot
+  // at a time from whichever shard currently owns the most.
+  std::vector<int> load = grown->SlotLoad();
+  std::vector<std::vector<int>> owned(static_cast<size_t>(num_shards + 1));
+  for (int s = 0; s <= num_shards; ++s) {
+    owned[static_cast<size_t>(s)] = grown->SlotsOwnedBy(s);
+  }
+  const int want = kNumHashSlots / (num_shards + 1);
+  std::vector<int> slots;
+  for (int i = 0; i < want; ++i) {
+    int donor = -1;
+    for (int s = 0; s < num_shards; ++s) {
+      if (!owned[static_cast<size_t>(s)].empty() &&
+          (donor < 0 || load[static_cast<size_t>(s)] >
+                            load[static_cast<size_t>(donor)])) {
+        donor = s;
+      }
+    }
+    if (donor < 0 || load[static_cast<size_t>(donor)] <= want) break;
+    slots.push_back(owned[static_cast<size_t>(donor)].back());
+    owned[static_cast<size_t>(donor)].pop_back();
+    --load[static_cast<size_t>(donor)];
+  }
+  if (slots.empty()) {
+    PersistRoutingTable(*grown);
+    return Status::OK();  // degenerate: more shards than slots
+  }
+  Status migrated = MigrateLocked(MigrationPlan::Slots(slots, num_shards));
+  if (!migrated.ok() && topology()->table->epoch() == grown->epoch()) {
+    // The migration failed before its cutover, so the newcomer still owns
+    // nothing: roll the topology back instead of leaking an idle shard per
+    // retry. (After a cutover the newcomer owns slots and stays.)
+    auto shrunk_or = grown->WithoutLastShard();
+    if (shrunk_or.ok()) {
+      std::shared_ptr<const Topology> topo_now = topology();
+      std::shared_ptr<FdRmsService> newcomer = topo_now->shards.back();
+      {
+        std::unique_lock<std::shared_mutex> lock(route_mutex_);
+        auto next = std::make_shared<Topology>(*topo_now);
+        next->table = *shrunk_or;
+        next->shards.pop_back();
+        router_->Publish(*shrunk_or);
+        topology_.store(std::move(next), std::memory_order_release);
+      }
+      (void)newcomer->Stop(FdRmsService::StopPolicy::kAbort);
+    }
+  }
+  return migrated;
+}
+
+Status ShardedFdRmsService::RemoveShard() {
+  std::lock_guard<std::mutex> admin(admin_mutex_);
+  if (!started_.load()) {
+    return Status::FailedPrecondition("sharded service never started");
+  }
+  std::shared_ptr<const Topology> topo = topology();
+  if (!topo->table->slotted()) {
+    return Status::FailedPrecondition(
+        "RemoveShard requires the default slot-mapped hash router");
+  }
+  const int num_shards = static_cast<int>(topo->shards.size());
+  if (num_shards < 2) {
+    return Status::FailedPrecondition("cannot remove the only shard");
+  }
+  const int victim = num_shards - 1;
+  for (const RoutingTable::IdRangeRule& rule : topo->table->id_rules()) {
+    if (rule.target == victim) {
+      return Status::FailedPrecondition(
+          "an id-range rule targets the last shard; Migrate it to another "
+          "shard first");
+    }
+  }
+
+  // Hand every slot the victim owns to the least-loaded survivor.
+  std::vector<int> load = topo->table->SlotLoad();
+  MigrationPlan plan;
+  for (int slot : topo->table->SlotsOwnedBy(victim)) {
+    int t = 0;
+    for (int s = 1; s < victim; ++s) {
+      if (load[static_cast<size_t>(s)] < load[static_cast<size_t>(t)]) t = s;
+    }
+    plan.slot_moves.push_back({slot, t});
+    ++load[static_cast<size_t>(t)];
+  }
+  if (!plan.slot_moves.empty()) {
+    FDRMS_RETURN_NOT_OK(MigrateLocked(plan));
+  }
+
+  topo = topology();  // the post-cutover epoch
+  auto shrunk_or = topo->table->WithoutLastShard();
+  if (!shrunk_or.ok()) return shrunk_or.status();
+  std::shared_ptr<const RoutingTable> shrunk = *shrunk_or;
+  std::shared_ptr<FdRmsService> victim_shard = topo->shards.back();
+  {
+    std::unique_lock<std::shared_mutex> lock(route_mutex_);
+    auto next = std::make_shared<Topology>(*topo);
+    next->table = shrunk;
+    next->shards.pop_back();
+    next->retired.push_back(victim_shard);
+    router_->Publish(shrunk);
+    topology_.store(std::move(next), std::memory_order_release);
+  }
+  Status stopped = victim_shard->Stop(FdRmsService::StopPolicy::kDrain);
+  PersistRoutingTable(*shrunk);
+  return stopped;
+}
+
+void ShardedFdRmsService::PersistRoutingTable(const RoutingTable& table) const {
+  if (options_.shard.persist_every_batches == 0) return;
+  const std::string path = options_.shard.persist_path + ".routing";
+  const std::string tmp = path + ".tmp";
+  std::ofstream out(tmp, std::ios::trunc);
+  if (!out) return;
+  if (!table.Save(&out).ok()) return;
+  out.close();
+  if (!out) return;
+  (void)std::rename(tmp.c_str(), path.c_str());
+}
+
 uint64_t ShardedFdRmsService::ops_submitted() const {
+  std::shared_ptr<const Topology> topo = topology();
   uint64_t total = 0;
-  for (const auto& shard : shards_) total += shard->ops_submitted();
+  for (const auto& shard : topo->shards) total += shard->ops_submitted();
+  for (const auto& shard : topo->retired) total += shard->ops_submitted();
   return total;
 }
 
 uint64_t ShardedFdRmsService::ops_dropped() const {
+  std::shared_ptr<const Topology> topo = topology();
   uint64_t total = 0;
-  for (const auto& shard : shards_) total += shard->ops_dropped();
+  for (const auto& shard : topo->shards) total += shard->ops_dropped();
+  for (const auto& shard : topo->retired) total += shard->ops_dropped();
   return total;
 }
 
 bool ShardedFdRmsService::running() const {
-  for (const auto& shard : shards_) {
+  std::shared_ptr<const Topology> topo = topology();
+  for (const auto& shard : topo->shards) {
     if (!shard->running()) return false;
   }
   return started_.load();
 }
 
 std::shared_ptr<const MergedSnapshot> ShardedFdRmsService::Query() const {
-  const size_t num_shards = shards_.size();
+  std::shared_ptr<const Topology> topo = topology();
+  const size_t num_shards = topo->shards.size();
+  const uint64_t epoch = topo->table->epoch();
   std::vector<std::shared_ptr<const ResultSnapshot>> parts(num_shards);
   for (size_t s = 0; s < num_shards; ++s) {
-    parts[s] = shards_[s]->Query();
+    parts[s] = topo->shards[s]->Query();
     if (parts[s] == nullptr) return nullptr;  // not every shard is up yet
   }
   std::shared_ptr<const MergedSnapshot> cached =
       merged_cache_.load(std::memory_order_acquire);
-  if (cached != nullptr) {
+  if (cached != nullptr && cached->epoch == epoch &&
+      cached->versions.size() == num_shards) {
     bool fresh = true;
     for (size_t s = 0; s < num_shards; ++s) {
       if (cached->versions[s] != parts[s]->version) {
@@ -176,7 +596,8 @@ std::shared_ptr<const MergedSnapshot> ShardedFdRmsService::Query() const {
     }
     if (fresh) return cached;
   }
-  std::shared_ptr<const MergedSnapshot> merged = BuildMerged(std::move(parts));
+  std::shared_ptr<const MergedSnapshot> merged =
+      BuildMerged(std::move(parts), epoch);
   // Racing readers may each publish their own merge; every candidate is
   // internally consistent and version-keyed, so last-writer-wins is safe —
   // a reader that loads a "stale" cache entry just rebuilds.
@@ -185,9 +606,11 @@ std::shared_ptr<const MergedSnapshot> ShardedFdRmsService::Query() const {
 }
 
 std::shared_ptr<const MergedSnapshot> ShardedFdRmsService::BuildMerged(
-    std::vector<std::shared_ptr<const ResultSnapshot>> parts) const {
+    std::vector<std::shared_ptr<const ResultSnapshot>> parts,
+    uint64_t epoch) const {
   auto merged = std::make_shared<MergedSnapshot>();
   const size_t num_shards = parts.size();
+  merged->epoch = epoch;
   merged->versions.reserve(num_shards);
 
   std::vector<int> ids;
@@ -221,7 +644,8 @@ std::shared_ptr<const MergedSnapshot> ShardedFdRmsService::BuildMerged(
   std::sort(order.begin(), order.end(),
             [&](size_t a, size_t b) { return ids[a] < ids[b]; });
   // Ids are disjoint across shards by routing; drop duplicates anyway so a
-  // misbehaving custom router degrades to a correct (if lopsided) view.
+  // misbehaving custom router — or the transient double-ownership window of
+  // a live migration — degrades to a correct view.
   order.erase(std::unique(order.begin(), order.end(),
                           [&](size_t a, size_t b) { return ids[a] == ids[b]; }),
               order.end());

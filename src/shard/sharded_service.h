@@ -3,7 +3,7 @@
 
 /// \file sharded_service.h
 /// Sharded serving: the tuple space hash-partitioned across S independent
-/// FdRmsService instances, with merged snapshot reads.
+/// FdRmsService instances, with merged snapshot reads and live rebalancing.
 ///
 /// The FD-RMS update algorithm is inherently sequential, so one
 /// FdRmsService tops out at a single writer thread's budget. Because the
@@ -19,24 +19,54 @@
 ///   service.Start(initial_tuples);                // fan-out bulk load
 ///   service.SubmitInsert(id, p);                  // routed to the owner
 ///   auto merged = service.Query();                // composed view, S snapshots
+///   service.AddShard();                           // scale out, online
 ///   service.Stop(ShardedFdRmsService::StopPolicy::kDrain);
 ///
 /// Reads compose the S independently published ResultSnapshots into one
 /// MergedSnapshot (see merged_snapshot.h for the version-vector consistency
 /// model). The merge is cached behind an atomic shared_ptr keyed on the
-/// version vector: while no shard publishes, Query() costs S+1 atomic loads
-/// and a vector compare; after a publication the first reader rebuilds the
-/// merge and every later reader hits the cache again.
+/// routing epoch and version vector: while no shard publishes, Query()
+/// costs S+2 atomic loads and a vector compare; after a publication the
+/// first reader rebuilds the merge and every later reader hits the cache.
 ///
 /// Merge policy: the per-shard result sets are unioned (ids are disjoint by
 /// routing). Every shard keeps its own budget of r, so the union can reach
 /// S·r; when `merged_budget_r` is set, a greedy re-cover tops the union
 /// down to the global budget by picking the members that preserve
 /// (1-merge_eps) coverage of a fixed sample of utility directions.
+///
+/// Live rebalancing: routing is epoch-versioned (shard/migration.h).
+/// Migrate(plan) moves an id range or a set of hash slots to new owners
+/// while the constellation keeps serving:
+///
+///   1. freeze  — a router interposer diverts new mutations of the moving
+///                range into a side buffer (reads stay wait-free; the
+///                frozen range just stops advancing),
+///   2. drain   — every shard is Flush()ed, so each source's applied state
+///                contains every pre-freeze mutation of the range,
+///   3. replay  — the range's live tuples are read out of the sources via
+///                the drain-range hook (FdRmsService::CollectRange) and
+///                re-inserted into their targets through the normal Submit
+///                path, then deleted from the sources — ordinary journaled
+///                operations, exactly the delete-then-reinsert shape the
+///                FD-RMS update algorithm is built from,
+///   4. cutover — the side buffer is flushed to the targets and the next
+///                routing epoch is published in one atomic swap; subsequent
+///                reads merge the post-cutover version vector.
+///
+/// During a migration a moved tuple may transiently exist on both its old
+/// and new shard (insert applied, delete still queued) — the merge de-dups
+/// ids, so readers never see two states of one tuple — and is never absent.
+/// Once Migrate returns, all shards are flushed and ownership matches the
+/// published epoch exactly. AddShard()/RemoveShard() build on Migrate to
+/// grow/shrink the constellation online (slot-balanced plans; RemoveShard
+/// drains the last shard and retires it).
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <utility>
 #include <vector>
 
@@ -44,6 +74,7 @@
 #include "core/fdrms.h"
 #include "serve/fdrms_service.h"
 #include "shard/merged_snapshot.h"
+#include "shard/migration.h"
 #include "shard/shard_router.h"
 
 namespace fdrms {
@@ -51,13 +82,21 @@ namespace fdrms {
 /// Knobs of the sharded layer; per-shard serving and algorithm knobs ride
 /// in `shard` and apply to every instance.
 struct ShardedServiceOptions {
+  /// Shard count at construction; AddShard/RemoveShard change the live
+  /// count (num_shards() reports the current topology).
   int num_shards = 4;
 
   /// Options handed to every shard. The shared algo.seed means all shards
   /// sample the same utility sequence, which is what makes the merged
   /// result's regret guarantee testable on the shared prefix (see
   /// MergedSnapshot::min_sample_size_m). When persistence is on, shard s
-  /// writes to `persist_path + ".shard<s>"`.
+  /// writes to `persist_path + ".shard<s>"` and the routing table is saved
+  /// to `persist_path + ".routing"` at every epoch publication. When
+  /// `shard.resume_path` is set, Start() restores the routing table from
+  /// `resume_path + ".routing"` (if present) and each shard from
+  /// `resume_path + ".shard<s>"` — pass an empty initial set when
+  /// resuming; the constellation must be constructed with the same
+  /// num_shards it was persisted with.
   FdRmsServiceOptions shard;
 
   /// Global result budget of the merged view: 0 serves the pure union
@@ -75,15 +114,19 @@ struct ShardedServiceOptions {
   uint64_t merge_seed = 4242;
 };
 
-/// S single-writer FdRmsService instances behind one façade. Start/Stop
-/// must be called from one controlling thread; Submit*/Query/Flush are safe
-/// from any thread.
+/// S single-writer FdRmsService instances behind one façade. Start/Stop/
+/// Migrate/AddShard/RemoveShard must not race each other (they serialize
+/// internally, but call them from control-plane code, not hot paths);
+/// Submit*/Query/Flush are safe from any thread at any time, including
+/// while a migration runs.
 class ShardedFdRmsService {
  public:
   using StopPolicy = FdRmsService::StopPolicy;
 
   /// `router` must partition across exactly options.num_shards shards;
-  /// nullptr installs HashShardRouter(options.num_shards).
+  /// nullptr installs the default slot-mapped hash routing (required for
+  /// slot migrations and AddShard/RemoveShard; a custom router still
+  /// supports id-range migrations).
   ShardedFdRmsService(int dim, const ShardedServiceOptions& options,
                       std::unique_ptr<ShardRouter> router = nullptr);
 
@@ -92,10 +135,12 @@ class ShardedFdRmsService {
   ShardedFdRmsService& operator=(const ShardedFdRmsService&) = delete;
 
   /// Routes P_0 across the shards and Start()s them all concurrently (bulk
-  /// load is per-shard sequential but independent). On any failure the
-  /// already-started shards are aborted, the constellation is rebuilt
-  /// fresh, and the first error is returned — Start may then be retried.
-  /// The failure-path rebuild is not synchronized with concurrent
+  /// load is per-shard sequential but independent). With
+  /// options.shard.resume_path set, the persisted routing table and shard
+  /// snapshots are restored instead (see ShardedServiceOptions::shard). On
+  /// any failure the already-started shards are aborted, the constellation
+  /// is rebuilt fresh, and the first error is returned — Start may then be
+  /// retried. The failure-path rebuild is not synchronized with concurrent
   /// Submit/Query; route traffic only after Start has returned OK.
   Status Start(const std::vector<std::pair<int, Point>>& initial);
 
@@ -104,8 +149,12 @@ class ShardedFdRmsService {
   /// the backlogs (summed in ops_dropped()). Idempotent once stopped.
   Status Stop(StopPolicy policy = StopPolicy::kDrain);
 
-  /// Enqueues one mutation on the owning shard. Same status surface as
-  /// FdRmsService::Submit, plus kInternal if the router misroutes.
+  /// Enqueues one mutation on the owning shard (or, mid-migration, into
+  /// the side buffer of the moving range). Same status surface as
+  /// FdRmsService::Submit, plus kInternal if the router misroutes. A
+  /// side-buffered operation reaches its new owner before the cutover
+  /// epoch publishes; the buffer is unbounded, so backpressure pauses for
+  /// the moving range during the (short) migration window.
   Status Submit(FdRms::BatchOp op);
   Status SubmitInsert(int id, const Point& p) {
     return Submit({FdRms::BatchOp::Kind::kInsert, id, p});
@@ -118,43 +167,125 @@ class ShardedFdRmsService {
   }
 
   /// Blocks until every shard has consumed everything submitted to it
-  /// before this call. First per-shard failure wins.
+  /// before this call. First per-shard failure wins. Operations parked in
+  /// a migration side buffer are not yet "submitted to a shard"; Migrate
+  /// flushes them before it returns.
   Status Flush();
+
+  /// Live rebalancing: moves the plan's id range / hash slots to their
+  /// target shards with the freeze → drain → replay → cutover protocol
+  /// documented above, then publishes the next routing epoch. Synchronous:
+  /// when it returns OK, ownership matches routing_table() exactly, every
+  /// replayed and side-buffered operation is applied, and readers merge
+  /// post-cutover snapshots. Readers are never blocked; writes to the
+  /// moving range are buffered (not rejected) for the duration. Serialized
+  /// against Start/Stop/other migrations. Slot plans require the default
+  /// hash router; id-range plans work with any router.
+  Status Migrate(const MigrationPlan& plan);
+
+  /// Scales out online: starts an empty shard, exposes it at the next
+  /// epoch, then Migrate()s a slot-balanced share (~1/(S+1) of the slot
+  /// space, drawn from the currently most-loaded shards) onto it.
+  /// Requires the default hash router.
+  Status AddShard();
+
+  /// Scales in online: Migrate()s every slot owned by the last shard to
+  /// the remaining shards (least-loaded first), publishes the shrunk
+  /// epoch, drains and stops the victim, and retires it. Requires the
+  /// default hash router and at least two shards.
+  Status RemoveShard();
 
   /// The latest merged view, or nullptr before every shard has published
   /// its version-0 snapshot. Wait-free when no shard published since the
   /// last merge (cache hit); the first reader after a publication pays the
-  /// O(S·r log(S·r) + re-cover) merge.
+  /// O(S·r log(S·r) + re-cover) merge. Never blocks on migrations.
   std::shared_ptr<const MergedSnapshot> Query() const;
 
-  /// Aggregates across shards (each monotone).
+  /// Aggregates across shards, including retired ones (each monotone).
   uint64_t ops_submitted() const;
   uint64_t ops_dropped() const;
 
   /// Per-shard snapshot publications observed via the on_publish hook
-  /// (includes the S version-0 publications).
+  /// (includes each shard's version-0 publication).
   uint64_t publications() const {
     return publications_.load(std::memory_order_relaxed);
+  }
+
+  /// Completed Migrate() calls (AddShard/RemoveShard count theirs).
+  uint64_t migrations() const {
+    return migrations_.load(std::memory_order_relaxed);
   }
 
   bool running() const;
 
   int dim() const { return dim_; }
-  int num_shards() const { return static_cast<int>(shards_.size()); }
+  int num_shards() const {
+    return static_cast<int>(topology()->shards.size());
+  }
   const ShardedServiceOptions& options() const { return options_; }
+
+  /// The routing view. router() reflects the current epoch; the table
+  /// accessors expose it explicitly.
   const ShardRouter& router() const { return *router_; }
+  std::shared_ptr<const RoutingTable> routing_table() const {
+    return router_->table();
+  }
+  uint64_t epoch() const { return router_->epoch(); }
 
   /// Read access to one shard (counters always; journal()/algorithm() only
-  /// after Stop, per FdRmsService's contract).
-  const FdRmsService& shard(int s) const { return *shards_[s]; }
+  /// after Stop, per FdRmsService's contract). Indices follow the current
+  /// topology.
+  const FdRmsService& shard(int s) const { return *topology()->shards[s]; }
+
+  /// Shards retired by RemoveShard, oldest first (already stopped, so
+  /// journal()/algorithm() are valid).
+  int num_retired() const {
+    return static_cast<int>(topology()->retired.size());
+  }
+  const FdRmsService& retired_shard(int i) const {
+    return *topology()->retired[i];
+  }
 
  private:
-  /// (Re)creates the S shard services from options_. Used at construction
-  /// and to reset a constellation whose Start failed partway.
-  void BuildShards();
+  /// The unit of topology: the routing table plus the shard set it routes
+  /// over, swapped together so Submit/Query always see a coherent pair.
+  struct Topology {
+    std::shared_ptr<const RoutingTable> table;
+    std::vector<std::shared_ptr<FdRmsService>> shards;
+    std::vector<std::shared_ptr<FdRmsService>> retired;
+  };
+
+  /// The freeze interposer: while installed, Submit diverts matching ids
+  /// into `buffered` instead of routing them.
+  struct MigrationState;
+
+  std::shared_ptr<const Topology> topology() const {
+    return topology_.load(std::memory_order_acquire);
+  }
+
+  /// Builds one shard service (publication hook, per-shard persist/resume
+  /// paths) for slot `index`.
+  std::shared_ptr<FdRmsService> MakeShard(int index, bool resumable);
+
+  /// (Re)creates the S-shard epoch-0 topology. Used at construction and to
+  /// reset a constellation whose Start failed partway.
+  void ResetTopology();
+
+  /// Migrate body; caller holds admin_mutex_.
+  Status MigrateLocked(const MigrationPlan& plan);
+
+  /// Removes the freeze and re-routes anything buffered through `table`
+  /// (used on early failure, before any tuple moved).
+  void AbortFreeze(const std::shared_ptr<MigrationState>& state,
+                   const Topology& topo);
+
+  /// Best-effort save of `table` to persist_path + ".routing" (no-op when
+  /// persistence is off).
+  void PersistRoutingTable(const RoutingTable& table) const;
 
   std::shared_ptr<const MergedSnapshot> BuildMerged(
-      std::vector<std::shared_ptr<const ResultSnapshot>> parts) const;
+      std::vector<std::shared_ptr<const ResultSnapshot>> parts,
+      uint64_t epoch) const;
 
   /// Greedily selects <= merged_budget_r entries of the union that keep
   /// every merge direction covered at (1-merge_eps) of the union's best
@@ -165,16 +296,30 @@ class ShardedFdRmsService {
 
   const int dim_;
   const ShardedServiceOptions options_;
-  std::unique_ptr<ShardRouter> router_;
+  std::shared_ptr<const RoutingTable> initial_table_;  ///< epoch 0
+  std::unique_ptr<EpochShardRouter> router_;
   std::vector<Point> merge_directions_;
   std::atomic<uint64_t> publications_{0};
+  std::atomic<uint64_t> migrations_{0};
   std::atomic<bool> started_{false};
+
+  /// Serializes the control plane: Start, Stop, Migrate, AddShard,
+  /// RemoveShard.
+  std::mutex admin_mutex_;
+
+  /// Submitters hold it shared while routing+enqueuing one operation; a
+  /// migration holds it exclusive only for the freeze and cutover swaps,
+  /// so no submit can straddle an epoch boundary.
+  mutable std::shared_mutex route_mutex_;
+
+  std::atomic<std::shared_ptr<MigrationState>> migration_;
 
   mutable std::atomic<std::shared_ptr<const MergedSnapshot>> merged_cache_;
 
   // Declared last: destroyed first, so shard writer threads (joined in
-  // FdRmsService's destructor) can never observe the members above gone.
-  std::vector<std::unique_ptr<FdRmsService>> shards_;
+  // FdRmsService's destructor when the topology releases them) can never
+  // observe the members above gone.
+  std::atomic<std::shared_ptr<const Topology>> topology_;
 };
 
 }  // namespace fdrms

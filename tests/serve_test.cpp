@@ -99,6 +99,35 @@ TEST(ServeQueueTest, ClearReportsDroppedElements) {
   EXPECT_EQ(q.size(), 0u);
 }
 
+TEST(ServeQueueTest, KickWakesConsumerWithEmptyBatch) {
+  BoundedQueue<int> q(4);
+  std::atomic<bool> popped{false};
+  std::atomic<bool> batch_empty{false};
+  std::atomic<bool> pop_result{false};
+  std::thread consumer([&] {
+    std::vector<int> got;
+    pop_result = q.PopBatch(4, &got);  // empty queue: blocks until the kick
+    batch_empty = got.empty();
+    popped = true;
+  });
+  while (!popped.load()) {
+    q.Kick();
+    std::this_thread::yield();
+  }
+  consumer.join();
+  EXPECT_TRUE(pop_result);   // kicked, not closed: keep consuming
+  EXPECT_TRUE(batch_empty);  // woken without elements
+  // Elements still flow normally afterwards, and Close still ends the
+  // stream even with a stale kick pending.
+  ASSERT_TRUE(q.Push(42));
+  std::vector<int> got;
+  ASSERT_TRUE(q.PopBatch(4, &got));
+  EXPECT_EQ(got, (std::vector<int>{42}));
+  q.Kick();
+  q.Close();
+  EXPECT_FALSE(q.PopBatch(4, &got));  // closed and drained: end of stream
+}
+
 TEST(ServeServiceTest, StartPublishesInitialSnapshot) {
   PointSet ps = GenerateIndep(120, 3, 1);
   FdRmsServiceOptions sopt;
@@ -367,6 +396,133 @@ TEST(ServeServiceTest, ConcurrentChurnIsConsistentAndMatchesSequentialReplay) {
   EXPECT_EQ(final_snap->live_tuples, replay->size());
   EXPECT_EQ(final_snap->ids, service.algorithm().Result());
   ASSERT_TRUE(service.algorithm().Validate().ok());
+}
+
+TEST(ServeServiceTest, CollectRangeReadsLiveTuplesWhileRunning) {
+  PointSet ps = GenerateIndep(150, 3, 12);
+  FdRmsServiceOptions sopt;
+  sopt.algo.r = 6;
+  sopt.algo.max_utilities = 64;
+  FdRmsService service(3, sopt);
+  std::vector<std::pair<int, Point>> out;
+  // Not running yet: the writer cannot serve an inspection.
+  EXPECT_EQ(service.CollectRange([](int) { return true; }, &out).code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(service.Start(AsTuples(ps, 100)).ok());
+  for (int i = 100; i < 150; ++i) {
+    ASSERT_TRUE(service.SubmitInsert(i, ps.Get(i)).ok());
+  }
+  ASSERT_TRUE(service.Flush().ok());
+  // The writer stays running: the range is read out of the live state.
+  ASSERT_TRUE(service.CollectRange([](int id) { return id < 30; }, &out).ok());
+  EXPECT_TRUE(service.running());
+  ASSERT_EQ(out.size(), 30u);
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_EQ(out[static_cast<size_t>(i)].first, i);  // sorted by id
+    EXPECT_EQ(out[static_cast<size_t>(i)].second, ps.Get(i));
+  }
+  ASSERT_TRUE(service.CollectRange([](int id) { return id >= 140; }, &out).ok());
+  EXPECT_EQ(out.size(), 10u);
+  ASSERT_TRUE(service.Stop().ok());
+  EXPECT_EQ(service.CollectRange([](int) { return true; }, &out).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ServeResumeTest, ResumeFromSnapshotSkipsHistory) {
+  PointSet ps = GenerateIndep(200, 3, 13);
+  const std::string path = ::testing::TempDir() + "serve_resume.snapshot";
+  FdRmsServiceOptions sopt;
+  sopt.algo.r = 6;
+  sopt.algo.max_utilities = 64;
+  sopt.persist_every_batches = 1;
+  sopt.persist_path = path;
+  {
+    FdRmsService service(3, sopt);
+    ASSERT_TRUE(service.Start(AsTuples(ps, 120)).ok());
+    for (int i = 120; i < 200; ++i) {
+      ASSERT_TRUE(service.SubmitInsert(i, ps.Get(i)).ok());
+    }
+    for (int i = 0; i < 40; ++i) {
+      ASSERT_TRUE(service.SubmitDelete(i).ok());
+    }
+    ASSERT_TRUE(service.Flush().ok());
+    ASSERT_TRUE(service.Stop().ok());  // exit save captures the final state
+  }
+  FdRmsServiceOptions ropt = sopt;
+  ropt.persist_every_batches = 0;  // resume-only this time
+  ropt.resume_path = path;
+  FdRmsService service(3, ropt);
+  // The resumed service needs no P_0 and no history replay.
+  ASSERT_TRUE(service.Start({}).ok());
+  EXPECT_TRUE(service.resumed());
+  auto snap = service.Query();
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->version, 0u);
+  EXPECT_EQ(snap->live_tuples, 160);  // 120 - 40 + 80
+  // The restored state keeps serving mutations on top of the snapshot.
+  ASSERT_TRUE(service.SubmitDelete(100).ok());
+  ASSERT_TRUE(service.Flush().ok());
+  EXPECT_EQ(service.Query()->ops_rejected, 0u);
+  EXPECT_EQ(service.Query()->live_tuples, 159);
+  ASSERT_TRUE(service.Stop().ok());
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_FALSE(service.algorithm().topk().tree().Contains(i)) << i;
+  }
+  for (int i = 120; i < 200; ++i) {
+    EXPECT_TRUE(service.algorithm().topk().tree().Contains(i)) << i;
+  }
+  ASSERT_TRUE(service.algorithm().Validate().ok());
+}
+
+TEST(ServeResumeTest, MissingSnapshotFallsBackToInitial) {
+  PointSet ps = GenerateIndep(60, 2, 14);
+  FdRmsServiceOptions sopt;
+  sopt.algo.r = 4;
+  sopt.algo.max_utilities = 32;
+  sopt.resume_path = ::testing::TempDir() + "serve_resume_never_written";
+  FdRmsService service(2, sopt);
+  ASSERT_TRUE(service.Start(AsTuples(ps, 60)).ok());  // first boot: fresh
+  EXPECT_FALSE(service.resumed());
+  EXPECT_EQ(service.Query()->live_tuples, 60);
+  ASSERT_TRUE(service.Stop().ok());
+}
+
+TEST(ServeResumeTest, OptionMismatchFailsStart) {
+  PointSet ps = GenerateIndep(80, 2, 15);
+  const std::string path = ::testing::TempDir() + "serve_resume_mismatch";
+  FdRmsServiceOptions sopt;
+  sopt.algo.r = 6;
+  sopt.algo.max_utilities = 64;
+  sopt.persist_every_batches = 1;
+  sopt.persist_path = path;
+  {
+    FdRmsService service(2, sopt);
+    ASSERT_TRUE(service.Start(AsTuples(ps, 60)).ok());
+    for (int i = 60; i < 80; ++i) {
+      ASSERT_TRUE(service.SubmitInsert(i, ps.Get(i)).ok());
+    }
+    ASSERT_TRUE(service.Flush().ok());
+    ASSERT_TRUE(service.Stop().ok());
+    ASSERT_GE(service.persists(), 1u);  // the snapshot to resume from exists
+  }
+  // A different result budget changes the restored guarantee: refuse.
+  FdRmsServiceOptions ropt = sopt;
+  ropt.persist_every_batches = 0;
+  ropt.resume_path = path;
+  ropt.algo.r = 8;
+  FdRmsService mismatched(2, ropt);
+  EXPECT_EQ(mismatched.Start({}).code(), StatusCode::kInvalidArgument);
+  // A corrupt snapshot is an error too, not a silent fresh start.
+  const std::string bad = ::testing::TempDir() + "serve_resume_corrupt";
+  {
+    std::ofstream out(bad, std::ios::trunc);
+    out << "not a snapshot\n";
+  }
+  FdRmsServiceOptions copt = sopt;
+  copt.persist_every_batches = 0;
+  copt.resume_path = bad;
+  FdRmsService corrupt(2, copt);
+  EXPECT_FALSE(corrupt.Start({}).ok());
 }
 
 TEST(ServePersistTest, WriterPersistsPeriodicallyAndFinalStateOnDrainStop) {
