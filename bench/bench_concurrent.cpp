@@ -1,13 +1,18 @@
 /// Concurrent serving throughput: replays the paper's dynamic workload
 /// through FdRmsService while reader threads hammer the lock-free snapshot,
-/// sweeping the reader and submitter counts. Reported per configuration:
-/// applied update ops/s, snapshot reads/s, and the queue-backlog staleness
-/// readers actually observed (mean and max, in operations).
+/// sweeping the submitter count (1/2/4/8 — the MPSC ring's contention axis)
+/// plus a reader-heavy configuration. Reported per configuration: applied
+/// update ops/s, snapshot reads/s, the queue-backlog staleness readers
+/// actually observed (mean and max, in operations), publication latency
+/// quantiles, and the writer's batching telemetry (queue-depth p50/p99 and
+/// the final adaptive batch bound; --json additionally carries the full
+/// power-of-two batch-size histogram).
 ///
 /// Shapes to expect: update throughput stays within one writer's budget
 /// regardless of reader count (readers are off the write path), query
 /// throughput scales with reader threads until the host runs out of cores,
-/// and staleness stays bounded by the queue capacity.
+/// staleness stays bounded by the queue capacity, and the adaptive batch
+/// bound climbs toward max_batch whenever the submitters outrun the writer.
 ///
 /// Flags: --json (write BENCH_bench_concurrent.json), --quick (single
 /// configuration, for smoke runs).
@@ -40,12 +45,13 @@ int main(int argc, char** argv) {
   if (quick) {
     configs = {{4, 2}};
   } else {
-    configs = {{0, 1}, {1, 1}, {4, 2}, {8, 2}, {16, 4}};
+    // Submitter sweep at a fixed reader pool, then a reader-heavy case.
+    configs = {{4, 1}, {4, 2}, {4, 4}, {4, 8}, {16, 4}};
   }
 
   TablePrinter table({"readers", "submitters", "update_ops/s", "reads/s",
                       "stale_mean", "stale_max", "pub_p50_us", "pub_p99_us",
-                      "batches", "ok"});
+                      "depth_p50", "depth_p99", "eff_batch", "batches", "ok"});
   bool all_consistent = true;
   for (const auto& [readers, submitters] : configs) {
     ServiceLoadOptions lopt;
@@ -66,22 +72,37 @@ int main(int argc, char** argv) {
     table.AddNumber(res.max_staleness_ops, 0);
     table.AddNumber(res.publish_p50_us, 0);
     table.AddNumber(res.publish_p99_us, 0);
+    table.AddNumber(res.queue_depth_p50, 0);
+    table.AddNumber(res.queue_depth_p99, 0);
+    table.AddInt(static_cast<int>(res.effective_max_batch));
     table.AddInt(static_cast<int>(res.batches));
     table.AddCell(res.consistent ? "yes" : "NO");
-    json.AddCase(
-        "readers=" + std::to_string(readers) +
-            ",submitters=" + std::to_string(submitters),
-        {{"update_ops_per_s", res.update_throughput},
-         {"query_reads_per_s", res.query_throughput},
-         {"mean_staleness_ops", res.mean_staleness_ops},
-         {"max_staleness_ops", res.max_staleness_ops},
-         {"publish_p50_us", res.publish_p50_us},
-         {"publish_p99_us", res.publish_p99_us},
-         {"writer_busy_seconds", res.writer_busy_seconds},
-         {"wall_seconds", res.wall_seconds},
-         {"batches", static_cast<double>(res.batches)},
-         {"ops_applied", static_cast<double>(res.ops_applied)},
-         {"queries", static_cast<double>(res.queries)}});
+    std::vector<std::pair<std::string, double>> metrics = {
+        {"update_ops_per_s", res.update_throughput},
+        {"query_reads_per_s", res.query_throughput},
+        {"mean_staleness_ops", res.mean_staleness_ops},
+        {"max_staleness_ops", res.max_staleness_ops},
+        {"publish_p50_us", res.publish_p50_us},
+        {"publish_p99_us", res.publish_p99_us},
+        {"queue_depth_p50", res.queue_depth_p50},
+        {"queue_depth_p99", res.queue_depth_p99},
+        {"effective_max_batch", static_cast<double>(res.effective_max_batch)},
+        {"writer_busy_seconds", res.writer_busy_seconds},
+        {"wall_seconds", res.wall_seconds},
+        {"batches", static_cast<double>(res.batches)},
+        {"ops_applied", static_cast<double>(res.ops_applied)},
+        {"queries", static_cast<double>(res.queries)}};
+    // Batch-size histogram: one metric per power-of-two bucket, keyed by
+    // the bucket's lower bound (only non-empty buckets are emitted).
+    for (size_t b = 0; b < res.batch_size_hist.size(); ++b) {
+      if (res.batch_size_hist[b] == 0) continue;
+      metrics.emplace_back(
+          "batch_size_hist_ge_" + std::to_string(Pow2HistBucketFloor(b)),
+          static_cast<double>(res.batch_size_hist[b]));
+    }
+    json.AddCase("readers=" + std::to_string(readers) +
+                     ",submitters=" + std::to_string(submitters),
+                 std::move(metrics));
   }
   table.Print(std::cout);
   std::cout << "\n";

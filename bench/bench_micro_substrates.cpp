@@ -1,16 +1,25 @@
 /// Google-benchmark microbenchmarks of the substrates: kd-tree queries,
-/// cone-tree pruning, LP solves, skyline maintenance, and dynamic set-cover
-/// operations. These are the per-operation costs the complexity analysis of
-/// Section III-B reasons about.
+/// cone-tree pruning, LP solves, skyline maintenance, dynamic set-cover
+/// operations, the serving layer's update queues (mutex reference vs
+/// lock-free ring), and the SoA scoring kernel vs the scalar Dot loop.
+/// These are the per-operation costs the complexity analysis of Section
+/// III-B — and the serving layer's throughput model — reason about.
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <thread>
+
 #include "common/rng.h"
+#include "common/stopwatch.h"
 #include "data/generators.h"
 #include "geometry/sampling.h"
+#include "geometry/score_kernel.h"
 #include "index/conetree.h"
 #include "index/kdtree.h"
 #include "lp/simplex.h"
+#include "serve/bounded_queue.h"
+#include "serve/mpsc_ring_queue.h"
 #include "setcover/dynamic_set_cover.h"
 #include "skyline/skyline.h"
 #include "topk/topk_maintainer.h"
@@ -121,6 +130,100 @@ void BM_TopKMaintainerUpdate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TopKMaintainerUpdate)->Arg(256)->Arg(1024);
+
+/// One producers→consumer churn through a queue: `producers` threads each
+/// blocking-Push their share of `total_ops` ints while the consumer drains
+/// PopBatch(64) until close. Returns the wall seconds of the whole churn
+/// (thread spawn included — identical overhead for both queue types, and
+/// amortized by the op count). This is the serving layer's exact access
+/// pattern, so the mutex-vs-ring delta here is the ingestion headroom the
+/// ring buys.
+template <typename Queue>
+double QueueChurnSeconds(int producers, int total_ops) {
+  Queue queue(4096);
+  std::atomic<uint64_t> consumed{0};
+  Stopwatch wall;
+  std::thread consumer([&] {
+    std::vector<int> batch;
+    while (queue.PopBatch(64, &batch)) {
+      consumed.fetch_add(batch.size(), std::memory_order_relaxed);
+    }
+  });
+  std::vector<std::thread> workers;
+  const int per_producer = total_ops / producers;
+  for (int t = 0; t < producers; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < per_producer; ++i) {
+        (void)queue.Push(t * per_producer + i);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  queue.Close();
+  consumer.join();
+  const double seconds = wall.ElapsedSeconds();
+  benchmark::DoNotOptimize(consumed.load());
+  return seconds;
+}
+
+constexpr int kQueueChurnOps = 1 << 17;
+
+void BM_QueueMutexReference(benchmark::State& state) {
+  const int producers = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.SetIterationTime(
+        QueueChurnSeconds<BoundedQueue<int>>(producers, kQueueChurnOps));
+  }
+  state.SetItemsProcessed(state.iterations() * kQueueChurnOps);
+}
+BENCHMARK(BM_QueueMutexReference)->Arg(1)->Arg(2)->Arg(4)->UseManualTime();
+
+void BM_QueueLockFreeRing(benchmark::State& state) {
+  const int producers = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.SetIterationTime(
+        QueueChurnSeconds<MpscRingQueue<int>>(producers, kQueueChurnOps));
+  }
+  state.SetItemsProcessed(state.iterations() * kQueueChurnOps);
+}
+BENCHMARK(BM_QueueLockFreeRing)->Arg(1)->Arg(2)->Arg(4)->UseManualTime();
+
+/// Scalar reference of the scoring hot path: one point dotted against all
+/// M utilities held as separately allocated Points.
+void BM_ScoreScalarDotLoop(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const int d = static_cast<int>(state.range(1));
+  Rng rng(12);
+  auto utils = SampleUtilityVectors(m, d, &rng);
+  PointSet data = GenerateIndep(256, d, 13);
+  std::vector<double> scores(static_cast<size_t>(m));
+  int pi = 0;
+  for (auto _ : state) {
+    const Point& p = data.Get(pi++ % 256);
+    for (int i = 0; i < m; ++i) scores[static_cast<size_t>(i)] = Dot(utils[static_cast<size_t>(i)], p);
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m);
+}
+BENCHMARK(BM_ScoreScalarDotLoop)->Args({2048, 4})->Args({2048, 8});
+
+/// The same scoring through the contiguous ScoreMatrix and the blocked
+/// kernel (geometry/score_kernel.h).
+void BM_ScoreMatrixKernel(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const int d = static_cast<int>(state.range(1));
+  Rng rng(12);
+  ScoreMatrix mat(SampleUtilityVectors(m, d, &rng));
+  PointSet data = GenerateIndep(256, d, 13);
+  std::vector<double> scores;
+  int pi = 0;
+  for (auto _ : state) {
+    mat.ScoreAll(data.Get(pi++ % 256), &scores);
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m);
+}
+BENCHMARK(BM_ScoreMatrixKernel)->Args({2048, 4})->Args({2048, 8});
 
 void BM_SetCoverMembershipChurn(benchmark::State& state) {
   const int m = static_cast<int>(state.range(0));

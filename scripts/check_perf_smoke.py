@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Perf-smoke gate: compare fresh BENCH_bench_concurrent.json runs against
+the committed baseline and fail on a real regression.
+
+Usage:
+    check_perf_smoke.py CURRENT_JSON [CURRENT_JSON ...] --baseline BASELINE
+        [--max-throughput-drop 0.20] [--max-p99-inflation 2.0]
+
+For every case name present in both the current runs and the baseline the
+gate checks:
+  * update_ops_per_s must not drop more than --max-throughput-drop
+    (fraction) below the baseline;
+  * publish_p99_us must not inflate more than --max-p99-inflation (factor)
+    above the baseline.
+
+Each configuration's run is only milliseconds long, so any single run is
+at the mercy of scheduler noise on a shared CI runner. Pass *several*
+current JSONs (CI runs the bench three times): the gate scores each case
+by its best run — max throughput, min p99 — because a regression caused
+by the code is reproducible across runs while a noise dip is not. The
+thresholds stay deliberately loose on top of that; the gate is meant to
+catch the order-of-magnitude breakage a busted queue or batching policy
+causes. Refresh the baseline (best-of-3 `bench_concurrent --json` on a
+quiet machine) whenever an intentional perf change shifts the numbers.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_cases(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {case["name"]: case["metrics"] for case in doc.get("cases", [])}
+
+
+def best_of(runs):
+    """Merge per-run case metrics into best-case metrics (max throughput,
+    min p99) per case name."""
+    merged = {}
+    for run in runs:
+        for name, metrics in run.items():
+            slot = merged.setdefault(name, {})
+            tp = metrics.get("update_ops_per_s")
+            if tp is not None:
+                slot["update_ops_per_s"] = max(slot.get("update_ops_per_s", 0.0), tp)
+            p99 = metrics.get("publish_p99_us")
+            if p99 is not None:
+                prev = slot.get("publish_p99_us")
+                slot["publish_p99_us"] = p99 if prev is None else min(prev, p99)
+    return merged
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", nargs="+",
+                        help="one or more fresh bench JSONs (best run wins)")
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--max-throughput-drop", type=float, default=0.20,
+                        help="max fractional update_ops_per_s drop (default 0.20)")
+    parser.add_argument("--max-p99-inflation", type=float, default=2.0,
+                        help="max publish_p99_us inflation factor (default 2.0)")
+    args = parser.parse_args()
+
+    current = best_of([load_cases(p) for p in args.current])
+    baseline = load_cases(args.baseline)
+    shared = sorted(set(current) & set(baseline))
+    if not shared:
+        print("perf-smoke: no overlapping cases between current and baseline",
+              file=sys.stderr)
+        return 1
+
+    failures = []
+    for name in shared:
+        cur, base = current[name], baseline[name]
+        cur_tp = cur.get("update_ops_per_s") or 0.0
+        base_tp = base.get("update_ops_per_s") or 0.0
+        if base_tp > 0:
+            drop = 1.0 - cur_tp / base_tp
+            status = "FAIL" if drop > args.max_throughput_drop else "ok"
+            print(f"[{status}] {name}: update_ops_per_s {cur_tp:,.0f} vs "
+                  f"baseline {base_tp:,.0f} ({-drop:+.1%})")
+            if status == "FAIL":
+                failures.append(f"{name}: throughput dropped {drop:.1%}")
+        cur_p99 = cur.get("publish_p99_us") or 0.0
+        base_p99 = base.get("publish_p99_us") or 0.0
+        if base_p99 > 0:
+            factor = cur_p99 / base_p99
+            status = "FAIL" if factor > args.max_p99_inflation else "ok"
+            print(f"[{status}] {name}: publish_p99_us {cur_p99:,.0f} vs "
+                  f"baseline {base_p99:,.0f} ({factor:.2f}x)")
+            if status == "FAIL":
+                failures.append(f"{name}: publish_p99_us inflated {factor:.2f}x")
+
+    if failures:
+        print("\nperf-smoke FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print(f"\nperf-smoke passed on {len(shared)} case(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

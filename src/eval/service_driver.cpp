@@ -118,6 +118,11 @@ ServiceLoadResult RunServiceLoad(const Workload& workload,
   result.writer_busy_seconds = last->writer_busy_seconds;
   result.publish_p50_us = last->publish_p50_us;
   result.publish_p99_us = last->publish_p99_us;
+  result.queue_depth_p50 = Pow2HistQuantile(last->queue_depth_hist, 0.50);
+  result.queue_depth_p99 = Pow2HistQuantile(last->queue_depth_hist, 0.99);
+  result.effective_max_batch = last->effective_max_batch;
+  result.queue_depth_hist = last->queue_depth_hist;
+  result.batch_size_hist = last->batch_size_hist;
   result.final_version = last->version;
   result.final_result_size = static_cast<int>(last->ids.size());
   result.final_m = last->sample_size_m;

@@ -53,6 +53,16 @@ struct ServiceLoadResult {
   double publish_p50_us = 0.0;
   double publish_p99_us = 0.0;
 
+  // Batching telemetry from the final snapshot: queue-depth quantiles
+  // (operations, derived from the writer's power-of-two depth histogram),
+  // the adaptive batch bound in force at the end, and the raw cumulative
+  // histograms (see Pow2HistBucket for the bucket scheme).
+  double queue_depth_p50 = 0.0;
+  double queue_depth_p99 = 0.0;
+  uint64_t effective_max_batch = 0;
+  std::vector<uint64_t> queue_depth_hist;
+  std::vector<uint64_t> batch_size_hist;
+
   // Final state.
   uint64_t final_version = 0;
   int final_result_size = 0;

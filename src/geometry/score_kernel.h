@@ -1,0 +1,155 @@
+#ifndef FDRMS_GEOMETRY_SCORE_KERNEL_H_
+#define FDRMS_GEOMETRY_SCORE_KERNEL_H_
+
+/// \file score_kernel.h
+/// The scoring hot path: blocked inner-product kernels over a contiguous
+/// utility/pivot matrix.
+///
+/// The maintained indexes score one tuple against *many* vectors on every
+/// mutation — the cone tree's leaf scans, TopKMaintainer's insert and
+/// delete-repair loops, and the tau (admission threshold) recomputation all
+/// reduce to "dot p against rows i..j". Storing those rows as a
+/// `std::vector<Point>` (an array of separately heap-allocated vectors)
+/// makes each dot a pointer chase; ScoreMatrix flattens them into one
+/// contiguous slab (structure-of-arrays relative to the old layout: all
+/// coordinates in a single allocation, rows at a fixed padded stride) so
+/// the kernels below stream it.
+///
+/// Numerical contract: every kernel accumulates each row's sum in the same
+/// coordinate order as geometry/point.h `Dot`, so per-row results are
+/// bit-identical to the scalar path — blocking happens *across* rows (four
+/// independent accumulators the compiler SLP-vectorizes), never within a
+/// row. Swapping the kernels in can therefore never flip a threshold
+/// comparison relative to the reference implementation.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+#include "geometry/point.h"
+
+namespace fdrms {
+
+/// Inner product over contiguous coordinate arrays, scalar accumulation
+/// order (bit-identical to Dot on the same operands).
+inline double DotContiguous(const double* a, const double* b, int d) {
+  double s = 0.0;
+  for (int k = 0; k < d; ++k) s += a[k] * b[k];
+  return s;
+}
+
+/// Scores `count` consecutive rows of a row-contiguous block against `q`:
+/// out[j] = <rows + j*stride, q>. Blocked four rows per step with
+/// independent accumulators — auto-vectorization-friendly without changing
+/// any row's accumulation order.
+inline void ScoreBlock(const double* rows, size_t stride, int d, size_t count,
+                       const double* q, double* out) {
+  size_t j = 0;
+  for (; j + 4 <= count; j += 4) {
+    const double* r0 = rows + (j + 0) * stride;
+    const double* r1 = rows + (j + 1) * stride;
+    const double* r2 = rows + (j + 2) * stride;
+    const double* r3 = rows + (j + 3) * stride;
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+    for (int k = 0; k < d; ++k) {
+      const double qk = q[k];
+      s0 += r0[k] * qk;
+      s1 += r1[k] * qk;
+      s2 += r2[k] * qk;
+      s3 += r3[k] * qk;
+    }
+    out[j + 0] = s0;
+    out[j + 1] = s1;
+    out[j + 2] = s2;
+    out[j + 3] = s3;
+  }
+  for (; j < count; ++j) {
+    out[j] = DotContiguous(rows + j * stride, q, d);
+  }
+}
+
+/// A fixed set of d-dimensional vectors in one contiguous slab. Rows keep
+/// their construction order; the stride is padded to a multiple of four
+/// doubles (zero-filled) so row starts stay 32-byte aligned relative to the
+/// slab base.
+class ScoreMatrix {
+ public:
+  ScoreMatrix() = default;
+
+  explicit ScoreMatrix(const std::vector<Point>& rows) {
+    rows_ = static_cast<int>(rows.size());
+    dim_ = rows.empty() ? 0 : static_cast<int>(rows[0].size());
+    stride_ = static_cast<size_t>((dim_ + 3) & ~3);
+    data_.assign(static_cast<size_t>(rows_) * stride_, 0.0);
+    for (int i = 0; i < rows_; ++i) {
+      FDRMS_CHECK(static_cast<int>(rows[static_cast<size_t>(i)].size()) ==
+                  dim_);
+      double* dst = data_.data() + static_cast<size_t>(i) * stride_;
+      for (int k = 0; k < dim_; ++k) dst[k] = rows[static_cast<size_t>(i)][static_cast<size_t>(k)];
+    }
+  }
+
+  int rows() const { return rows_; }
+  int dim() const { return dim_; }
+  size_t stride() const { return stride_; }
+
+  const double* row(int i) const {
+    return data_.data() + static_cast<size_t>(i) * stride_;
+  }
+
+  /// <row i, q>; bit-identical to Dot(rows[i], q).
+  double RowDot(int i, const Point& q) const {
+    FDRMS_DCHECK(static_cast<int>(q.size()) == dim_);
+    return DotContiguous(row(i), q.data(), dim_);
+  }
+
+  /// Scores every row: out[i] = <row i, q>. Blocked via ScoreBlock.
+  void ScoreAll(const Point& q, std::vector<double>* out) const {
+    FDRMS_DCHECK(static_cast<int>(q.size()) == dim_);
+    out->resize(static_cast<size_t>(rows_));
+    ScoreBlock(data_.data(), stride_, dim_, static_cast<size_t>(rows_),
+               q.data(), out->data());
+  }
+
+  /// Scores a subset of rows: out[j] = <row idx[j], q>. Gather variant of
+  /// ScoreBlock (row starts are scattered but each row is contiguous).
+  void ScoreSubset(const Point& q, const std::vector<int>& idx,
+                   double* out) const {
+    FDRMS_DCHECK(static_cast<int>(q.size()) == dim_);
+    const double* base = data_.data();
+    const double* qp = q.data();
+    size_t j = 0;
+    for (; j + 4 <= idx.size(); j += 4) {
+      const double* r0 = base + static_cast<size_t>(idx[j + 0]) * stride_;
+      const double* r1 = base + static_cast<size_t>(idx[j + 1]) * stride_;
+      const double* r2 = base + static_cast<size_t>(idx[j + 2]) * stride_;
+      const double* r3 = base + static_cast<size_t>(idx[j + 3]) * stride_;
+      double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+      for (int k = 0; k < dim_; ++k) {
+        const double qk = qp[k];
+        s0 += r0[k] * qk;
+        s1 += r1[k] * qk;
+        s2 += r2[k] * qk;
+        s3 += r3[k] * qk;
+      }
+      out[j + 0] = s0;
+      out[j + 1] = s1;
+      out[j + 2] = s2;
+      out[j + 3] = s3;
+    }
+    for (; j < idx.size(); ++j) {
+      out[j] = DotContiguous(base + static_cast<size_t>(idx[j]) * stride_, qp,
+                             dim_);
+    }
+  }
+
+ private:
+  int rows_ = 0;
+  int dim_ = 0;
+  size_t stride_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace fdrms
+
+#endif  // FDRMS_GEOMETRY_SCORE_KERNEL_H_

@@ -8,6 +8,14 @@
 
 namespace fdrms {
 
+namespace {
+
+/// Leaf scans run through a fixed stack buffer in chunks, so any leaf_size
+/// works without per-query allocation.
+constexpr int kLeafChunk = 32;
+
+}  // namespace
+
 ConeTree::ConeTree(const std::vector<Point>& utilities, int leaf_size)
     : utilities_(utilities), thresholds_(utilities.size(), 0.0),
       leaf_of_(utilities.size(), -1) {
@@ -15,9 +23,24 @@ ConeTree::ConeTree(const std::vector<Point>& utilities, int leaf_size)
   if (utilities_.empty()) return;
   std::vector<int> indices(utilities_.size());
   for (size_t i = 0; i < indices.size(); ++i) indices[i] = static_cast<int>(i);
-  // leaf_size captured via member through Build's closure over this param.
   leaf_size_build_ = leaf_size;
   root_ = Build(&indices, 0, static_cast<int>(indices.size()), -1);
+  // The recursive build partitions `indices` in place, so afterwards every
+  // leaf's utilities occupy a contiguous range of it: `indices` *is* the
+  // build permutation. Freeze the permuted hot-path slabs from it.
+  perm_ = std::move(indices);
+  pos_in_perm_.assign(perm_.size(), -1);
+  perm_thresholds_.assign(perm_.size(), 0.0);
+  std::vector<Point> permuted_rows;
+  permuted_rows.reserve(perm_.size());
+  for (size_t pos = 0; pos < perm_.size(); ++pos) {
+    pos_in_perm_[perm_[pos]] = static_cast<int>(pos);
+    permuted_rows.push_back(utilities_[perm_[pos]]);
+  }
+  perm_utilities_ = ScoreMatrix(permuted_rows);
+  centers_ = ScoreMatrix(build_centers_);  // Build() staged one row per node
+  build_centers_.clear();
+  build_centers_.shrink_to_fit();
 }
 
 int ConeTree::Build(std::vector<int>* indices, int lo, int hi, int parent) {
@@ -25,28 +48,30 @@ int ConeTree::Build(std::vector<int>* indices, int lo, int hi, int parent) {
   node.parent = parent;
   // Center: normalized mean direction of the covered utilities.
   const int dim = static_cast<int>(utilities_[(*indices)[lo]].size());
-  node.center.assign(dim, 0.0);
+  Point center(dim, 0.0);
   for (int i = lo; i < hi; ++i) {
     const Point& u = utilities_[(*indices)[i]];
-    for (int j = 0; j < dim; ++j) node.center[j] += u[j];
+    for (int j = 0; j < dim; ++j) center[j] += u[j];
   }
-  if (Norm(node.center) < 1e-12) {
+  if (Norm(center) < 1e-12) {
     // Degenerate (cannot happen for nonnegative orthant vectors, but keep
     // the structure safe): fall back to the first utility.
-    node.center = utilities_[(*indices)[lo]];
+    center = utilities_[(*indices)[lo]];
   }
-  Normalize(&node.center);
-  node.half_angle = 0.0;
+  Normalize(&center);
+  double half_angle = 0.0;
   for (int i = lo; i < hi; ++i) {
-    node.half_angle =
-        std::max(node.half_angle, Angle(node.center, utilities_[(*indices)[i]]));
+    half_angle = std::max(half_angle, Angle(center, utilities_[(*indices)[i]]));
   }
+  node.cos_half = std::cos(half_angle);
+  node.sin_half = std::sin(half_angle);
   node.min_tau = 0.0;
   int node_id = static_cast<int>(nodes_.size());
-  nodes_.push_back(std::move(node));
+  nodes_.push_back(node);
+  build_centers_.push_back(center);
   if (hi - lo <= leaf_size_build_) {
-    nodes_[node_id].utility_indices.assign(indices->begin() + lo,
-                                           indices->begin() + hi);
+    nodes_[node_id].first = lo;
+    nodes_[node_id].count = hi - lo;
     for (int i = lo; i < hi; ++i) leaf_of_[(*indices)[i]] = node_id;
     return node_id;
   }
@@ -86,14 +111,15 @@ void ConeTree::SetThreshold(int utility_index, double tau) {
   FDRMS_DCHECK(utility_index >= 0 &&
                utility_index < static_cast<int>(utilities_.size()));
   thresholds_[utility_index] = tau;
+  perm_thresholds_[pos_in_perm_[utility_index]] = tau;
   int node_id = leaf_of_[utility_index];
   while (node_id >= 0) {
     Node& node = nodes_[node_id];
     double new_min;
     if (node.is_leaf()) {
       new_min = std::numeric_limits<double>::infinity();
-      for (int u : node.utility_indices) {
-        new_min = std::min(new_min, thresholds_[u]);
+      for (int i = node.first; i < node.first + node.count; ++i) {
+        new_min = std::min(new_min, perm_thresholds_[i]);
       }
     } else {
       new_min = std::min(nodes_[node.left].min_tau, nodes_[node.right].min_tau);
@@ -107,16 +133,39 @@ void ConeTree::SetThreshold(int utility_index, double tau) {
 void ConeTree::Collect(int node_id, const Point& p, double p_norm,
                        std::vector<int>* out) const {
   const Node& node = nodes_[node_id];
-  // Upper bound of <u, p> over the cone. The acos/cos round trip can lose
-  // a few ulps, so pad the bound before pruning: a tuple scoring exactly
-  // tau must never be missed.
-  double ang = Angle(node.center, p);
-  double gap = std::max(0.0, ang - node.half_angle);
-  double bound = p_norm * std::cos(gap) + 1e-9 * (1.0 + p_norm);
+  // Upper bound of <u, p> over the cone, computed trig-free: with
+  // cos_ang = <center, p> / ||p||, the bound ||p|| * cos(ang - half)
+  // expands through cos(ang - half) = cos_ang*cos_half + sin_ang*sin_half
+  // (and is just ||p|| when the point lies inside the cone, ang <= half,
+  // i.e. cos_ang >= cos_half). The identity can lose a few ulps, so pad
+  // the bound before pruning: a tuple scoring exactly tau must never be
+  // missed.
+  const double center_dot =
+      DotContiguous(centers_.row(node_id), p.data(), centers_.dim());
+  double cos_ang = center_dot / p_norm;
+  cos_ang = cos_ang < -1.0 ? -1.0 : (cos_ang > 1.0 ? 1.0 : cos_ang);
+  double bound;
+  if (cos_ang >= node.cos_half) {
+    bound = p_norm;
+  } else {
+    const double sin_ang = std::sqrt(1.0 - cos_ang * cos_ang);
+    bound = p_norm * (cos_ang * node.cos_half + sin_ang * node.sin_half);
+  }
+  bound += 1e-9 * (1.0 + p_norm);
   if (bound < node.min_tau) return;
   if (node.is_leaf()) {
-    for (int u : node.utility_indices) {
-      if (Dot(utilities_[u], p) >= thresholds_[u]) out->push_back(u);
+    // Contiguous leaf range: one blocked kernel call per chunk, then exact
+    // per-utility threshold checks.
+    double scores[kLeafChunk];
+    for (int off = 0; off < node.count; off += kLeafChunk) {
+      const int chunk = std::min(kLeafChunk, node.count - off);
+      ScoreBlock(perm_utilities_.row(node.first + off),
+                 perm_utilities_.stride(), perm_utilities_.dim(),
+                 static_cast<size_t>(chunk), p.data(), scores);
+      for (int i = 0; i < chunk; ++i) {
+        const int pos = node.first + off + i;
+        if (scores[i] >= perm_thresholds_[pos]) out->push_back(perm_[pos]);
+      }
     }
     return;
   }

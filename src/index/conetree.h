@@ -15,12 +15,21 @@
 /// the smallest threshold under it:
 ///   max_{u in cone} <u, p> = ||p|| * cos(max(0, angle(center, p) - half)).
 ///
+/// Hot-path layout: the build permutation places every leaf's utilities in
+/// a contiguous range, and the permuted utility matrix, the per-utility
+/// thresholds, and the node centers all live in contiguous slabs
+/// (geometry/score_kernel.h), so a leaf scan is one blocked kernel call.
+/// The traversal bound is evaluated trig-free: each node precomputes
+/// cos/sin of its half angle, and cos(angle - half) expands through the
+/// angle-difference identity from the center dot — no acos/cos per node.
+///
 /// Utility vectors are fixed at construction (FD-RMS samples all M up
 /// front); only the thresholds change over time.
 
 #include <vector>
 
 #include "geometry/point.h"
+#include "geometry/score_kernel.h"
 
 namespace fdrms {
 
@@ -40,22 +49,27 @@ class ConeTree {
     return thresholds_[utility_index];
   }
 
-  /// Indices of all utilities with <u, p> >= tau(u). `p` need not be
-  /// normalized.
+  /// Indices of all utilities with <u, p> >= tau(u), ascending. `p` need
+  /// not be normalized.
   std::vector<int> FindReached(const Point& p) const;
 
-  /// Brute-force reference of FindReached (for tests/benchmarks).
+  /// Brute-force reference of FindReached (for tests/benchmarks); scalar
+  /// Dot on purpose — this is the oracle the kernel path is checked
+  /// against.
   std::vector<int> FindReachedBruteForce(const Point& p) const;
 
  private:
   struct Node {
-    Point center;       // unit vector
-    double half_angle;  // radians
+    double cos_half;    // cos/sin of the cone's half angle
+    double sin_half;
     double min_tau;     // min threshold in subtree
     int left = -1;
     int right = -1;
     int parent = -1;
-    std::vector<int> utility_indices;  // leaf payload
+    // Leaf payload: a contiguous range [first, first + count) of the build
+    // permutation (internal nodes keep count == 0).
+    int first = 0;
+    int count = 0;
     bool is_leaf() const { return left < 0; }
   };
 
@@ -63,12 +77,20 @@ class ConeTree {
   void Collect(int node_id, const Point& p, double p_norm,
                std::vector<int>* out) const;
 
-  std::vector<Point> utilities_;
+  std::vector<Point> utilities_;  ///< original order (reference/API)
   int leaf_size_build_ = 8;
-  std::vector<double> thresholds_;
-  std::vector<int> leaf_of_;  // utility index -> leaf node id
+  std::vector<double> thresholds_;       ///< by original utility index
+  std::vector<int> leaf_of_;             ///< original index -> leaf node id
   std::vector<Node> nodes_;
   int root_ = -1;
+
+  // Permuted hot-path slabs, all indexed by build-permutation position.
+  std::vector<int> perm_;                ///< position -> original index
+  std::vector<int> pos_in_perm_;         ///< original index -> position
+  std::vector<double> perm_thresholds_;  ///< thresholds in permuted order
+  ScoreMatrix perm_utilities_;           ///< utility rows in permuted order
+  ScoreMatrix centers_;                  ///< node centers, row = node id
+  std::vector<Point> build_centers_;     ///< construction-time staging only
 };
 
 }  // namespace fdrms

@@ -6,6 +6,7 @@
 #include <queue>
 
 #include "common/check.h"
+#include "geometry/score_kernel.h"
 
 namespace fdrms {
 
@@ -49,7 +50,9 @@ Status KdTree::Delete(int id) {
   return Status::OK();
 }
 
-Point KdTree::GetPoint(int id) const {
+Point KdTree::GetPoint(int id) const { return GetPointRef(id); }
+
+const Point& KdTree::GetPointRef(int id) const {
   auto it = slot_of_.find(id);
   FDRMS_CHECK(it != slot_of_.end()) << "GetPoint on missing id " << id;
   return slots_[it->second].point;
@@ -146,7 +149,7 @@ std::vector<ScoredId> KdTree::TopK(const Point& u, int k) const {
       worse);
   auto offer = [&](const Slot& s) {
     if (!s.alive) return;
-    ScoredId cand{Dot(u, s.point), s.id};
+    ScoredId cand{DotContiguous(u.data(), s.point.data(), dim_), s.id};
     if (static_cast<int>(best.size()) < k) {
       best.push(cand);
     } else if (BetterScore(cand, best.top())) {
@@ -196,7 +199,7 @@ void KdTree::CollectRange(int node_id, const Point& u, double threshold,
     for (int slot : node.slot_indices) {
       const Slot& s = slots_[slot];
       if (!s.alive) continue;
-      double score = Dot(u, s.point);
+      double score = DotContiguous(u.data(), s.point.data(), dim_);
       if (score >= threshold) out->push_back({score, s.id});
     }
     return;
@@ -213,7 +216,7 @@ std::vector<ScoredId> KdTree::ScoreRange(const Point& u,
   for (int slot : buffer_) {
     const Slot& s = slots_[slot];
     if (!s.alive) continue;
-    double score = Dot(u, s.point);
+    double score = DotContiguous(u.data(), s.point.data(), dim_);
     if (score >= threshold) out.push_back({score, s.id});
   }
   std::sort(out.begin(), out.end(), BetterScore);

@@ -61,6 +61,11 @@ class KdTree {
   /// Copy of a live tuple's attributes.
   Point GetPoint(int id) const;
 
+  /// Borrowed view of a live tuple's attributes — the hot-path variant of
+  /// GetPoint (no allocation). Invalidated by the next Insert/Delete/
+  /// Rebuild, so callers must not hold it across mutations.
+  const Point& GetPointRef(int id) const;
+
   /// Exact top-k under utility `u` (fewer if size() < k), best first.
   std::vector<ScoredId> TopK(const Point& u, int k) const;
 

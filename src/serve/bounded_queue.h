@@ -2,11 +2,15 @@
 #define FDRMS_SERVE_BOUNDED_QUEUE_H_
 
 /// \file bounded_queue.h
-/// A bounded multi-producer/single-consumer queue (mutex + condvar) for the
-/// serving layer's update path. Producers are request threads submitting
-/// mutations; the single consumer is the writer thread, which drains up to a
-/// batch of elements per wakeup so the (inherently sequential) FD-RMS update
-/// algorithm amortizes wakeup and publication cost across many operations.
+/// A bounded multi-producer/single-consumer queue (mutex + condvar).
+/// Formerly the serving layer's update queue; superseded there by the
+/// lock-free MpscRingQueue (serve/mpsc_ring_queue.h) and kept as the
+/// easy-to-audit *reference implementation* of the shared queue contract —
+/// the typed serve_test suite runs both against the same semantics, and
+/// bench_micro_substrates races the two head to head. Producers are
+/// request threads submitting mutations; the single consumer drains up to
+/// a batch of elements per wakeup so a sequential consumer amortizes
+/// wakeup and publication cost across many operations.
 ///
 /// Backpressure: `Push` blocks while the queue is full; `TryPush` returns
 /// false instead, letting the caller surface kResourceExhausted. `Close`

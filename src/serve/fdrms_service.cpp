@@ -34,6 +34,15 @@ FdRmsService::FdRmsService(int dim, const FdRmsServiceOptions& options)
       algo_(dim, options.algo),
       queue_(options.queue_capacity) {
   FDRMS_CHECK(options.max_batch > 0);
+  FDRMS_CHECK(options.min_batch > 0);
+  FDRMS_CHECK(options.min_batch <= options.max_batch)
+      << "min_batch must not exceed max_batch";
+  // Adaptive runs start small (latency-first until a burst shows up);
+  // fixed-batch runs behave exactly like the pre-adaptive writer.
+  effective_batch_ =
+      options.adaptive_batching ? options.min_batch : options.max_batch;
+  queue_depth_hist_.assign(kPow2HistBuckets, 0);
+  batch_size_hist_.assign(kPow2HistBuckets, 0);
 }
 
 FdRmsService::~FdRmsService() {
@@ -221,9 +230,24 @@ void FdRmsService::WriterLoop() {
   std::vector<FdRms::BatchOp> batch;
   for (;;) {
     RunPendingInspections();
-    if (!queue_.PopBatch(options_.max_batch, &batch)) break;
+    // Observe the backlog before draining and steer the effective batch
+    // bound: double while the burst runs at least two bounds deep, halve
+    // once the queue runs near-empty, hold inside the hysteresis band.
+    const size_t depth = queue_.size();
+    ++queue_depth_hist_[Pow2HistBucket(depth)];
+    if (options_.adaptive_batching) {
+      if (depth >= 2 * effective_batch_) {
+        effective_batch_ = std::min(2 * effective_batch_, options_.max_batch);
+      } else if (depth * 4 <= effective_batch_) {
+        effective_batch_ = std::max(effective_batch_ / 2, options_.min_batch);
+      }
+    }
+    if (!queue_.PopBatch(effective_batch_, &batch)) break;
     // An empty batch is a Kick() wakeup: loop back for the control work.
-    if (!batch.empty()) ApplyAndPublish(batch);
+    if (!batch.empty()) {
+      ++batch_size_hist_[Pow2HistBucket(batch.size())];
+      ApplyAndPublish(batch);
+    }
   }
   // Serve inspections that raced shutdown (they observe the final drained
   // state, which is as point-in-time as any other), then refuse the rest.
@@ -333,6 +357,9 @@ void FdRmsService::PublishSnapshot() {
   snap->publish_p50_us = Quantile(latency_window_, 0.50);
   snap->publish_p99_us = Quantile(latency_window_, 0.99);
   snap->persisted = persists_.load(std::memory_order_relaxed);
+  snap->effective_max_batch = effective_batch_;
+  snap->queue_depth_hist = queue_depth_hist_;
+  snap->batch_size_hist = batch_size_hist_;
   std::vector<FdRms::ResultEntry> entries = algo_.ResolvedResult();
   snap->ids.reserve(entries.size());
   snap->points.reserve(entries.size());

@@ -7,13 +7,15 @@
 /// The update algorithm (Algorithms 3-4) is inherently sequential — every
 /// mutation rewrites the dual-tree and the stable set-cover state — so the
 /// service gives it a dedicated writer thread and keeps everyone else off
-/// it. Producers submit mutations into a bounded MPSC queue; the writer
-/// drains the queue in batches, coalesces each drain into one
-/// FdRms::ApplyBatch call, and after every batch publishes an immutable
-/// ResultSnapshot through std::atomic<std::shared_ptr<const ResultSnapshot>>.
-/// Query() is a single atomic shared_ptr load: readers never take the queue
-/// mutex, never wait for the writer, and keep their snapshot alive for as
-/// long as they hold the pointer.
+/// it. Producers submit mutations into a bounded lock-free MPSC ring
+/// queue (serve/mpsc_ring_queue.h); the writer drains the queue in
+/// batches whose bound adapts to the observed queue depth, coalesces each
+/// drain into one FdRms::ApplyBatch call, and after every batch publishes
+/// an immutable ResultSnapshot through
+/// std::atomic<std::shared_ptr<const ResultSnapshot>>. Query() is a single
+/// atomic shared_ptr load: readers never touch the queue, never wait for
+/// the writer, and keep their snapshot alive for as long as they hold the
+/// pointer.
 ///
 ///   FdRmsServiceOptions sopt;
 ///   sopt.algo.r = 20;
@@ -42,7 +44,7 @@
 
 #include "common/status.h"
 #include "core/fdrms.h"
-#include "serve/bounded_queue.h"
+#include "serve/mpsc_ring_queue.h"
 #include "serve/result_snapshot.h"
 
 namespace fdrms {
@@ -54,8 +56,21 @@ struct FdRmsServiceOptions {
   /// Bound of the MPSC update queue (operations, not batches).
   size_t queue_capacity = 4096;
 
-  /// Max operations the writer drains into one ApplyBatch/publication.
+  /// Max operations the writer drains into one ApplyBatch/publication —
+  /// the ceiling of the adaptive policy below, or the fixed bound when
+  /// adaptive batching is off.
   size_t max_batch = 256;
+
+  /// Writer-side adaptive batching (on by default). Each wakeup the writer
+  /// observes the queue depth and steers its effective batch bound within
+  /// [min_batch, max_batch]: the bound doubles while the backlog runs at
+  /// least two bounds deep (burst: amortize publication cost) and halves
+  /// when the backlog falls to a quarter of it (idle: publish small
+  /// batches promptly for low publish_p50_us). The bound in force, plus
+  /// the depth and batch-size histograms backing the decision, ride every
+  /// ResultSnapshot. Off = fixed max_batch (the pre-adaptive behavior).
+  bool adaptive_batching = true;
+  size_t min_batch = 1;
 
   /// What a submitter experiences when the queue is full: kBlock parks the
   /// caller until the writer frees room; kReject returns kResourceExhausted
@@ -238,7 +253,7 @@ class FdRmsService {
   const FdRmsServiceOptions options_;
   FdRms algo_;
 
-  BoundedQueue<FdRms::BatchOp> queue_;
+  MpscRingQueue<FdRms::BatchOp> queue_;
   std::thread writer_;
   std::atomic<State> state_{State::kNew};
   bool resumed_ = false;  ///< written before the writer spawns, const after
@@ -257,6 +272,12 @@ class FdRmsService {
   uint64_t persisted_batches_ = 0;  ///< batches_ as of the last *successful* save
   uint64_t attempted_persist_batches_ = 0;  ///< batches_ as of the last attempt
   double busy_seconds_ = 0.0;
+
+  // Adaptive batching state (writer-thread only): the effective bound and
+  // the evidence histograms it is steered by.
+  size_t effective_batch_ = 0;
+  std::vector<uint64_t> queue_depth_hist_;
+  std::vector<uint64_t> batch_size_hist_;
 
   // Sliding window of completed batch publication latencies (µs), feeding
   // the p50/p99 the next publication reports. Writer-thread only.

@@ -8,12 +8,49 @@
 /// they like without blocking the writer or each other. A snapshot is
 /// never mutated after publication.
 
+#include <bit>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
 #include "geometry/point.h"
 
 namespace fdrms {
+
+/// Power-of-two histograms used for the writer's queue-depth and
+/// batch-size telemetry: bucket 0 counts the value 0, bucket i >= 1 counts
+/// values in [2^(i-1), 2^i), and the last bucket is open-ended.
+inline constexpr size_t kPow2HistBuckets = 17;
+
+/// Bucket index of `v` in a kPow2HistBuckets-wide power-of-two histogram.
+inline size_t Pow2HistBucket(uint64_t v) {
+  const size_t width = static_cast<size_t>(std::bit_width(v));
+  return width < kPow2HistBuckets ? width : kPow2HistBuckets - 1;
+}
+
+/// Lower bound of bucket `b` (the value the quantile helper reports).
+inline uint64_t Pow2HistBucketFloor(size_t b) {
+  return b == 0 ? 0 : (uint64_t{1} << (b - 1));
+}
+
+/// Quantile over a power-of-two histogram, reported as the lower bound of
+/// the bucket where the cumulative count crosses q * total (0 on an empty
+/// histogram). Coarse by construction — good enough to steer batching
+/// policy and spot regressions, cheap enough to ride every snapshot.
+inline double Pow2HistQuantile(const std::vector<uint64_t>& hist, double q) {
+  uint64_t total = 0;
+  for (uint64_t c : hist) total += c;
+  if (total == 0) return 0.0;
+  const double target = q * static_cast<double>(total);
+  uint64_t seen = 0;
+  for (size_t b = 0; b < hist.size(); ++b) {
+    seen += hist[b];
+    if (static_cast<double>(seen) >= target) {
+      return static_cast<double>(Pow2HistBucketFloor(b));
+    }
+  }
+  return static_cast<double>(Pow2HistBucketFloor(hist.size() - 1));
+}
 
 /// One published view of the maintained result Q_t plus enough bookkeeping
 /// for a reader to reason about staleness.
@@ -58,6 +95,16 @@ struct ResultSnapshot {
   /// Background persistence runs completed so far (0 unless
   /// FdRmsServiceOptions::persist_every_batches is set).
   uint64_t persisted = 0;
+
+  /// The adaptive batching policy's state and evidence. effective_max_batch
+  /// is the batch bound in force when this snapshot's batch was drained
+  /// (== options.max_batch when adaptive batching is off); the histograms
+  /// count, per writer wakeup, the queue depth observed before draining
+  /// and the sizes of the batches actually applied (power-of-two buckets,
+  /// see Pow2HistBucket). Both are cumulative over the service's lifetime.
+  uint64_t effective_max_batch = 0;
+  std::vector<uint64_t> queue_depth_hist;
+  std::vector<uint64_t> batch_size_hist;
 
   /// Q_t tuple ids, ascending; |ids| <= r.
   std::vector<int> ids;

@@ -634,6 +634,20 @@ std::shared_ptr<const MergedSnapshot> ShardedFdRmsService::BuildMerged(
         std::max(merged->publish_p50_us_max, snap.publish_p50_us);
     merged->publish_p99_us_max =
         std::max(merged->publish_p99_us_max, snap.publish_p99_us);
+    merged->effective_max_batch_max =
+        std::max(merged->effective_max_batch_max, snap.effective_max_batch);
+    if (merged->queue_depth_hist.size() < snap.queue_depth_hist.size()) {
+      merged->queue_depth_hist.resize(snap.queue_depth_hist.size(), 0);
+    }
+    for (size_t b = 0; b < snap.queue_depth_hist.size(); ++b) {
+      merged->queue_depth_hist[b] += snap.queue_depth_hist[b];
+    }
+    if (merged->batch_size_hist.size() < snap.batch_size_hist.size()) {
+      merged->batch_size_hist.resize(snap.batch_size_hist.size(), 0);
+    }
+    for (size_t b = 0; b < snap.batch_size_hist.size(); ++b) {
+      merged->batch_size_hist[b] += snap.batch_size_hist[b];
+    }
     for (size_t i = 0; i < snap.ids.size(); ++i) {
       ids.push_back(snap.ids[i]);
       points.push_back(&snap.points[i]);

@@ -12,6 +12,7 @@ TopKMaintainer::TopKMaintainer(int dim, int k, double eps,
       k_(k),
       eps_(eps),
       utilities_(std::move(utilities)),
+      umat_(utilities_),
       tree_(dim),
       cone_(utilities_),
       topk_(utilities_.size()),
@@ -67,8 +68,13 @@ Status TopKMaintainer::Insert(int id, const Point& p,
   // reach; all Φ and top-k changes are confined to those.
   std::vector<int> affected = cone_.FindReached(p);
   FDRMS_RETURN_NOT_OK(tree_.Insert(id, p));
-  for (int u : affected) {
-    double score = Dot(utilities_[u], p);
+  // Score the whole candidate set in one blocked pass over the contiguous
+  // utility matrix (bit-identical to per-utility Dot).
+  score_scratch_.resize(affected.size());
+  umat_.ScoreSubset(p, affected, score_scratch_.data());
+  for (size_t ai = 0; ai < affected.size(); ++ai) {
+    const int u = affected[ai];
+    double score = score_scratch_[ai];
     double old_tau = ThresholdFor(u);
     if (score < old_tau) continue;  // cone bound was loose for this u
     // Update the exact top-k list.
@@ -84,11 +90,15 @@ Status TopKMaintainer::Insert(int id, const Point& p,
     double new_tau = ThresholdFor(u);
     if (score >= new_tau) EmitAdd(u, id, deltas);
     if (new_tau > old_tau) {
-      // The admission bar rose; evict members that fell below it.
+      // The admission bar rose; evict members that fell below it. Scores
+      // go through the contiguous utility row and the tree's in-place
+      // point storage — no Point copy per membership check.
       std::vector<int> evicted;
+      const double* u_row = umat_.row(u);
       for (int member : approx_[u]) {
         if (member == id) continue;
-        if (Dot(utilities_[u], tree_.GetPoint(member)) < new_tau) {
+        if (DotContiguous(u_row, tree_.GetPointRef(member).data(), dim_) <
+            new_tau) {
           evicted.push_back(member);
         }
       }

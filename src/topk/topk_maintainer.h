@@ -21,6 +21,7 @@
 
 #include "common/status.h"
 #include "geometry/point.h"
+#include "geometry/score_kernel.h"
 #include "index/conetree.h"
 #include "index/kdtree.h"
 
@@ -89,6 +90,13 @@ class TopKMaintainer {
   int k_;
   double eps_;
   std::vector<Point> utilities_;
+  /// The utility matrix in contiguous form; Insert scores the cone-pruned
+  /// candidate set through its blocked kernel instead of per-utility Dot
+  /// calls over heap-scattered Points.
+  ScoreMatrix umat_;
+  /// Scratch for the per-insert candidate scores (avoids an allocation per
+  /// mutation; sized to the affected set on use).
+  std::vector<double> score_scratch_;
   KdTree tree_;
   ConeTree cone_;
   std::vector<std::vector<ScoredId>> topk_;            // per utility

@@ -14,6 +14,7 @@
 #include "eval/workload.h"
 #include "serve/bounded_queue.h"
 #include "serve/fdrms_service.h"
+#include "serve/mpsc_ring_queue.h"
 
 // All suites here are named Serve* on purpose: the `tsan` CMake test preset
 // (and the CI ThreadSanitizer job) selects them with the regex ^Serve.
@@ -51,8 +52,16 @@ std::unique_ptr<FdRms> SequentialReplay(
   return algo;
 }
 
-TEST(ServeQueueTest, PushPopPreservesFifoOrder) {
-  BoundedQueue<int> q(8);
+// Shared queue-contract suite: both the mutex reference (BoundedQueue) and
+// the lock-free ring (MpscRingQueue) must satisfy the exact same
+// semantics — the serving layer treats them as interchangeable.
+template <typename Q>
+class ServeQueueTest : public ::testing::Test {};
+using QueueTypes = ::testing::Types<BoundedQueue<int>, MpscRingQueue<int>>;
+TYPED_TEST_SUITE(ServeQueueTest, QueueTypes);
+
+TYPED_TEST(ServeQueueTest, PushPopPreservesFifoOrder) {
+  TypeParam q(8);
   for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.Push(i));
   std::vector<int> got;
   ASSERT_TRUE(q.PopBatch(3, &got));
@@ -62,8 +71,8 @@ TEST(ServeQueueTest, PushPopPreservesFifoOrder) {
   EXPECT_EQ(q.size(), 0u);
 }
 
-TEST(ServeQueueTest, TryPushRefusesWhenFull) {
-  BoundedQueue<int> q(2);
+TYPED_TEST(ServeQueueTest, TryPushRefusesWhenFull) {
+  TypeParam q(2);
   EXPECT_TRUE(q.TryPush(1));
   EXPECT_TRUE(q.TryPush(2));
   EXPECT_FALSE(q.TryPush(3));
@@ -72,8 +81,8 @@ TEST(ServeQueueTest, TryPushRefusesWhenFull) {
   EXPECT_TRUE(q.TryPush(3));  // room again
 }
 
-TEST(ServeQueueTest, CloseWakesBlockedProducerAndDrainsConsumer) {
-  BoundedQueue<int> q(1);
+TYPED_TEST(ServeQueueTest, CloseWakesBlockedProducerAndDrainsConsumer) {
+  TypeParam q(1);
   ASSERT_TRUE(q.Push(7));
   std::atomic<bool> push_returned{false};
   std::atomic<bool> push_result{true};
@@ -92,15 +101,15 @@ TEST(ServeQueueTest, CloseWakesBlockedProducerAndDrainsConsumer) {
   EXPECT_FALSE(q.PopBatch(4, &got));  // closed + empty: end of stream
 }
 
-TEST(ServeQueueTest, ClearReportsDroppedElements) {
-  BoundedQueue<int> q(8);
+TYPED_TEST(ServeQueueTest, ClearReportsDroppedElements) {
+  TypeParam q(8);
   for (int i = 0; i < 6; ++i) ASSERT_TRUE(q.Push(i));
   EXPECT_EQ(q.Clear(), 6u);
   EXPECT_EQ(q.size(), 0u);
 }
 
-TEST(ServeQueueTest, KickWakesConsumerWithEmptyBatch) {
-  BoundedQueue<int> q(4);
+TYPED_TEST(ServeQueueTest, KickWakesConsumerWithEmptyBatch) {
+  TypeParam q(4);
   std::atomic<bool> popped{false};
   std::atomic<bool> batch_empty{false};
   std::atomic<bool> pop_result{false};
@@ -126,6 +135,201 @@ TEST(ServeQueueTest, KickWakesConsumerWithEmptyBatch) {
   q.Kick();
   q.Close();
   EXPECT_FALSE(q.PopBatch(4, &got));  // closed and drained: end of stream
+}
+
+TYPED_TEST(ServeQueueTest, TotalPushedCountsOnlyAcceptedElements) {
+  TypeParam q(2);
+  EXPECT_EQ(q.total_pushed(), 0u);
+  ASSERT_TRUE(q.Push(1));
+  ASSERT_TRUE(q.TryPush(2));
+  EXPECT_FALSE(q.TryPush(3));  // full: not counted
+  EXPECT_EQ(q.total_pushed(), 2u);
+  q.Close();
+  EXPECT_FALSE(q.TryPush(4));  // closed: not counted
+  EXPECT_EQ(q.total_pushed(), 2u);
+}
+
+// Ring-specific coverage: wraparound bookkeeping, the logical (non-power-
+// of-two) capacity gate, and destruction with elements still queued.
+TEST(ServeRingQueueTest, WraparoundPreservesFifoAcrossManyCycles) {
+  MpscRingQueue<int> q(4);  // forces index wrap every 4 elements
+  std::vector<int> got;
+  int next_push = 0, next_pop = 0;
+  for (int cycle = 0; cycle < 100; ++cycle) {
+    // Vary the fill level so the head/tail indices cross every cell
+    // alignment, including full and empty transitions.
+    const int burst = 1 + cycle % 4;
+    for (int i = 0; i < burst; ++i) ASSERT_TRUE(q.Push(next_push++));
+    ASSERT_TRUE(q.PopBatch(static_cast<size_t>(burst), &got));
+    for (int v : got) EXPECT_EQ(v, next_pop++);
+  }
+  EXPECT_EQ(next_pop, next_push);
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.total_pushed(), static_cast<uint64_t>(next_push));
+}
+
+TEST(ServeRingQueueTest, LogicalCapacityHonoredBeyondPowerOfTwoCells) {
+  MpscRingQueue<int> q(5);  // physical cell count rounds up to 8
+  EXPECT_EQ(q.capacity(), 5u);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.TryPush(i));
+  EXPECT_FALSE(q.TryPush(5));  // logical bound, not the cell count
+  EXPECT_EQ(q.size(), 5u);
+  std::vector<int> got;
+  ASSERT_TRUE(q.PopBatch(2, &got));
+  EXPECT_TRUE(q.TryPush(5));
+  EXPECT_TRUE(q.TryPush(6));
+  EXPECT_FALSE(q.TryPush(7));  // full again at exactly 5
+}
+
+TEST(ServeRingQueueTest, DestructionReleasesUnconsumedElements) {
+  // Heap-owning payloads left in the ring must be destroyed (ASan-visible
+  // if not).
+  auto q = std::make_unique<MpscRingQueue<std::vector<int>>>(8);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(q->Push(std::vector<int>(100, i)));
+  }
+  q.reset();  // drops 6 live vectors with the queue
+}
+
+// Concurrency stress suite (also in the TSan stress lane, see
+// CMakePresets.json tsan-stress): full/empty races under real
+// multi-producer churn.
+TEST(ServeRingStressTest, MultiProducerChurnKeepsPerProducerOrderAndCounts) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 2000;
+  MpscRingQueue<int> q(64);  // small: constant full/empty transitions
+  std::vector<int> consumed;
+  std::thread consumer([&] {
+    std::vector<int> batch;
+    while (q.PopBatch(16, &batch)) {
+      consumed.insert(consumed.end(), batch.begin(), batch.end());
+    }
+  });
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&, t] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.Push(t * kPerProducer + i));
+      }
+    });
+  }
+  for (std::thread& th : producers) th.join();
+  q.Close();
+  consumer.join();
+  ASSERT_EQ(consumed.size(), static_cast<size_t>(kProducers * kPerProducer));
+  EXPECT_EQ(q.total_pushed(), static_cast<uint64_t>(kProducers * kPerProducer));
+  // Each producer's elements arrive in its own submission order, and every
+  // element arrives exactly once.
+  std::vector<int> next(kProducers, 0);
+  for (int v : consumed) {
+    const int t = v / kPerProducer;
+    ASSERT_GE(t, 0);
+    ASSERT_LT(t, kProducers);
+    EXPECT_EQ(v % kPerProducer, next[t]);
+    ++next[t];
+  }
+  for (int t = 0; t < kProducers; ++t) EXPECT_EQ(next[t], kPerProducer);
+}
+
+TEST(ServeRingStressTest, TryPushSheddingConservesAcceptedElements) {
+  constexpr int kProducers = 3;
+  constexpr int kPerProducer = 4000;
+  MpscRingQueue<int> q(32);
+  std::atomic<uint64_t> accepted{0};
+  std::atomic<uint64_t> consumed_count{0};
+  std::atomic<uint64_t> consumed_sum{0};
+  std::atomic<uint64_t> accepted_sum{0};
+  std::thread consumer([&] {
+    std::vector<int> batch;
+    while (q.PopBatch(8, &batch)) {
+      consumed_count.fetch_add(batch.size(), std::memory_order_relaxed);
+      for (int v : batch) {
+        consumed_sum.fetch_add(static_cast<uint64_t>(v),
+                               std::memory_order_relaxed);
+      }
+    }
+  });
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&, t] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const int v = t * kPerProducer + i + 1;
+        if (q.TryPush(v)) {
+          accepted.fetch_add(1, std::memory_order_relaxed);
+          accepted_sum.fetch_add(static_cast<uint64_t>(v),
+                                 std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& th : producers) th.join();
+  q.Close();
+  consumer.join();
+  // Load shedding must lose exactly the rejected elements: whatever was
+  // accepted is consumed, element for element.
+  EXPECT_EQ(consumed_count.load(), accepted.load());
+  EXPECT_EQ(consumed_sum.load(), accepted_sum.load());
+  EXPECT_EQ(q.total_pushed(), accepted.load());
+  EXPECT_GT(accepted.load(), 0u);
+}
+
+TEST(ServeRingStressTest, CloseRaceNeverLosesOrInventsAcceptedPushes) {
+  // Close() racing a hot producer: every Push that reported success must
+  // be drained, and every Push the close beat must report failure — the
+  // contract the reference queue enforces with its mutex and the ring
+  // enforces with the post-claim re-check (dead cells).
+  for (int iter = 0; iter < 200; ++iter) {
+    MpscRingQueue<int> q(8);
+    std::atomic<uint64_t> accepted{0};
+    std::atomic<uint64_t> consumed{0};
+    std::thread producer([&] {
+      int i = 0;
+      while (q.Push(i++)) accepted.fetch_add(1, std::memory_order_relaxed);
+    });
+    std::thread consumer([&] {
+      std::vector<int> batch;
+      while (q.PopBatch(4, &batch)) {
+        consumed.fetch_add(batch.size(), std::memory_order_relaxed);
+      }
+    });
+    if (iter % 2 == 0) std::this_thread::yield();  // vary the close timing
+    q.Close();
+    producer.join();
+    consumer.join();
+    EXPECT_EQ(consumed.load(), accepted.load()) << "iter " << iter;
+    EXPECT_EQ(q.total_pushed(), accepted.load()) << "iter " << iter;
+  }
+}
+
+TEST(ServeRingStressTest, KickStormWhilePushingNeverLosesElements) {
+  constexpr int kOps = 3000;
+  MpscRingQueue<int> q(16);
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> consumed{0};
+  std::atomic<uint64_t> empty_wakes{0};
+  std::thread consumer([&] {
+    std::vector<int> batch;
+    while (q.PopBatch(4, &batch)) {
+      if (batch.empty()) {
+        empty_wakes.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        consumed.fetch_add(batch.size(), std::memory_order_relaxed);
+      }
+    }
+  });
+  std::thread kicker([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      q.Kick();
+      std::this_thread::yield();
+    }
+  });
+  for (int i = 0; i < kOps; ++i) ASSERT_TRUE(q.Push(i));
+  done.store(true, std::memory_order_release);
+  kicker.join();
+  q.Close();
+  consumer.join();
+  EXPECT_EQ(consumed.load(), static_cast<uint64_t>(kOps));
+  EXPECT_GT(empty_wakes.load(), 0u);  // the kicks really did wake the pop
 }
 
 TEST(ServeServiceTest, StartPublishesInitialSnapshot) {
@@ -588,6 +792,75 @@ TEST(ServePersistTest, PersistFailuresAreCountedNotFatal) {
   EXPECT_EQ(service.Query()->ops_applied, 60u);
   EXPECT_GT(service.persist_failures(), 0u);
   EXPECT_EQ(service.persists(), 0u);
+}
+
+TEST(ServeBatchingTest, AdaptiveBoundStaysInRangeAndHistogramsAccount) {
+  PointSet ps = GenerateIndep(400, 2, 21);
+  FdRmsServiceOptions sopt;
+  sopt.algo.r = 4;
+  sopt.algo.max_utilities = 32;
+  sopt.min_batch = 2;
+  sopt.max_batch = 32;
+  sopt.adaptive_batching = true;
+  FdRmsService service(2, sopt);
+  ASSERT_TRUE(service.Start(AsTuples(ps, 100)).ok());
+  // Burst phase: push far more than max_batch so the backlog drives the
+  // bound up; then idle flushes let it decay.
+  for (int i = 100; i < 400; ++i) {
+    ASSERT_TRUE(service.SubmitInsert(i, ps.Get(i)).ok());
+  }
+  ASSERT_TRUE(service.Flush().ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(service.SubmitDelete(i).ok());
+    ASSERT_TRUE(service.Flush().ok());  // one-op batches: observed depth ~ 1
+  }
+  auto snap = service.Query();
+  ASSERT_NE(snap, nullptr);
+  EXPECT_GE(snap->effective_max_batch, sopt.min_batch);
+  EXPECT_LE(snap->effective_max_batch, sopt.max_batch);
+  ASSERT_EQ(snap->queue_depth_hist.size(), kPow2HistBuckets);
+  ASSERT_EQ(snap->batch_size_hist.size(), kPow2HistBuckets);
+  // Every applied batch was histogrammed, no batch exceeded the cap, and
+  // the writer observed at least one depth beyond min_batch during the
+  // burst (otherwise the bound could never have moved).
+  uint64_t batches_counted = 0;
+  for (size_t b = 0; b < snap->batch_size_hist.size(); ++b) {
+    batches_counted += snap->batch_size_hist[b];
+    if (snap->batch_size_hist[b] > 0) {
+      EXPECT_LE(Pow2HistBucketFloor(b), sopt.max_batch);
+    }
+  }
+  EXPECT_EQ(batches_counted, snap->batches);
+  EXPECT_EQ(snap->batch_size_hist[0], 0u);  // batch size 0 is never applied
+  double depth_observations = 0;
+  for (uint64_t c : snap->queue_depth_hist) {
+    depth_observations += static_cast<double>(c);
+  }
+  EXPECT_GT(depth_observations, 0.0);
+  ASSERT_TRUE(service.Stop().ok());
+}
+
+TEST(ServeBatchingTest, FixedModeKeepsTheConfiguredBound) {
+  PointSet ps = GenerateIndep(200, 2, 22);
+  FdRmsServiceOptions sopt;
+  sopt.algo.r = 4;
+  sopt.algo.max_utilities = 32;
+  sopt.max_batch = 16;
+  sopt.adaptive_batching = false;  // the pre-adaptive writer
+  FdRmsService service(2, sopt);
+  ASSERT_TRUE(service.Start(AsTuples(ps, 100)).ok());
+  for (int i = 100; i < 200; ++i) {
+    ASSERT_TRUE(service.SubmitInsert(i, ps.Get(i)).ok());
+  }
+  ASSERT_TRUE(service.Flush().ok());
+  auto snap = service.Query();
+  EXPECT_EQ(snap->effective_max_batch, 16u);
+  for (size_t b = 0; b < snap->batch_size_hist.size(); ++b) {
+    if (snap->batch_size_hist[b] > 0) {
+      EXPECT_LE(Pow2HistBucketFloor(b), 16u);
+    }
+  }
+  ASSERT_TRUE(service.Stop().ok());
 }
 
 TEST(ServeLatencyTest, SnapshotCarriesPublicationLatencyQuantiles) {
