@@ -15,6 +15,7 @@
 #include "data/generators.h"
 #include "geometry/sampling.h"
 #include "geometry/score_kernel.h"
+#include "geometry/simd_dispatch.h"
 #include "index/conetree.h"
 #include "index/kdtree.h"
 #include "lp/simplex.h"
@@ -205,11 +206,22 @@ void BM_ScoreScalarDotLoop(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * m);
 }
-BENCHMARK(BM_ScoreScalarDotLoop)->Args({2048, 4})->Args({2048, 8});
+BENCHMARK(BM_ScoreScalarDotLoop)
+    ->Args({2048, 4})
+    ->Args({2048, 8})
+    ->Args({2048, 16});
 
 /// The same scoring through the contiguous ScoreMatrix and the blocked
-/// kernel (geometry/score_kernel.h).
-void BM_ScoreMatrixKernel(benchmark::State& state) {
+/// kernel (geometry/score_kernel.h) at a forced SIMD tier. The scalar tier
+/// is the PR 5 blocked-scalar kernel; the dispatched variant below runs
+/// whatever cpuid resolves, so dispatched/forced-scalar items_per_second is
+/// the SIMD speedup — and the ratio the perf-smoke gate watches (a
+/// dispatch regression to scalar drags it to ~1.0 and fails the build).
+void ScoreMatrixKernelAtTier(benchmark::State& state, SimdTier tier) {
+  if (!SetSimdTier(tier)) {
+    state.SkipWithError("tier unsupported on this build/CPU");
+    return;
+  }
   const int m = static_cast<int>(state.range(0));
   const int d = static_cast<int>(state.range(1));
   Rng rng(12);
@@ -222,8 +234,68 @@ void BM_ScoreMatrixKernel(benchmark::State& state) {
     benchmark::DoNotOptimize(scores.data());
   }
   state.SetItemsProcessed(state.iterations() * m);
+  SetSimdTier(BestSupportedSimdTier());
 }
-BENCHMARK(BM_ScoreMatrixKernel)->Args({2048, 4})->Args({2048, 8});
+
+void BM_ScoreMatrixKernelForcedScalar(benchmark::State& state) {
+  ScoreMatrixKernelAtTier(state, SimdTier::kScalar);
+}
+BENCHMARK(BM_ScoreMatrixKernelForcedScalar)
+    ->Args({256, 4})
+    ->Args({256, 8})
+    ->Args({256, 16})
+    ->Args({2048, 4})
+    ->Args({2048, 8})
+    ->Args({2048, 16});
+
+void BM_ScoreMatrixKernel(benchmark::State& state) {
+  ScoreMatrixKernelAtTier(state, BestSupportedSimdTier());
+}
+BENCHMARK(BM_ScoreMatrixKernel)
+    ->Args({256, 4})
+    ->Args({256, 8})
+    ->Args({256, 16})
+    ->Args({2048, 4})
+    ->Args({2048, 8})
+    ->Args({2048, 16});
+
+/// The gather kernel (ScoreSubset over a shuffled half of the rows) at the
+/// forced-scalar tier vs the dispatched tier — the kd-tree ScoreIds /
+/// TopKMaintainer eviction access pattern.
+void ScoreSubsetGatherAtTier(benchmark::State& state, SimdTier tier) {
+  if (!SetSimdTier(tier)) {
+    state.SkipWithError("tier unsupported on this build/CPU");
+    return;
+  }
+  const int m = static_cast<int>(state.range(0));
+  const int d = static_cast<int>(state.range(1));
+  Rng rng(12);
+  ScoreMatrix mat(SampleUtilityVectors(m, d, &rng));
+  std::vector<int> idx(static_cast<size_t>(m));
+  for (int i = 0; i < m; ++i) idx[static_cast<size_t>(i)] = i;
+  rng.Shuffle(&idx);
+  idx.resize(static_cast<size_t>(m / 2));
+  PointSet data = GenerateIndep(256, d, 13);
+  std::vector<double> scores(idx.size());
+  int pi = 0;
+  for (auto _ : state) {
+    mat.ScoreSubset(data.Get(pi++ % 256), idx, scores.data());
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(idx.size()));
+  SetSimdTier(BestSupportedSimdTier());
+}
+
+void BM_ScoreSubsetGatherForcedScalar(benchmark::State& state) {
+  ScoreSubsetGatherAtTier(state, SimdTier::kScalar);
+}
+BENCHMARK(BM_ScoreSubsetGatherForcedScalar)->Args({2048, 8});
+
+void BM_ScoreSubsetGather(benchmark::State& state) {
+  ScoreSubsetGatherAtTier(state, BestSupportedSimdTier());
+}
+BENCHMARK(BM_ScoreSubsetGather)->Args({2048, 8});
 
 void BM_SetCoverMembershipChurn(benchmark::State& state) {
   const int m = static_cast<int>(state.range(0));

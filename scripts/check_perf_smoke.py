@@ -1,17 +1,38 @@
 #!/usr/bin/env python3
-"""Perf-smoke gate: compare fresh BENCH_bench_concurrent.json runs against
-the committed baseline and fail on a real regression.
+"""Perf-smoke gate: compare fresh bench JSON runs against the committed
+baseline and fail on a real regression.
 
 Usage:
     check_perf_smoke.py CURRENT_JSON [CURRENT_JSON ...] --baseline BASELINE
         [--max-throughput-drop 0.20] [--max-p99-inflation 2.0]
 
+Two input formats are accepted and may be mixed across runs:
+  * the repo's own bench_concurrent schema ({"cases": [{name, metrics}]});
+  * google-benchmark --benchmark_format=json ({"benchmarks": [...]}), as
+    emitted by bench_micro_substrates; each benchmark's items_per_second
+    becomes its metric.
+
 For every case name present in both the current runs and the baseline the
 gate checks:
-  * update_ops_per_s must not drop more than --max-throughput-drop
-    (fraction) below the baseline;
+  * update_ops_per_s / items_per_second must not drop more than
+    --max-throughput-drop (fraction) below the baseline;
   * publish_p99_us must not inflate more than --max-p99-inflation (factor)
     above the baseline.
+
+The baseline may also carry "ratio_gates": pairs of case names measured in
+the *same* run whose throughput ratio must stay above a floor:
+
+    {"ratio_gates": [{"name": "simd-speedup-d8",
+                      "numerator": "BM_ScoreMatrixKernel/2048/8",
+                      "denominator": "BM_ScoreMatrixKernelForcedScalar/2048/8",
+                      "metric": "items_per_second",
+                      "min_ratio": 1.5}]}
+
+Ratio gates are self-normalizing — both sides ran on the same machine in
+the same process — so they hold absolute-speed noise out of the verdict.
+The micro-kernel baseline uses them to pin the SIMD dispatch: if dispatch
+silently degrades to the scalar tier, the dispatched/forced-scalar ratio
+collapses to ~1.0 and the gate fails loudly.
 
 Each configuration's run is only milliseconds long, so any single run is
 at the mercy of scheduler noise on a shared CI runner. Pass *several*
@@ -19,20 +40,37 @@ current JSONs (CI runs the bench three times): the gate scores each case
 by its best run — max throughput, min p99 — because a regression caused
 by the code is reproducible across runs while a noise dip is not. The
 thresholds stay deliberately loose on top of that; the gate is meant to
-catch the order-of-magnitude breakage a busted queue or batching policy
-causes. Refresh the baseline (best-of-3 `bench_concurrent --json` on a
-quiet machine) whenever an intentional perf change shifts the numbers.
+catch the order-of-magnitude breakage a busted queue, batching policy, or
+kernel dispatch causes. Refresh the baseline (best-of-3 on a quiet
+machine) whenever an intentional perf change shifts the numbers.
 """
 
 import argparse
 import json
 import sys
 
+THROUGHPUT_KEYS = ("update_ops_per_s", "items_per_second")
+
 
 def load_cases(path):
     with open(path) as f:
         doc = json.load(f)
+    if "benchmarks" in doc:  # google-benchmark --benchmark_format=json
+        cases = {}
+        for bench in doc["benchmarks"]:
+            if bench.get("run_type") == "aggregate":
+                continue
+            metrics = {}
+            if "items_per_second" in bench:
+                metrics["items_per_second"] = bench["items_per_second"]
+            cases[bench["name"]] = metrics
+        return cases
     return {case["name"]: case["metrics"] for case in doc.get("cases", [])}
+
+
+def load_ratio_gates(path):
+    with open(path) as f:
+        return json.load(f).get("ratio_gates", [])
 
 
 def best_of(runs):
@@ -42,14 +80,22 @@ def best_of(runs):
     for run in runs:
         for name, metrics in run.items():
             slot = merged.setdefault(name, {})
-            tp = metrics.get("update_ops_per_s")
-            if tp is not None:
-                slot["update_ops_per_s"] = max(slot.get("update_ops_per_s", 0.0), tp)
+            for key in THROUGHPUT_KEYS:
+                tp = metrics.get(key)
+                if tp is not None:
+                    slot[key] = max(slot.get(key, 0.0), tp)
             p99 = metrics.get("publish_p99_us")
             if p99 is not None:
                 prev = slot.get("publish_p99_us")
                 slot["publish_p99_us"] = p99 if prev is None else min(prev, p99)
     return merged
+
+
+def throughput_of(metrics):
+    for key in THROUGHPUT_KEYS:
+        if metrics.get(key):
+            return key, metrics[key]
+    return None, 0.0
 
 
 def main():
@@ -58,15 +104,16 @@ def main():
                         help="one or more fresh bench JSONs (best run wins)")
     parser.add_argument("--baseline", required=True)
     parser.add_argument("--max-throughput-drop", type=float, default=0.20,
-                        help="max fractional update_ops_per_s drop (default 0.20)")
+                        help="max fractional throughput drop (default 0.20)")
     parser.add_argument("--max-p99-inflation", type=float, default=2.0,
                         help="max publish_p99_us inflation factor (default 2.0)")
     args = parser.parse_args()
 
     current = best_of([load_cases(p) for p in args.current])
     baseline = load_cases(args.baseline)
+    ratio_gates = load_ratio_gates(args.baseline)
     shared = sorted(set(current) & set(baseline))
-    if not shared:
+    if not shared and not ratio_gates:
         print("perf-smoke: no overlapping cases between current and baseline",
               file=sys.stderr)
         return 1
@@ -74,12 +121,12 @@ def main():
     failures = []
     for name in shared:
         cur, base = current[name], baseline[name]
-        cur_tp = cur.get("update_ops_per_s") or 0.0
-        base_tp = base.get("update_ops_per_s") or 0.0
+        base_key, base_tp = throughput_of(base)
         if base_tp > 0:
+            cur_tp = cur.get(base_key) or 0.0
             drop = 1.0 - cur_tp / base_tp
             status = "FAIL" if drop > args.max_throughput_drop else "ok"
-            print(f"[{status}] {name}: update_ops_per_s {cur_tp:,.0f} vs "
+            print(f"[{status}] {name}: {base_key} {cur_tp:,.0f} vs "
                   f"baseline {base_tp:,.0f} ({-drop:+.1%})")
             if status == "FAIL":
                 failures.append(f"{name}: throughput dropped {drop:.1%}")
@@ -93,12 +140,31 @@ def main():
             if status == "FAIL":
                 failures.append(f"{name}: publish_p99_us inflated {factor:.2f}x")
 
+    for gate in ratio_gates:
+        name = gate.get("name", f"{gate['numerator']}/{gate['denominator']}")
+        metric = gate.get("metric", "items_per_second")
+        num = (current.get(gate["numerator"]) or {}).get(metric)
+        den = (current.get(gate["denominator"]) or {}).get(metric)
+        if num is None or den is None or den <= 0:
+            print(f"[FAIL] ratio {name}: missing case(s) "
+                  f"{gate['numerator']!r} / {gate['denominator']!r}")
+            failures.append(f"ratio {name}: missing cases in current runs")
+            continue
+        ratio = num / den
+        status = "FAIL" if ratio < gate["min_ratio"] else "ok"
+        print(f"[{status}] ratio {name}: {ratio:.2f}x "
+              f"(floor {gate['min_ratio']:.2f}x)")
+        if status == "FAIL":
+            failures.append(
+                f"ratio {name}: {ratio:.2f}x below floor {gate['min_ratio']:.2f}x")
+
     if failures:
         print("\nperf-smoke FAILED:", file=sys.stderr)
         for f in failures:
             print(f"  - {f}", file=sys.stderr)
         return 1
-    print(f"\nperf-smoke passed on {len(shared)} case(s)")
+    checked = len(shared) + len(ratio_gates)
+    print(f"\nperf-smoke passed on {checked} check(s)")
     return 0
 
 

@@ -6,29 +6,51 @@
 /// utility/pivot matrix.
 ///
 /// The maintained indexes score one tuple against *many* vectors on every
-/// mutation — the cone tree's leaf scans, TopKMaintainer's insert and
-/// delete-repair loops, and the tau (admission threshold) recomputation all
-/// reduce to "dot p against rows i..j". Storing those rows as a
-/// `std::vector<Point>` (an array of separately heap-allocated vectors)
-/// makes each dot a pointer chase; ScoreMatrix flattens them into one
-/// contiguous slab (structure-of-arrays relative to the old layout: all
-/// coordinates in a single allocation, rows at a fixed padded stride) so
-/// the kernels below stream it.
+/// mutation — the cone tree's leaf scans, the kd-tree's leaf scans,
+/// TopKMaintainer's insert and delete-repair loops, and the tau (admission
+/// threshold) recomputation all reduce to "dot p against rows i..j".
+/// Storing those rows as a `std::vector<Point>` (an array of separately
+/// heap-allocated vectors) makes each dot a pointer chase; ScoreMatrix
+/// flattens them into one contiguous slab (structure-of-arrays relative to
+/// the old layout: all coordinates in a single allocation, rows at a fixed
+/// padded stride) so the kernels below stream it.
 ///
-/// Numerical contract: every kernel accumulates each row's sum in the same
+/// Alignment contract: the slab base is 64-byte aligned (an aligned
+/// allocation, not a plain std::vector whose base is only guaranteed
+/// alignof(double)) and the stride is padded to a multiple of four doubles
+/// (zero-filled), so *every row start is 32-byte aligned* and no vector
+/// load of four consecutive doubles within a row straddles a cache line.
+/// The SIMD tiers still issue unaligned-load instructions — ScoreBlock is
+/// also used on raw caller-owned blocks with no alignment promise — but on
+/// ScoreMatrix rows those loads never split a line.
+///
+/// Numerical contract: every kernel — the scalar reference here and the
+/// runtime-dispatched AVX2/AVX-512/NEON tiers behind ScoreBlock/ScoreGather
+/// (geometry/simd_dispatch.h) — accumulates each row's sum in the same
 /// coordinate order as geometry/point.h `Dot`, so per-row results are
-/// bit-identical to the scalar path — blocking happens *across* rows (four
-/// independent accumulators the compiler SLP-vectorizes), never within a
-/// row. Swapping the kernels in can therefore never flip a threshold
-/// comparison relative to the reference implementation.
+/// bit-identical to the scalar path: blocking and vectorization happen
+/// *across* rows (one vector lane per row), never within a row, and no
+/// tier uses FMA (the build pins -ffp-contract=off to match). Swapping
+/// kernels or tiers can therefore never flip a threshold comparison
+/// relative to the reference implementation.
 
 #include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
 #include "geometry/point.h"
+#include "geometry/simd_dispatch.h"
 
 namespace fdrms {
+
+/// Slab base alignment in bytes (AVX-512 vector width); row starts are
+/// aligned to at least half of it, see the file comment.
+inline constexpr size_t kScoreSlabAlignmentBytes = 64;
 
 /// Inner product over contiguous coordinate arrays, scalar accumulation
 /// order (bit-identical to Dot on the same operands).
@@ -38,12 +60,13 @@ inline double DotContiguous(const double* a, const double* b, int d) {
   return s;
 }
 
-/// Scores `count` consecutive rows of a row-contiguous block against `q`:
-/// out[j] = <rows + j*stride, q>. Blocked four rows per step with
-/// independent accumulators — auto-vectorization-friendly without changing
-/// any row's accumulation order.
-inline void ScoreBlock(const double* rows, size_t stride, int d, size_t count,
-                       const double* q, double* out) {
+/// Scalar reference of the block kernel: scores `count` consecutive rows of
+/// a row-contiguous block against `q`, out[j] = <rows + j*stride, q>.
+/// Blocked four rows per step with independent accumulators —
+/// auto-vectorization-friendly without changing any row's accumulation
+/// order.
+inline void ScoreBlockScalar(const double* rows, size_t stride, int d,
+                             size_t count, const double* q, double* out) {
   size_t j = 0;
   for (; j + 4 <= count; j += 4) {
     const double* r0 = rows + (j + 0) * stride;
@@ -68,25 +91,97 @@ inline void ScoreBlock(const double* rows, size_t stride, int d, size_t count,
   }
 }
 
-/// A fixed set of d-dimensional vectors in one contiguous slab. Rows keep
-/// their construction order; the stride is padded to a multiple of four
-/// doubles (zero-filled) so row starts stay 32-byte aligned relative to the
-/// slab base.
+/// Scalar reference of the gather kernel: out[j] = <base + idx[j]*stride,
+/// q>. Row starts are scattered but each row is contiguous.
+inline void ScoreGatherScalar(const double* base, size_t stride, int d,
+                              const int* idx, size_t count, const double* q,
+                              double* out) {
+  size_t j = 0;
+  for (; j + 4 <= count; j += 4) {
+    const double* r0 = base + static_cast<size_t>(idx[j + 0]) * stride;
+    const double* r1 = base + static_cast<size_t>(idx[j + 1]) * stride;
+    const double* r2 = base + static_cast<size_t>(idx[j + 2]) * stride;
+    const double* r3 = base + static_cast<size_t>(idx[j + 3]) * stride;
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+    for (int k = 0; k < d; ++k) {
+      const double qk = q[k];
+      s0 += r0[k] * qk;
+      s1 += r1[k] * qk;
+      s2 += r2[k] * qk;
+      s3 += r3[k] * qk;
+    }
+    out[j + 0] = s0;
+    out[j + 1] = s1;
+    out[j + 2] = s2;
+    out[j + 3] = s3;
+  }
+  for (; j < count; ++j) {
+    out[j] = DotContiguous(base + static_cast<size_t>(idx[j]) * stride, q, d);
+  }
+}
+
+/// Dispatched block kernel (see simd_dispatch.h for tier selection).
+inline void ScoreBlock(const double* rows, size_t stride, int d, size_t count,
+                       const double* q, double* out) {
+  ActiveScoreKernels().block(rows, stride, d, count, q, out);
+}
+
+/// Dispatched gather kernel.
+inline void ScoreGather(const double* base, size_t stride, int d,
+                        const int* idx, size_t count, const double* q,
+                        double* out) {
+  ActiveScoreKernels().gather(base, stride, d, idx, count, q, out);
+}
+
+/// A set of d-dimensional vectors in one contiguous, 64-byte-aligned slab.
+/// Rows keep their append order; the stride is padded to a multiple of four
+/// doubles (zero-filled) so row starts stay 32-byte aligned (see the file
+/// comment for the full contract). Grows by row appends (amortized
+/// doubling), so dynamic indexes can use it as their point store.
 class ScoreMatrix {
  public:
   ScoreMatrix() = default;
 
+  /// Empty matrix accepting `dim`-wide row appends.
+  explicit ScoreMatrix(int dim) : dim_(dim), stride_(PaddedStride(dim)) {
+    FDRMS_CHECK(dim > 0);
+  }
+
   explicit ScoreMatrix(const std::vector<Point>& rows) {
-    rows_ = static_cast<int>(rows.size());
-    dim_ = rows.empty() ? 0 : static_cast<int>(rows[0].size());
-    stride_ = static_cast<size_t>((dim_ + 3) & ~3);
-    data_.assign(static_cast<size_t>(rows_) * stride_, 0.0);
-    for (int i = 0; i < rows_; ++i) {
-      FDRMS_CHECK(static_cast<int>(rows[static_cast<size_t>(i)].size()) ==
-                  dim_);
-      double* dst = data_.data() + static_cast<size_t>(i) * stride_;
-      for (int k = 0; k < dim_; ++k) dst[k] = rows[static_cast<size_t>(i)][static_cast<size_t>(k)];
+    if (rows.empty()) return;
+    dim_ = static_cast<int>(rows[0].size());
+    FDRMS_CHECK(dim_ > 0) << "ScoreMatrix rows need at least one coordinate";
+    stride_ = PaddedStride(dim_);
+    Reserve(static_cast<int>(rows.size()));
+    for (const Point& r : rows) AppendRow(r);
+  }
+
+  ScoreMatrix(const ScoreMatrix& o) { *this = o; }
+  ScoreMatrix& operator=(const ScoreMatrix& o) {
+    if (this == &o) return *this;
+    data_.reset();
+    capacity_ = 0;
+    rows_ = 0;
+    dim_ = o.dim_;
+    stride_ = o.stride_;
+    if (o.rows_ > 0) {
+      Reserve(o.rows_);
+      std::memcpy(data_.get(), o.data_.get(),
+                  static_cast<size_t>(o.rows_) * stride_ * sizeof(double));
+      rows_ = o.rows_;
     }
+    return *this;
+  }
+  ScoreMatrix(ScoreMatrix&& o) noexcept { *this = std::move(o); }
+  ScoreMatrix& operator=(ScoreMatrix&& o) noexcept {
+    if (this == &o) return *this;
+    data_ = std::move(o.data_);
+    rows_ = o.rows_;
+    dim_ = o.dim_;
+    stride_ = o.stride_;
+    capacity_ = o.capacity_;
+    o.rows_ = o.capacity_ = 0;
+    return *this;
   }
 
   int rows() const { return rows_; }
@@ -94,7 +189,43 @@ class ScoreMatrix {
   size_t stride() const { return stride_; }
 
   const double* row(int i) const {
-    return data_.data() + static_cast<size_t>(i) * stride_;
+    FDRMS_DCHECK(i >= 0 && i < rows_) << "row " << i << " outside [0,"
+                                      << rows_ << ")";
+    return data_.get() + static_cast<size_t>(i) * stride_;
+  }
+
+  /// Grows capacity to at least `rows` (no-op when already large enough).
+  void Reserve(int rows) {
+    if (rows <= capacity_) return;
+    FDRMS_CHECK(dim_ > 0) << "Reserve on a dimensionless ScoreMatrix";
+    const size_t bytes = static_cast<size_t>(rows) * stride_ * sizeof(double);
+    double* fresh = static_cast<double*>(
+        ::operator new[](bytes, std::align_val_t{kScoreSlabAlignmentBytes}));
+    FDRMS_CHECK(reinterpret_cast<uintptr_t>(fresh) %
+                    kScoreSlabAlignmentBytes ==
+                0);
+    if (rows_ > 0) {
+      std::memcpy(fresh, data_.get(),
+                  static_cast<size_t>(rows_) * stride_ * sizeof(double));
+    }
+    data_.reset(fresh);
+    capacity_ = rows;
+  }
+
+  /// Appends a row (the matrix's dim must match); returns its index.
+  int AppendRow(const Point& p) {
+    FDRMS_CHECK(static_cast<int>(p.size()) == dim_);
+    return AppendRowUnchecked(p.data());
+  }
+
+  /// Appends `dim()` doubles from `src`; returns the new row's index.
+  int AppendRowUnchecked(const double* src) {
+    FDRMS_DCHECK(dim_ > 0);
+    if (rows_ == capacity_) Reserve(capacity_ < 8 ? 8 : capacity_ * 2);
+    double* dst = data_.get() + static_cast<size_t>(rows_) * stride_;
+    for (int k = 0; k < dim_; ++k) dst[k] = src[k];
+    for (size_t k = static_cast<size_t>(dim_); k < stride_; ++k) dst[k] = 0.0;
+    return rows_++;
   }
 
   /// <row i, q>; bit-identical to Dot(rows[i], q).
@@ -103,51 +234,49 @@ class ScoreMatrix {
     return DotContiguous(row(i), q.data(), dim_);
   }
 
-  /// Scores every row: out[i] = <row i, q>. Blocked via ScoreBlock.
+  /// Scores every row: out[i] = <row i, q>. Dispatched block kernel.
   void ScoreAll(const Point& q, std::vector<double>* out) const {
     FDRMS_DCHECK(static_cast<int>(q.size()) == dim_);
     out->resize(static_cast<size_t>(rows_));
-    ScoreBlock(data_.data(), stride_, dim_, static_cast<size_t>(rows_),
+    if (rows_ == 0) return;
+    ScoreBlock(data_.get(), stride_, dim_, static_cast<size_t>(rows_),
                q.data(), out->data());
   }
 
-  /// Scores a subset of rows: out[j] = <row idx[j], q>. Gather variant of
-  /// ScoreBlock (row starts are scattered but each row is contiguous).
+  /// Scores a subset of rows: out[j] = <row idx[j], q>. Dispatched gather
+  /// kernel. Every idx entry must be a valid row (DCHECK-enforced; an
+  /// out-of-range index would silently read outside the slab in release
+  /// builds otherwise).
   void ScoreSubset(const Point& q, const std::vector<int>& idx,
                    double* out) const {
     FDRMS_DCHECK(static_cast<int>(q.size()) == dim_);
-    const double* base = data_.data();
-    const double* qp = q.data();
-    size_t j = 0;
-    for (; j + 4 <= idx.size(); j += 4) {
-      const double* r0 = base + static_cast<size_t>(idx[j + 0]) * stride_;
-      const double* r1 = base + static_cast<size_t>(idx[j + 1]) * stride_;
-      const double* r2 = base + static_cast<size_t>(idx[j + 2]) * stride_;
-      const double* r3 = base + static_cast<size_t>(idx[j + 3]) * stride_;
-      double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-      for (int k = 0; k < dim_; ++k) {
-        const double qk = qp[k];
-        s0 += r0[k] * qk;
-        s1 += r1[k] * qk;
-        s2 += r2[k] * qk;
-        s3 += r3[k] * qk;
-      }
-      out[j + 0] = s0;
-      out[j + 1] = s1;
-      out[j + 2] = s2;
-      out[j + 3] = s3;
+#ifndef NDEBUG
+    for (int i : idx) {
+      FDRMS_DCHECK(i >= 0 && i < rows_)
+          << "ScoreSubset index " << i << " outside [0," << rows_ << ")";
     }
-    for (; j < idx.size(); ++j) {
-      out[j] = DotContiguous(base + static_cast<size_t>(idx[j]) * stride_, qp,
-                             dim_);
-    }
+#endif
+    if (idx.empty()) return;
+    ScoreGather(data_.get(), stride_, dim_, idx.data(), idx.size(), q.data(),
+                out);
   }
 
  private:
+  static constexpr size_t PaddedStride(int dim) {
+    return static_cast<size_t>((dim + 3) & ~3);
+  }
+
+  struct AlignedDelete {
+    void operator()(double* p) const {
+      ::operator delete[](p, std::align_val_t{kScoreSlabAlignmentBytes});
+    }
+  };
+
   int rows_ = 0;
   int dim_ = 0;
   size_t stride_ = 0;
-  std::vector<double> data_;
+  int capacity_ = 0;
+  std::unique_ptr<double[], AlignedDelete> data_;
 };
 
 }  // namespace fdrms

@@ -1,0 +1,75 @@
+/// NEON (aarch64) tier of the scoring kernels (see score_kernels_simd.h
+/// for the calling contract). Strategy: two rows per step, one 64-bit lane
+/// per row. The inner loop loads a 2x2 tile, transposes it with trn1/trn2,
+/// and accumulates column-by-column — per-lane accumulation order is
+/// exactly the scalar order. Separate vmul/vadd, never vfma: the build
+/// pins -ffp-contract=off so the scalar reference does not contract either,
+/// keeping the tiers bit-identical.
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include <cstddef>
+
+#include "geometry/simd/score_kernels_simd.h"
+
+namespace fdrms {
+namespace simd {
+namespace {
+
+inline double Dot1(const double* r, const double* q, int d) {
+  double s = 0.0;
+  for (int k = 0; k < d; ++k) s += r[k] * q[k];
+  return s;
+}
+
+/// Two rows against q, one lane per row, scalar accumulation order.
+inline float64x2_t Dot2(const double* r0, const double* r1, const double* q,
+                        int d) {
+  float64x2_t acc = vdupq_n_f64(0.0);
+  int k = 0;
+  for (; k + 2 <= d; k += 2) {
+    const float64x2_t a = vld1q_f64(r0 + k);  // {r0[k], r0[k+1]}
+    const float64x2_t b = vld1q_f64(r1 + k);  // {r1[k], r1[k+1]}
+    const float64x2_t col0 = vtrn1q_f64(a, b);  // {r0[k],   r1[k]}
+    const float64x2_t col1 = vtrn2q_f64(a, b);  // {r0[k+1], r1[k+1]}
+    acc = vaddq_f64(acc, vmulq_f64(col0, vdupq_n_f64(q[k])));
+    acc = vaddq_f64(acc, vmulq_f64(col1, vdupq_n_f64(q[k + 1])));
+  }
+  for (; k < d; ++k) {
+    const float64x2_t col = vsetq_lane_f64(r1[k], vdupq_n_f64(r0[k]), 1);
+    acc = vaddq_f64(acc, vmulq_f64(col, vdupq_n_f64(q[k])));
+  }
+  return acc;
+}
+
+}  // namespace
+
+void ScoreBlockNeon(const double* rows, size_t stride, int d, size_t count,
+                    const double* q, double* out) {
+  size_t j = 0;
+  for (; j + 2 <= count; j += 2) {
+    const double* r0 = rows + j * stride;
+    vst1q_f64(out + j, Dot2(r0, r0 + stride, q, d));
+  }
+  for (; j < count; ++j) out[j] = Dot1(rows + j * stride, q, d);
+}
+
+void ScoreGatherNeon(const double* base, size_t stride, int d, const int* idx,
+                     size_t count, const double* q, double* out) {
+  size_t j = 0;
+  for (; j + 2 <= count; j += 2) {
+    vst1q_f64(out + j,
+              Dot2(base + static_cast<size_t>(idx[j + 0]) * stride,
+                   base + static_cast<size_t>(idx[j + 1]) * stride, q, d));
+  }
+  for (; j < count; ++j) {
+    out[j] = Dot1(base + static_cast<size_t>(idx[j]) * stride, q, d);
+  }
+}
+
+}  // namespace simd
+}  // namespace fdrms
+
+#endif  // defined(__aarch64__)

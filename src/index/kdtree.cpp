@@ -10,7 +10,8 @@
 
 namespace fdrms {
 
-KdTree::KdTree(int dim, int leaf_size) : dim_(dim), leaf_size_(leaf_size) {
+KdTree::KdTree(int dim, int leaf_size)
+    : dim_(dim), leaf_size_(leaf_size), points_(dim), boxmax_(dim) {
   FDRMS_CHECK(dim > 0);
   FDRMS_CHECK(leaf_size >= 2);
 }
@@ -23,8 +24,10 @@ Status KdTree::Insert(int id, const Point& p) {
     return Status::AlreadyExists("tuple id " + std::to_string(id) +
                                  " already indexed");
   }
-  slots_.push_back(Slot{id, p, true});
-  int slot = static_cast<int>(slots_.size()) - 1;
+  ++generation_;
+  const int slot = points_.AppendRow(p);  // may reallocate the slab
+  FDRMS_DCHECK(slot == static_cast<int>(slots_.size()));
+  slots_.push_back(Slot{id, true});
   slot_of_[id] = slot;
   buffer_.push_back(slot);
   ++live_count_;
@@ -37,6 +40,7 @@ Status KdTree::Delete(int id) {
   if (it == slot_of_.end()) {
     return Status::NotFound("tuple id " + std::to_string(id) + " not indexed");
   }
+  ++generation_;
   int slot = it->second;
   slots_[slot].alive = false;
   slot_of_.erase(it);
@@ -50,12 +54,30 @@ Status KdTree::Delete(int id) {
   return Status::OK();
 }
 
-Point KdTree::GetPoint(int id) const { return GetPointRef(id); }
-
-const Point& KdTree::GetPointRef(int id) const {
+Point KdTree::GetPoint(int id) const {
   auto it = slot_of_.find(id);
   FDRMS_CHECK(it != slot_of_.end()) << "GetPoint on missing id " << id;
-  return slots_[it->second].point;
+  const double* r = points_.row(it->second);
+  return Point(r, r + dim_);
+}
+
+KdTree::PointRef KdTree::GetPointRef(int id) const {
+  auto it = slot_of_.find(id);
+  FDRMS_CHECK(it != slot_of_.end()) << "GetPoint on missing id " << id;
+  return PointRef(this, it->second, generation_);
+}
+
+void KdTree::ScoreIds(const double* u, const std::vector<int>& ids,
+                      double* out) const {
+  if (ids.empty()) return;
+  std::vector<int> rows(ids.size());
+  for (size_t j = 0; j < ids.size(); ++j) {
+    auto it = slot_of_.find(ids[j]);
+    FDRMS_CHECK(it != slot_of_.end()) << "ScoreIds on missing id " << ids[j];
+    rows[j] = it->second;
+  }
+  ScoreGather(points_.row(0), points_.stride(), dim_, rows.data(), rows.size(),
+              u, out);
 }
 
 void KdTree::MaybeRebuild() {
@@ -66,76 +88,94 @@ void KdTree::MaybeRebuild() {
 }
 
 void KdTree::Rebuild() {
+  ++generation_;
   nodes_.clear();
   buffer_.clear();
   dead_in_tree_ = 0;
-  // Compact tombstoned slots away so slot indices stay dense.
-  std::vector<Slot> live;
-  live.reserve(live_count_);
-  for (auto& s : slots_) {
-    if (s.alive) live.push_back(std::move(s));
+  boxmax_ = ScoreMatrix(dim_);
+  // Compact tombstoned slots away; `order` holds the surviving old slot
+  // indices and is permuted in place by the build so that when it returns,
+  // position pos belongs to exactly one leaf's [first, first + count).
+  std::vector<int> order;
+  order.reserve(static_cast<size_t>(live_count_));
+  for (size_t s = 0; s < slots_.size(); ++s) {
+    if (slots_[s].alive) order.push_back(static_cast<int>(s));
   }
-  slots_ = std::move(live);
-  slot_of_.clear();
-  for (size_t i = 0; i < slots_.size(); ++i) {
-    slot_of_[slots_[i].id] = static_cast<int>(i);
-  }
-  indexed_count_ = static_cast<int>(slots_.size());
-  if (slots_.empty()) {
+  if (order.empty()) {
+    slots_.clear();
+    slot_of_.clear();
+    points_ = ScoreMatrix(dim_);
+    indexed_count_ = 0;
     root_ = -1;
     return;
   }
-  std::vector<int> indices(slots_.size());
-  for (size_t i = 0; i < indices.size(); ++i) indices[i] = static_cast<int>(i);
-  root_ = BuildNode(&indices, 0, static_cast<int>(indices.size()));
+  root_ = BuildNode(&order, 0, static_cast<int>(order.size()));
+  // Apply the build permutation to the slot array and the point slab so
+  // each leaf's rows are physically contiguous.
+  ScoreMatrix new_points(dim_);
+  new_points.Reserve(static_cast<int>(order.size()));
+  std::vector<Slot> new_slots;
+  new_slots.reserve(order.size());
+  slot_of_.clear();
+  for (size_t pos = 0; pos < order.size(); ++pos) {
+    new_points.AppendRowUnchecked(points_.row(order[pos]));
+    new_slots.push_back(Slot{slots_[static_cast<size_t>(order[pos])].id, true});
+    slot_of_[new_slots.back().id] = static_cast<int>(pos);
+  }
+  points_ = std::move(new_points);
+  slots_ = std::move(new_slots);
+  indexed_count_ = static_cast<int>(slots_.size());
 }
 
-int KdTree::BuildNode(std::vector<int>* indices, int lo, int hi) {
-  Node node;
-  node.box_min.assign(dim_, std::numeric_limits<double>::infinity());
-  node.box_max.assign(dim_, -std::numeric_limits<double>::infinity());
+int KdTree::BuildNode(std::vector<int>* order, int lo, int hi) {
+  // Bounding box over rows order[lo..hi) of the (pre-permutation) slab.
+  std::vector<double> box_min(static_cast<size_t>(dim_),
+                              std::numeric_limits<double>::infinity());
+  std::vector<double> box_max(static_cast<size_t>(dim_),
+                              -std::numeric_limits<double>::infinity());
   for (int i = lo; i < hi; ++i) {
-    const Point& p = slots_[(*indices)[i]].point;
+    const double* p = points_.row((*order)[i]);
     for (int j = 0; j < dim_; ++j) {
-      node.box_min[j] = std::min(node.box_min[j], p[j]);
-      node.box_max[j] = std::max(node.box_max[j], p[j]);
+      const size_t sj = static_cast<size_t>(j);
+      box_min[sj] = std::min(box_min[sj], p[j]);
+      box_max[sj] = std::max(box_max[sj], p[j]);
     }
   }
   int node_id = static_cast<int>(nodes_.size());
-  nodes_.push_back(std::move(node));
+  nodes_.push_back(Node{});
+  FDRMS_CHECK(boxmax_.AppendRowUnchecked(box_max.data()) == node_id);
   if (hi - lo <= leaf_size_) {
-    nodes_[node_id].slot_indices.assign(indices->begin() + lo,
-                                        indices->begin() + hi);
+    nodes_[node_id].first = lo;
+    nodes_[node_id].count = hi - lo;
     return node_id;
   }
   // Split on the widest dimension at the median.
   int split_dim = 0;
   double best_extent = -1.0;
   for (int j = 0; j < dim_; ++j) {
-    double extent = nodes_[node_id].box_max[j] - nodes_[node_id].box_min[j];
+    const size_t sj = static_cast<size_t>(j);
+    double extent = box_max[sj] - box_min[sj];
     if (extent > best_extent) {
       best_extent = extent;
       split_dim = j;
     }
   }
   int mid = (lo + hi) / 2;
-  std::nth_element(indices->begin() + lo, indices->begin() + mid,
-                   indices->begin() + hi, [&](int a, int b) {
-                     return slots_[a].point[split_dim] <
-                            slots_[b].point[split_dim];
+  std::nth_element(order->begin() + lo, order->begin() + mid,
+                   order->begin() + hi, [&](int a, int b) {
+                     return points_.row(a)[split_dim] <
+                            points_.row(b)[split_dim];
                    });
-  int left = BuildNode(indices, lo, mid);
-  int right = BuildNode(indices, mid, hi);
+  int left = BuildNode(order, lo, mid);
+  int right = BuildNode(order, mid, hi);
   nodes_[node_id].left = left;
   nodes_[node_id].right = right;
   return node_id;
 }
 
-double KdTree::BoxUpperBound(const Node& node, const Point& u) const {
+double KdTree::NodeUpperBound(int node_id, const Point& u) const {
   // u >= 0, so the box corner box_max maximizes the inner product.
-  double s = 0.0;
-  for (int j = 0; j < dim_; ++j) s += u[j] * node.box_max[j];
-  return s;
+  return DotContiguous(u.data(), boxmax_.row(node_id), dim_);
 }
 
 std::vector<ScoredId> KdTree::TopK(const Point& u, int k) const {
@@ -147,9 +187,8 @@ std::vector<ScoredId> KdTree::TopK(const Point& u, int k) const {
   };
   std::priority_queue<ScoredId, std::vector<ScoredId>, decltype(worse)> best(
       worse);
-  auto offer = [&](const Slot& s) {
-    if (!s.alive) return;
-    ScoredId cand{DotContiguous(u.data(), s.point.data(), dim_), s.id};
+  auto offer = [&](double score, int id) {
+    ScoredId cand{score, id};
     if (static_cast<int>(best.size()) < k) {
       best.push(cand);
     } else if (BetterScore(cand, best.top())) {
@@ -157,32 +196,52 @@ std::vector<ScoredId> KdTree::TopK(const Point& u, int k) const {
       best.push(cand);
     }
   };
-  double kth_bound = -std::numeric_limits<double>::infinity();
   auto current_bound = [&]() {
     return static_cast<int>(best.size()) < k
                ? -std::numeric_limits<double>::infinity()
                : best.top().score;
   };
-  // Best-first traversal of the tree.
+  // Best-first traversal of the tree. Leaves stream the blocked kernel
+  // over their contiguous row range; frontier expansion scores both
+  // children's box-max rows with one gather call.
   if (root_ >= 0) {
+    std::vector<double> leaf_scores(static_cast<size_t>(leaf_size_));
     using Pq = std::pair<double, int>;  // (upper bound, node)
     std::priority_queue<Pq> frontier;
-    frontier.push({BoxUpperBound(nodes_[root_], u), root_});
+    frontier.push({NodeUpperBound(root_, u), root_});
     while (!frontier.empty()) {
       auto [bound, node_id] = frontier.top();
       frontier.pop();
-      kth_bound = current_bound();
-      if (bound < kth_bound) break;  // nothing better remains
+      if (bound < current_bound()) break;  // nothing better remains
       const Node& node = nodes_[node_id];
       if (node.is_leaf()) {
-        for (int slot : node.slot_indices) offer(slots_[slot]);
+        ScoreBlock(points_.row(node.first), points_.stride(), dim_,
+                   static_cast<size_t>(node.count), u.data(),
+                   leaf_scores.data());
+        for (int i = 0; i < node.count; ++i) {
+          const int slot = node.first + i;
+          if (slots_[static_cast<size_t>(slot)].alive) {
+            offer(leaf_scores[static_cast<size_t>(i)],
+                  slots_[static_cast<size_t>(slot)].id);
+          }
+        }
       } else {
-        frontier.push({BoxUpperBound(nodes_[node.left], u), node.left});
-        frontier.push({BoxUpperBound(nodes_[node.right], u), node.right});
+        const int child_idx[2] = {node.left, node.right};
+        double child_bound[2];
+        ScoreGather(boxmax_.row(0), boxmax_.stride(), dim_, child_idx, 2,
+                    u.data(), child_bound);
+        frontier.push({child_bound[0], node.left});
+        frontier.push({child_bound[1], node.right});
       }
     }
   }
-  for (int slot : buffer_) offer(slots_[slot]);
+  // Buffer entries are not tree-ordered yet; scan them scalar.
+  for (int slot : buffer_) {
+    if (slots_[static_cast<size_t>(slot)].alive) {
+      offer(DotContiguous(u.data(), points_.row(slot), dim_),
+            slots_[static_cast<size_t>(slot)].id);
+    }
+  }
   std::vector<ScoredId> out(best.size());
   for (int i = static_cast<int>(best.size()) - 1; i >= 0; --i) {
     out[i] = best.top();
@@ -192,32 +251,40 @@ std::vector<ScoredId> KdTree::TopK(const Point& u, int k) const {
 }
 
 void KdTree::CollectRange(int node_id, const Point& u, double threshold,
+                          std::vector<double>* leaf_scores,
                           std::vector<ScoredId>* out) const {
   const Node& node = nodes_[node_id];
-  if (BoxUpperBound(node, u) < threshold) return;
+  if (NodeUpperBound(node_id, u) < threshold) return;
   if (node.is_leaf()) {
-    for (int slot : node.slot_indices) {
-      const Slot& s = slots_[slot];
-      if (!s.alive) continue;
-      double score = DotContiguous(u.data(), s.point.data(), dim_);
-      if (score >= threshold) out->push_back({score, s.id});
+    ScoreBlock(points_.row(node.first), points_.stride(), dim_,
+               static_cast<size_t>(node.count), u.data(), leaf_scores->data());
+    for (int i = 0; i < node.count; ++i) {
+      const int slot = node.first + i;
+      const double score = (*leaf_scores)[static_cast<size_t>(i)];
+      if (slots_[static_cast<size_t>(slot)].alive && score >= threshold) {
+        out->push_back({score, slots_[static_cast<size_t>(slot)].id});
+      }
     }
     return;
   }
-  CollectRange(node.left, u, threshold, out);
-  CollectRange(node.right, u, threshold, out);
+  CollectRange(node.left, u, threshold, leaf_scores, out);
+  CollectRange(node.right, u, threshold, leaf_scores, out);
 }
 
 std::vector<ScoredId> KdTree::ScoreRange(const Point& u,
                                          double threshold) const {
   FDRMS_CHECK(static_cast<int>(u.size()) == dim_);
   std::vector<ScoredId> out;
-  if (root_ >= 0) CollectRange(root_, u, threshold, &out);
+  if (root_ >= 0) {
+    std::vector<double> leaf_scores(static_cast<size_t>(leaf_size_));
+    CollectRange(root_, u, threshold, &leaf_scores, &out);
+  }
   for (int slot : buffer_) {
-    const Slot& s = slots_[slot];
-    if (!s.alive) continue;
-    double score = DotContiguous(u.data(), s.point.data(), dim_);
-    if (score >= threshold) out.push_back({score, s.id});
+    if (!slots_[static_cast<size_t>(slot)].alive) continue;
+    double score = DotContiguous(u.data(), points_.row(slot), dim_);
+    if (score >= threshold) {
+      out.push_back({score, slots_[static_cast<size_t>(slot)].id});
+    }
   }
   std::sort(out.begin(), out.end(), BetterScore);
   return out;

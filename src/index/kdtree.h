@@ -14,14 +14,26 @@
 /// Dynamism: inserts append to a linearly scanned buffer, deletes tombstone
 /// their slot; the tree is rebuilt when either exceeds a fraction of the
 /// indexed size (standard amortized-logarithmic strategy).
+///
+/// Hot-path layout: tuple coordinates live in a slot-indexed ScoreMatrix
+/// slab rather than per-slot heap Points, and Rebuild() permutes slots into
+/// build order so every leaf owns a contiguous row range [first, first +
+/// count). A leaf scan is then one blocked kernel call over consecutive
+/// rows, the best-first frontier scores both children's box-max rows with
+/// one gather call, and only buffer entries (inserted since the last
+/// rebuild, not yet tree-ordered) are scanned scalar. All kernel paths are
+/// bit-identical to scalar Dot (see geometry/score_kernel.h), so queries
+/// return exactly what the heap-scattered layout returned.
 
 #include <cstdint>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/check.h"
 #include "common/status.h"
 #include "geometry/point.h"
+#include "geometry/score_kernel.h"
 
 namespace fdrms {
 
@@ -61,10 +73,40 @@ class KdTree {
   /// Copy of a live tuple's attributes.
   Point GetPoint(int id) const;
 
-  /// Borrowed view of a live tuple's attributes — the hot-path variant of
-  /// GetPoint (no allocation). Invalidated by the next Insert/Delete/
-  /// Rebuild, so callers must not hold it across mutations.
-  const Point& GetPointRef(int id) const;
+  /// Borrowed, allocation-free view of a live tuple's attributes — the
+  /// hot-path variant of GetPoint. Invalidated by the next Insert/Delete/
+  /// Rebuild (the point slab may reallocate or be permuted), so callers
+  /// must not hold one across mutations; debug builds stamp each ref with
+  /// the tree's generation and DCHECK-fail on any stale access instead of
+  /// reading through a dangling row pointer.
+  class PointRef {
+   public:
+    const double* data() const {
+      CheckFresh();
+      return tree_->points_.row(row_);
+    }
+    double operator[](int k) const { return data()[k]; }
+    int dim() const { return tree_->dim_; }
+
+   private:
+    friend class KdTree;
+    PointRef(const KdTree* tree, int row, uint64_t gen)
+        : tree_(tree), row_(row), gen_(gen) {}
+    void CheckFresh() const {
+#ifndef NDEBUG
+      FDRMS_CHECK(gen_ == tree_->generation_)
+          << "stale KdTree::PointRef: the tree mutated since this ref was "
+             "acquired; re-acquire after Insert/Delete/Rebuild";
+#endif
+      (void)gen_;
+    }
+
+    const KdTree* tree_;
+    int row_;
+    uint64_t gen_;
+  };
+
+  PointRef GetPointRef(int id) const;
 
   /// Exact top-k under utility `u` (fewer if size() < k), best first.
   std::vector<ScoredId> TopK(const Point& u, int k) const;
@@ -72,11 +114,23 @@ class KdTree {
   /// All live tuples with <u, p> >= threshold, best first.
   std::vector<ScoredId> ScoreRange(const Point& u, double threshold) const;
 
+  /// Batch scores: out[j] = <u, point(ids[j])> via the dispatched gather
+  /// kernel over the point slab (bit-identical to per-id Dot). Every id
+  /// must be live. `u` points at dim() contiguous doubles.
+  void ScoreIds(const double* u, const std::vector<int>& ids,
+                double* out) const;
+
   /// Applies `fn(id, point)` to every live tuple (no particular order).
+  /// The Point reference is a scratch reused across iterations — copy it
+  /// if it must outlive the callback.
   template <typename Fn>
   void ForEach(Fn&& fn) const {
+    Point scratch(static_cast<size_t>(dim_));
     for (size_t s = 0; s < slots_.size(); ++s) {
-      if (slots_[s].alive) fn(slots_[s].id, slots_[s].point);
+      if (!slots_[s].alive) continue;
+      const double* r = points_.row(static_cast<int>(s));
+      for (int k = 0; k < dim_; ++k) scratch[static_cast<size_t>(k)] = r[k];
+      fn(slots_[s].id, static_cast<const Point&>(scratch));
     }
   }
 
@@ -86,36 +140,39 @@ class KdTree {
  private:
   struct Slot {
     int id;
-    Point point;
     bool alive;
   };
   struct Node {
-    // Bounding box over the subtree's points.
-    Point box_min;
-    Point box_max;
     int left = -1;
     int right = -1;
-    // Leaf payload: indices into slots_. Internal nodes keep it empty.
-    std::vector<int> slot_indices;
+    // Leaf payload: the contiguous slot/row range [first, first + count).
+    // Internal nodes keep count == 0.
+    int first = 0;
+    int count = 0;
     bool is_leaf() const { return left < 0; }
   };
 
-  int BuildNode(std::vector<int>* indices, int lo, int hi);
+  int BuildNode(std::vector<int>* order, int lo, int hi);
   void MaybeRebuild();
-  double BoxUpperBound(const Node& node, const Point& u) const;
+  /// <u, box_max(node)> — exact bound since u >= 0.
+  double NodeUpperBound(int node_id, const Point& u) const;
   void CollectRange(int node_id, const Point& u, double threshold,
+                    std::vector<double>* leaf_scores,
                     std::vector<ScoredId>* out) const;
 
   int dim_;
   int leaf_size_;
   std::vector<Slot> slots_;
+  ScoreMatrix points_;  // slot-indexed coordinate rows (slot s = row s)
   std::unordered_map<int, int> slot_of_;  // id -> slot index
   std::vector<Node> nodes_;
+  ScoreMatrix boxmax_;  // node-indexed box-max rows (node n = row n)
   int root_ = -1;
   int indexed_count_ = 0;       // live slots covered by the tree
   std::vector<int> buffer_;     // slot indices inserted since last rebuild
   int dead_in_tree_ = 0;        // tombstoned slots still referenced by tree
   int live_count_ = 0;
+  uint64_t generation_ = 0;     // bumped by every mutation (PointRef guard)
 };
 
 }  // namespace fdrms

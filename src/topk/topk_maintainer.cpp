@@ -90,19 +90,21 @@ Status TopKMaintainer::Insert(int id, const Point& p,
     double new_tau = ThresholdFor(u);
     if (score >= new_tau) EmitAdd(u, id, deltas);
     if (new_tau > old_tau) {
-      // The admission bar rose; evict members that fell below it. Scores
-      // go through the contiguous utility row and the tree's in-place
-      // point storage — no Point copy per membership check.
-      std::vector<int> evicted;
-      const double* u_row = umat_.row(u);
+      // The admission bar rose; evict members that fell below it. One
+      // gather-kernel call scores the whole membership against the tree's
+      // point slab — no Point copy or per-member pointer chase.
+      member_scratch_.clear();
       for (int member : approx_[u]) {
-        if (member == id) continue;
-        if (DotContiguous(u_row, tree_.GetPointRef(member).data(), dim_) <
-            new_tau) {
-          evicted.push_back(member);
+        if (member != id) member_scratch_.push_back(member);
+      }
+      member_score_scratch_.resize(member_scratch_.size());
+      tree_.ScoreIds(umat_.row(u), member_scratch_,
+                     member_score_scratch_.data());
+      for (size_t mi = 0; mi < member_scratch_.size(); ++mi) {
+        if (member_score_scratch_[mi] < new_tau) {
+          EmitRemove(u, member_scratch_[mi], deltas);
         }
       }
-      for (int member : evicted) EmitRemove(u, member, deltas);
       cone_.SetThreshold(u, new_tau);
     }
   }

@@ -97,6 +97,10 @@ class TopKMaintainer {
   /// Scratch for the per-insert candidate scores (avoids an allocation per
   /// mutation; sized to the affected set on use).
   std::vector<double> score_scratch_;
+  /// Scratch for the eviction sweep: current members of one Φ set and
+  /// their batch-gathered scores against the raised admission bar.
+  std::vector<int> member_scratch_;
+  std::vector<double> member_score_scratch_;
   KdTree tree_;
   ConeTree cone_;
   std::vector<std::vector<ScoredId>> topk_;            // per utility
