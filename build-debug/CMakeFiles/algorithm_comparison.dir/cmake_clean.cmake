@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algorithm_comparison.dir/examples/algorithm_comparison.cpp.o"
+  "CMakeFiles/algorithm_comparison.dir/examples/algorithm_comparison.cpp.o.d"
+  "algorithm_comparison"
+  "algorithm_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algorithm_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_index.dir/bench/bench_ablation_index.cpp.o"
+  "CMakeFiles/bench_ablation_index.dir/bench/bench_ablation_index.cpp.o.d"
+  "bench_ablation_index"
+  "bench_ablation_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_setcover.dir/bench/bench_ablation_setcover.cpp.o"
+  "CMakeFiles/bench_ablation_setcover.dir/bench/bench_ablation_setcover.cpp.o.d"
+  "bench_ablation_setcover"
+  "bench_ablation_setcover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_setcover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_concurrent.dir/bench/bench_concurrent.cpp.o"
+  "CMakeFiles/bench_concurrent.dir/bench/bench_concurrent.cpp.o.d"
+  "bench_concurrent"
+  "bench_concurrent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_concurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_variants.dir/bench/bench_ext_variants.cpp.o"
+  "CMakeFiles/bench_ext_variants.dir/bench/bench_ext_variants.cpp.o.d"
+  "bench_ext_variants"
+  "bench_ext_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

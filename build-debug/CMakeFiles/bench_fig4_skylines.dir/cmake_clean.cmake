@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_skylines.dir/bench/bench_fig4_skylines.cpp.o"
+  "CMakeFiles/bench_fig4_skylines.dir/bench/bench_fig4_skylines.cpp.o.d"
+  "bench_fig4_skylines"
+  "bench_fig4_skylines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_skylines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

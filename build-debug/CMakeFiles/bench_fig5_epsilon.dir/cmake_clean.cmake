@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_epsilon.dir/bench/bench_fig5_epsilon.cpp.o"
+  "CMakeFiles/bench_fig5_epsilon.dir/bench/bench_fig5_epsilon.cpp.o.d"
+  "bench_fig5_epsilon"
+  "bench_fig5_epsilon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_epsilon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

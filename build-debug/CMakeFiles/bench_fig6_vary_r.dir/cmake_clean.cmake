@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_vary_r.dir/bench/bench_fig6_vary_r.cpp.o"
+  "CMakeFiles/bench_fig6_vary_r.dir/bench/bench_fig6_vary_r.cpp.o.d"
+  "bench_fig6_vary_r"
+  "bench_fig6_vary_r.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_vary_r.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

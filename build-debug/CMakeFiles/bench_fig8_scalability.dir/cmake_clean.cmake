@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_scalability.dir/bench/bench_fig8_scalability.cpp.o"
+  "CMakeFiles/bench_fig8_scalability.dir/bench/bench_fig8_scalability.cpp.o.d"
+  "bench_fig8_scalability"
+  "bench_fig8_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

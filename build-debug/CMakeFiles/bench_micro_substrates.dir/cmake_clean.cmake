@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_substrates.dir/bench/bench_micro_substrates.cpp.o"
+  "CMakeFiles/bench_micro_substrates.dir/bench/bench_micro_substrates.cpp.o.d"
+  "bench_micro_substrates"
+  "bench_micro_substrates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_substrates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

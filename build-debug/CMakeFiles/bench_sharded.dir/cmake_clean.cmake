@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sharded.dir/bench/bench_sharded.cpp.o"
+  "CMakeFiles/bench_sharded.dir/bench/bench_sharded.cpp.o.d"
+  "bench_sharded"
+  "bench_sharded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sharded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_datasets.dir/bench/bench_table1_datasets.cpp.o"
+  "CMakeFiles/bench_table1_datasets.dir/bench/bench_table1_datasets.cpp.o.d"
+  "bench_table1_datasets"
+  "bench_table1_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conetree_test.dir/tests/conetree_test.cpp.o"
+  "CMakeFiles/conetree_test.dir/tests/conetree_test.cpp.o.d"
+  "conetree_test"
+  "conetree_test.pdb"
+  "conetree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conetree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

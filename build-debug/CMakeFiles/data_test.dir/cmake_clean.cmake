@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_test.dir/tests/data_test.cpp.o"
+  "CMakeFiles/data_test.dir/tests/data_test.cpp.o.d"
+  "data_test"
+  "data_test.pdb"
+  "data_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

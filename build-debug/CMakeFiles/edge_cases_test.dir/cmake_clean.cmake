@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_cases_test.dir/tests/edge_cases_test.cpp.o"
+  "CMakeFiles/edge_cases_test.dir/tests/edge_cases_test.cpp.o.d"
+  "edge_cases_test"
+  "edge_cases_test.pdb"
+  "edge_cases_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_cases_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

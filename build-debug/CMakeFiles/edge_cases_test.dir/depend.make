@@ -1,0 +1,2 @@
+# Empty dependencies file for edge_cases_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_test.dir/tests/eval_test.cpp.o"
+  "CMakeFiles/eval_test.dir/tests/eval_test.cpp.o.d"
+  "eval_test"
+  "eval_test.pdb"
+  "eval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/average_regret.cpp" "CMakeFiles/fdrms_baselines.dir/src/baselines/average_regret.cpp.o" "gcc" "CMakeFiles/fdrms_baselines.dir/src/baselines/average_regret.cpp.o.d"
+  "/root/repo/src/baselines/dmm.cpp" "CMakeFiles/fdrms_baselines.dir/src/baselines/dmm.cpp.o" "gcc" "CMakeFiles/fdrms_baselines.dir/src/baselines/dmm.cpp.o.d"
+  "/root/repo/src/baselines/exact2d.cpp" "CMakeFiles/fdrms_baselines.dir/src/baselines/exact2d.cpp.o" "gcc" "CMakeFiles/fdrms_baselines.dir/src/baselines/exact2d.cpp.o.d"
+  "/root/repo/src/baselines/greedy.cpp" "CMakeFiles/fdrms_baselines.dir/src/baselines/greedy.cpp.o" "gcc" "CMakeFiles/fdrms_baselines.dir/src/baselines/greedy.cpp.o.d"
+  "/root/repo/src/baselines/kernel_hs.cpp" "CMakeFiles/fdrms_baselines.dir/src/baselines/kernel_hs.cpp.o" "gcc" "CMakeFiles/fdrms_baselines.dir/src/baselines/kernel_hs.cpp.o.d"
+  "/root/repo/src/baselines/minsize.cpp" "CMakeFiles/fdrms_baselines.dir/src/baselines/minsize.cpp.o" "gcc" "CMakeFiles/fdrms_baselines.dir/src/baselines/minsize.cpp.o.d"
+  "/root/repo/src/baselines/rms_algorithm.cpp" "CMakeFiles/fdrms_baselines.dir/src/baselines/rms_algorithm.cpp.o" "gcc" "CMakeFiles/fdrms_baselines.dir/src/baselines/rms_algorithm.cpp.o.d"
+  "/root/repo/src/baselines/sphere.cpp" "CMakeFiles/fdrms_baselines.dir/src/baselines/sphere.cpp.o" "gcc" "CMakeFiles/fdrms_baselines.dir/src/baselines/sphere.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-debug/CMakeFiles/fdrms_geometry.dir/DependInfo.cmake"
+  "/root/repo/build-debug/CMakeFiles/fdrms_skyline.dir/DependInfo.cmake"
+  "/root/repo/build-debug/CMakeFiles/fdrms_lp.dir/DependInfo.cmake"
+  "/root/repo/build-debug/CMakeFiles/fdrms_index.dir/DependInfo.cmake"
+  "/root/repo/build-debug/CMakeFiles/fdrms_core.dir/DependInfo.cmake"
+  "/root/repo/build-debug/CMakeFiles/fdrms_topk.dir/DependInfo.cmake"
+  "/root/repo/build-debug/CMakeFiles/fdrms_setcover.dir/DependInfo.cmake"
+  "/root/repo/build-debug/CMakeFiles/fdrms_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

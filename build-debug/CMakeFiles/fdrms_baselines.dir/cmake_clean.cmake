@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdrms_baselines.dir/src/baselines/average_regret.cpp.o"
+  "CMakeFiles/fdrms_baselines.dir/src/baselines/average_regret.cpp.o.d"
+  "CMakeFiles/fdrms_baselines.dir/src/baselines/dmm.cpp.o"
+  "CMakeFiles/fdrms_baselines.dir/src/baselines/dmm.cpp.o.d"
+  "CMakeFiles/fdrms_baselines.dir/src/baselines/exact2d.cpp.o"
+  "CMakeFiles/fdrms_baselines.dir/src/baselines/exact2d.cpp.o.d"
+  "CMakeFiles/fdrms_baselines.dir/src/baselines/greedy.cpp.o"
+  "CMakeFiles/fdrms_baselines.dir/src/baselines/greedy.cpp.o.d"
+  "CMakeFiles/fdrms_baselines.dir/src/baselines/kernel_hs.cpp.o"
+  "CMakeFiles/fdrms_baselines.dir/src/baselines/kernel_hs.cpp.o.d"
+  "CMakeFiles/fdrms_baselines.dir/src/baselines/minsize.cpp.o"
+  "CMakeFiles/fdrms_baselines.dir/src/baselines/minsize.cpp.o.d"
+  "CMakeFiles/fdrms_baselines.dir/src/baselines/rms_algorithm.cpp.o"
+  "CMakeFiles/fdrms_baselines.dir/src/baselines/rms_algorithm.cpp.o.d"
+  "CMakeFiles/fdrms_baselines.dir/src/baselines/sphere.cpp.o"
+  "CMakeFiles/fdrms_baselines.dir/src/baselines/sphere.cpp.o.d"
+  "libfdrms_baselines.a"
+  "libfdrms_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdrms_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdrms_common.dir/src/common/status.cpp.o"
+  "CMakeFiles/fdrms_common.dir/src/common/status.cpp.o.d"
+  "CMakeFiles/fdrms_common.dir/src/common/table_printer.cpp.o"
+  "CMakeFiles/fdrms_common.dir/src/common/table_printer.cpp.o.d"
+  "libfdrms_common.a"
+  "libfdrms_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdrms_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

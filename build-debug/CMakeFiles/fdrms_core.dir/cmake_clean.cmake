@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdrms_core.dir/src/core/fdrms.cpp.o"
+  "CMakeFiles/fdrms_core.dir/src/core/fdrms.cpp.o.d"
+  "CMakeFiles/fdrms_core.dir/src/core/snapshot.cpp.o"
+  "CMakeFiles/fdrms_core.dir/src/core/snapshot.cpp.o.d"
+  "libfdrms_core.a"
+  "libfdrms_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdrms_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdrms_data.dir/src/data/generators.cpp.o"
+  "CMakeFiles/fdrms_data.dir/src/data/generators.cpp.o.d"
+  "libfdrms_data.a"
+  "libfdrms_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdrms_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

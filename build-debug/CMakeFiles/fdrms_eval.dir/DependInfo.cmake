@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/runner.cpp" "CMakeFiles/fdrms_eval.dir/src/eval/runner.cpp.o" "gcc" "CMakeFiles/fdrms_eval.dir/src/eval/runner.cpp.o.d"
+  "/root/repo/src/eval/service_driver.cpp" "CMakeFiles/fdrms_eval.dir/src/eval/service_driver.cpp.o" "gcc" "CMakeFiles/fdrms_eval.dir/src/eval/service_driver.cpp.o.d"
+  "/root/repo/src/eval/tuning.cpp" "CMakeFiles/fdrms_eval.dir/src/eval/tuning.cpp.o" "gcc" "CMakeFiles/fdrms_eval.dir/src/eval/tuning.cpp.o.d"
+  "/root/repo/src/eval/workload.cpp" "CMakeFiles/fdrms_eval.dir/src/eval/workload.cpp.o" "gcc" "CMakeFiles/fdrms_eval.dir/src/eval/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-debug/CMakeFiles/fdrms_core.dir/DependInfo.cmake"
+  "/root/repo/build-debug/CMakeFiles/fdrms_baselines.dir/DependInfo.cmake"
+  "/root/repo/build-debug/CMakeFiles/fdrms_data.dir/DependInfo.cmake"
+  "/root/repo/build-debug/CMakeFiles/fdrms_serve.dir/DependInfo.cmake"
+  "/root/repo/build-debug/CMakeFiles/fdrms_shard.dir/DependInfo.cmake"
+  "/root/repo/build-debug/CMakeFiles/fdrms_skyline.dir/DependInfo.cmake"
+  "/root/repo/build-debug/CMakeFiles/fdrms_lp.dir/DependInfo.cmake"
+  "/root/repo/build-debug/CMakeFiles/fdrms_topk.dir/DependInfo.cmake"
+  "/root/repo/build-debug/CMakeFiles/fdrms_index.dir/DependInfo.cmake"
+  "/root/repo/build-debug/CMakeFiles/fdrms_setcover.dir/DependInfo.cmake"
+  "/root/repo/build-debug/CMakeFiles/fdrms_geometry.dir/DependInfo.cmake"
+  "/root/repo/build-debug/CMakeFiles/fdrms_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

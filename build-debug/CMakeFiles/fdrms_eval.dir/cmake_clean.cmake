@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdrms_eval.dir/src/eval/runner.cpp.o"
+  "CMakeFiles/fdrms_eval.dir/src/eval/runner.cpp.o.d"
+  "CMakeFiles/fdrms_eval.dir/src/eval/service_driver.cpp.o"
+  "CMakeFiles/fdrms_eval.dir/src/eval/service_driver.cpp.o.d"
+  "CMakeFiles/fdrms_eval.dir/src/eval/tuning.cpp.o"
+  "CMakeFiles/fdrms_eval.dir/src/eval/tuning.cpp.o.d"
+  "CMakeFiles/fdrms_eval.dir/src/eval/workload.cpp.o"
+  "CMakeFiles/fdrms_eval.dir/src/eval/workload.cpp.o.d"
+  "libfdrms_eval.a"
+  "libfdrms_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdrms_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geometry/sampling.cpp" "CMakeFiles/fdrms_geometry.dir/src/geometry/sampling.cpp.o" "gcc" "CMakeFiles/fdrms_geometry.dir/src/geometry/sampling.cpp.o.d"
+  "/root/repo/src/geometry/simd/score_kernel_avx2.cpp" "CMakeFiles/fdrms_geometry.dir/src/geometry/simd/score_kernel_avx2.cpp.o" "gcc" "CMakeFiles/fdrms_geometry.dir/src/geometry/simd/score_kernel_avx2.cpp.o.d"
+  "/root/repo/src/geometry/simd/score_kernel_avx512.cpp" "CMakeFiles/fdrms_geometry.dir/src/geometry/simd/score_kernel_avx512.cpp.o" "gcc" "CMakeFiles/fdrms_geometry.dir/src/geometry/simd/score_kernel_avx512.cpp.o.d"
+  "/root/repo/src/geometry/simd/score_kernel_neon.cpp" "CMakeFiles/fdrms_geometry.dir/src/geometry/simd/score_kernel_neon.cpp.o" "gcc" "CMakeFiles/fdrms_geometry.dir/src/geometry/simd/score_kernel_neon.cpp.o.d"
+  "/root/repo/src/geometry/simd_dispatch.cpp" "CMakeFiles/fdrms_geometry.dir/src/geometry/simd_dispatch.cpp.o" "gcc" "CMakeFiles/fdrms_geometry.dir/src/geometry/simd_dispatch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-debug/CMakeFiles/fdrms_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

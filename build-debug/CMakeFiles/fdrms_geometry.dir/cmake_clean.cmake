@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdrms_geometry.dir/src/geometry/sampling.cpp.o"
+  "CMakeFiles/fdrms_geometry.dir/src/geometry/sampling.cpp.o.d"
+  "CMakeFiles/fdrms_geometry.dir/src/geometry/simd/score_kernel_avx2.cpp.o"
+  "CMakeFiles/fdrms_geometry.dir/src/geometry/simd/score_kernel_avx2.cpp.o.d"
+  "CMakeFiles/fdrms_geometry.dir/src/geometry/simd/score_kernel_avx512.cpp.o"
+  "CMakeFiles/fdrms_geometry.dir/src/geometry/simd/score_kernel_avx512.cpp.o.d"
+  "CMakeFiles/fdrms_geometry.dir/src/geometry/simd/score_kernel_neon.cpp.o"
+  "CMakeFiles/fdrms_geometry.dir/src/geometry/simd/score_kernel_neon.cpp.o.d"
+  "CMakeFiles/fdrms_geometry.dir/src/geometry/simd_dispatch.cpp.o"
+  "CMakeFiles/fdrms_geometry.dir/src/geometry/simd_dispatch.cpp.o.d"
+  "libfdrms_geometry.a"
+  "libfdrms_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdrms_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

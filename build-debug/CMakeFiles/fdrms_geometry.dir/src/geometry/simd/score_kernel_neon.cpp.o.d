@@ -1,0 +1,3 @@
+CMakeFiles/fdrms_geometry.dir/src/geometry/simd/score_kernel_neon.cpp.o: \
+ /root/repo/src/geometry/simd/score_kernel_neon.cpp \
+ /usr/include/stdc-predef.h

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdrms_index.dir/src/index/conetree.cpp.o"
+  "CMakeFiles/fdrms_index.dir/src/index/conetree.cpp.o.d"
+  "CMakeFiles/fdrms_index.dir/src/index/kdtree.cpp.o"
+  "CMakeFiles/fdrms_index.dir/src/index/kdtree.cpp.o.d"
+  "libfdrms_index.a"
+  "libfdrms_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdrms_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdrms_lp.dir/src/lp/simplex.cpp.o"
+  "CMakeFiles/fdrms_lp.dir/src/lp/simplex.cpp.o.d"
+  "libfdrms_lp.a"
+  "libfdrms_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdrms_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fdrms_lp.
+# This may be replaced when dependencies are built.

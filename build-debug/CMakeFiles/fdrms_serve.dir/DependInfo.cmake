@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/serve/fdrms_service.cpp" "CMakeFiles/fdrms_serve.dir/src/serve/fdrms_service.cpp.o" "gcc" "CMakeFiles/fdrms_serve.dir/src/serve/fdrms_service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-debug/CMakeFiles/fdrms_core.dir/DependInfo.cmake"
+  "/root/repo/build-debug/CMakeFiles/fdrms_topk.dir/DependInfo.cmake"
+  "/root/repo/build-debug/CMakeFiles/fdrms_index.dir/DependInfo.cmake"
+  "/root/repo/build-debug/CMakeFiles/fdrms_setcover.dir/DependInfo.cmake"
+  "/root/repo/build-debug/CMakeFiles/fdrms_geometry.dir/DependInfo.cmake"
+  "/root/repo/build-debug/CMakeFiles/fdrms_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdrms_serve.dir/src/serve/fdrms_service.cpp.o"
+  "CMakeFiles/fdrms_serve.dir/src/serve/fdrms_service.cpp.o.d"
+  "libfdrms_serve.a"
+  "libfdrms_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdrms_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

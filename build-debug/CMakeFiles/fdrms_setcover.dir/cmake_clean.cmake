@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdrms_setcover.dir/src/setcover/dynamic_set_cover.cpp.o"
+  "CMakeFiles/fdrms_setcover.dir/src/setcover/dynamic_set_cover.cpp.o.d"
+  "libfdrms_setcover.a"
+  "libfdrms_setcover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdrms_setcover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

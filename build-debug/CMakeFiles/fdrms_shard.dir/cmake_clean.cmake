@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdrms_shard.dir/src/shard/migration.cpp.o"
+  "CMakeFiles/fdrms_shard.dir/src/shard/migration.cpp.o.d"
+  "CMakeFiles/fdrms_shard.dir/src/shard/sharded_service.cpp.o"
+  "CMakeFiles/fdrms_shard.dir/src/shard/sharded_service.cpp.o.d"
+  "libfdrms_shard.a"
+  "libfdrms_shard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdrms_shard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdrms_skyline.dir/src/skyline/skyline.cpp.o"
+  "CMakeFiles/fdrms_skyline.dir/src/skyline/skyline.cpp.o.d"
+  "libfdrms_skyline.a"
+  "libfdrms_skyline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdrms_skyline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdrms_test.dir/tests/fdrms_test.cpp.o"
+  "CMakeFiles/fdrms_test.dir/tests/fdrms_test.cpp.o.d"
+  "fdrms_test"
+  "fdrms_test.pdb"
+  "fdrms_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdrms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

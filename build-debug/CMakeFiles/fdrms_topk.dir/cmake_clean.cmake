@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdrms_topk.dir/src/topk/topk_maintainer.cpp.o"
+  "CMakeFiles/fdrms_topk.dir/src/topk/topk_maintainer.cpp.o.d"
+  "libfdrms_topk.a"
+  "libfdrms_topk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdrms_topk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geometry_test.dir/tests/geometry_test.cpp.o"
+  "CMakeFiles/geometry_test.dir/tests/geometry_test.cpp.o.d"
+  "geometry_test"
+  "geometry_test.pdb"
+  "geometry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geometry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

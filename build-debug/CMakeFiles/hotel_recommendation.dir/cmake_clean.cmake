@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotel_recommendation.dir/examples/hotel_recommendation.cpp.o"
+  "CMakeFiles/hotel_recommendation.dir/examples/hotel_recommendation.cpp.o.d"
+  "hotel_recommendation"
+  "hotel_recommendation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotel_recommendation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hotel_recommendation.
+# This may be replaced when dependencies are built.

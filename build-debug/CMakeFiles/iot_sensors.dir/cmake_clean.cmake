@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iot_sensors.dir/examples/iot_sensors.cpp.o"
+  "CMakeFiles/iot_sensors.dir/examples/iot_sensors.cpp.o.d"
+  "iot_sensors"
+  "iot_sensors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iot_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

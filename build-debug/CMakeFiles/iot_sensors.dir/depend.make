@@ -1,0 +1,2 @@
+# Empty dependencies file for iot_sensors.
+# This may be replaced when dependencies are built.

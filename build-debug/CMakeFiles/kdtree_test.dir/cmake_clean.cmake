@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kdtree_test.dir/tests/kdtree_test.cpp.o"
+  "CMakeFiles/kdtree_test.dir/tests/kdtree_test.cpp.o.d"
+  "kdtree_test"
+  "kdtree_test.pdb"
+  "kdtree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kdtree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_service.dir/examples/live_service.cpp.o"
+  "CMakeFiles/live_service.dir/examples/live_service.cpp.o.d"
+  "live_service"
+  "live_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for live_service.
+# This may be replaced when dependencies are built.

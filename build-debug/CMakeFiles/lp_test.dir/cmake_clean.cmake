@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_test.dir/tests/lp_test.cpp.o"
+  "CMakeFiles/lp_test.dir/tests/lp_test.cpp.o.d"
+  "lp_test"
+  "lp_test.pdb"
+  "lp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

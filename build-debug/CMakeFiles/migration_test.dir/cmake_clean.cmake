@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migration_test.dir/tests/migration_test.cpp.o"
+  "CMakeFiles/migration_test.dir/tests/migration_test.cpp.o.d"
+  "migration_test"
+  "migration_test.pdb"
+  "migration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

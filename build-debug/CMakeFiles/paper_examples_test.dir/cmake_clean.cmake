@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_examples_test.dir/tests/paper_examples_test.cpp.o"
+  "CMakeFiles/paper_examples_test.dir/tests/paper_examples_test.cpp.o.d"
+  "paper_examples_test"
+  "paper_examples_test.pdb"
+  "paper_examples_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_examples_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

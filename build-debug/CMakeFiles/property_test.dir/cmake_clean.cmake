@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_test.dir/tests/property_test.cpp.o"
+  "CMakeFiles/property_test.dir/tests/property_test.cpp.o.d"
+  "property_test"
+  "property_test.pdb"
+  "property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rms_workbench.dir/examples/rms_workbench.cpp.o"
+  "CMakeFiles/rms_workbench.dir/examples/rms_workbench.cpp.o.d"
+  "rms_workbench"
+  "rms_workbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rms_workbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rms_workbench.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_test.dir/tests/serve_test.cpp.o"
+  "CMakeFiles/serve_test.dir/tests/serve_test.cpp.o.d"
+  "serve_test"
+  "serve_test.pdb"
+  "serve_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

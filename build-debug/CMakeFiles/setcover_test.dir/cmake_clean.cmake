@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/setcover_test.dir/tests/setcover_test.cpp.o"
+  "CMakeFiles/setcover_test.dir/tests/setcover_test.cpp.o.d"
+  "setcover_test"
+  "setcover_test.pdb"
+  "setcover_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/setcover_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

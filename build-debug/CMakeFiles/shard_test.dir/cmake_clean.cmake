@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shard_test.dir/tests/shard_test.cpp.o"
+  "CMakeFiles/shard_test.dir/tests/shard_test.cpp.o.d"
+  "shard_test"
+  "shard_test.pdb"
+  "shard_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shard_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharded_catalog.dir/examples/sharded_catalog.cpp.o"
+  "CMakeFiles/sharded_catalog.dir/examples/sharded_catalog.cpp.o.d"
+  "sharded_catalog"
+  "sharded_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharded_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simd_dispatch_test.dir/tests/simd_dispatch_test.cpp.o"
+  "CMakeFiles/simd_dispatch_test.dir/tests/simd_dispatch_test.cpp.o.d"
+  "simd_dispatch_test"
+  "simd_dispatch_test.pdb"
+  "simd_dispatch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simd_dispatch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyline_test.dir/tests/skyline_test.cpp.o"
+  "CMakeFiles/skyline_test.dir/tests/skyline_test.cpp.o.d"
+  "skyline_test"
+  "skyline_test.pdb"
+  "skyline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapshot_test.dir/tests/snapshot_test.cpp.o"
+  "CMakeFiles/snapshot_test.dir/tests/snapshot_test.cpp.o.d"
+  "snapshot_test"
+  "snapshot_test.pdb"
+  "snapshot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapshot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topk_test.dir/tests/topk_test.cpp.o"
+  "CMakeFiles/topk_test.dir/tests/topk_test.cpp.o.d"
+  "topk_test"
+  "topk_test.pdb"
+  "topk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

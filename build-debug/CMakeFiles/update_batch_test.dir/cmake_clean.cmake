@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/update_batch_test.dir/tests/update_batch_test.cpp.o"
+  "CMakeFiles/update_batch_test.dir/tests/update_batch_test.cpp.o.d"
+  "update_batch_test"
+  "update_batch_test.pdb"
+  "update_batch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/update_batch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

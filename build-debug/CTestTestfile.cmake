@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build-debug
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-debug/baselines_test[1]_include.cmake")
+include("/root/repo/build-debug/common_test[1]_include.cmake")
+include("/root/repo/build-debug/conetree_test[1]_include.cmake")
+include("/root/repo/build-debug/data_test[1]_include.cmake")
+include("/root/repo/build-debug/edge_cases_test[1]_include.cmake")
+include("/root/repo/build-debug/eval_test[1]_include.cmake")
+include("/root/repo/build-debug/extensions_test[1]_include.cmake")
+include("/root/repo/build-debug/fdrms_test[1]_include.cmake")
+include("/root/repo/build-debug/geometry_test[1]_include.cmake")
+include("/root/repo/build-debug/integration_test[1]_include.cmake")
+include("/root/repo/build-debug/kdtree_test[1]_include.cmake")
+include("/root/repo/build-debug/lp_test[1]_include.cmake")
+include("/root/repo/build-debug/migration_test[1]_include.cmake")
+include("/root/repo/build-debug/paper_examples_test[1]_include.cmake")
+include("/root/repo/build-debug/property_test[1]_include.cmake")
+include("/root/repo/build-debug/serve_test[1]_include.cmake")
+include("/root/repo/build-debug/setcover_test[1]_include.cmake")
+include("/root/repo/build-debug/shard_test[1]_include.cmake")
+include("/root/repo/build-debug/simd_dispatch_test[1]_include.cmake")
+include("/root/repo/build-debug/skyline_test[1]_include.cmake")
+include("/root/repo/build-debug/snapshot_test[1]_include.cmake")
+include("/root/repo/build-debug/topk_test[1]_include.cmake")
+include("/root/repo/build-debug/update_batch_test[1]_include.cmake")
