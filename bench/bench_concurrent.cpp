@@ -84,6 +84,9 @@ int main(int argc, char** argv) {
         {"max_staleness_ops", res.max_staleness_ops},
         {"publish_p50_us", res.publish_p50_us},
         {"publish_p99_us", res.publish_p99_us},
+        // Registry-derived tails (cumulative latency histogram scrape).
+        {"publish_p90_us", res.publish_p90_us},
+        {"publish_p999_us", res.publish_p999_us},
         {"queue_depth_p50", res.queue_depth_p50},
         {"queue_depth_p99", res.queue_depth_p99},
         {"effective_max_batch", static_cast<double>(res.effective_max_batch)},

@@ -21,6 +21,8 @@
 #include "lp/simplex.h"
 #include "serve/bounded_queue.h"
 #include "serve/mpsc_ring_queue.h"
+#include "obs/metrics.h"
+#include "obs/registry.h"
 #include "setcover/dynamic_set_cover.h"
 #include "skyline/skyline.h"
 #include "topk/topk_maintainer.h"
@@ -319,6 +321,64 @@ void BM_SetCoverMembershipChurn(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SetCoverMembershipChurn)->Arg(256)->Arg(1024)->Arg(4096);
+
+// ---------------------------------------------------------------------------
+// Observability substrate: hot-path instrumentation cost. The serving layer
+// sprinkles counter increments and histogram records through the writer
+// loop, so these must stay within a few nanoseconds of the bare relaxed
+// fetch_add they wrap (the stripe lookup is one thread_local read). CI
+// gates the ratio against BM_ObsAtomicFetchAddReference (see
+// bench/baselines/obs_overhead_smoke.json).
+// ---------------------------------------------------------------------------
+
+void BM_ObsAtomicFetchAddReference(benchmark::State& state) {
+  // The floor: one uncontended relaxed fetch_add, no striping.
+  static std::atomic<uint64_t> plain{0};
+  for (auto _ : state) {
+    plain.fetch_add(1, std::memory_order_relaxed);
+  }
+  state.SetItemsProcessed(state.iterations());
+  benchmark::DoNotOptimize(plain.load());
+}
+BENCHMARK(BM_ObsAtomicFetchAddReference);
+
+void BM_ObsCounterIncrement(benchmark::State& state) {
+  obs::MetricRegistry registry;
+  obs::Counter* counter = registry.GetCounter("bench_total", "bench");
+  for (auto _ : state) {
+    counter->Increment();
+  }
+  state.SetItemsProcessed(state.iterations());
+  benchmark::DoNotOptimize(counter->Value());
+}
+BENCHMARK(BM_ObsCounterIncrement);
+
+void BM_ObsPow2HistRecord(benchmark::State& state) {
+  obs::MetricRegistry registry;
+  obs::Pow2Histogram* hist = registry.GetPow2Histogram("bench_pow2", "bench");
+  uint64_t v = 0;
+  for (auto _ : state) {
+    hist->Record(v++ & 1023);
+  }
+  state.SetItemsProcessed(state.iterations());
+  benchmark::DoNotOptimize(hist->Count());
+}
+BENCHMARK(BM_ObsPow2HistRecord);
+
+void BM_ObsLatencyHistRecord(benchmark::State& state) {
+  obs::MetricRegistry registry;
+  obs::LatencyHistogram* hist =
+      registry.GetLatencyHistogram("bench_lat_us", "bench");
+  double us = 0.0;
+  for (auto _ : state) {
+    hist->Record(us);
+    us += 0.5;
+    if (us > 1e6) us = 0.0;
+  }
+  state.SetItemsProcessed(state.iterations());
+  benchmark::DoNotOptimize(hist->Count());
+}
+BENCHMARK(BM_ObsLatencyHistRecord);
 
 }  // namespace
 }  // namespace fdrms

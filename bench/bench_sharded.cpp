@@ -111,7 +111,11 @@ int main(int argc, char** argv) {
          {"query_reads_per_s", res.query_throughput},
          {"ops_applied", static_cast<double>(res.ops_applied)},
          {"merged_result_size", static_cast<double>(res.final_result_size)},
-         {"merged_union_size", static_cast<double>(res.final_union_size)}});
+         {"merged_union_size", static_cast<double>(res.final_union_size)},
+         // Read-path cache behaviour (constellation registry counters).
+         {"merge_cache_hits", static_cast<double>(res.merge_cache_hits)},
+         {"merge_cache_misses", static_cast<double>(res.merge_cache_misses)},
+         {"merge_recovers", static_cast<double>(res.merge_recovers)}});
   }
   table.Print(std::cout);
   std::cout << "\n";
@@ -232,6 +236,12 @@ int main(int argc, char** argv) {
        {"mean_staleness_ops", mres.mean_staleness_ops},
        {"null_queries", static_cast<double>(mres.null_queries)},
        {"query_reads_per_s", mres.query_throughput},
+       {"merge_cache_hits", static_cast<double>(mres.merge_cache_hits)},
+       {"merge_cache_misses", static_cast<double>(mres.merge_cache_misses)},
+       // Trace events recorded over the migration lifecycle (4 per epoch:
+       // freeze/drain/replay/cutover).
+       {"migration_trace_events",
+        static_cast<double>(mres.migration_trace.size())},
        {"consistent", mres.consistent ? 1.0 : 0.0}});
 
   const bool scaling_ok =

@@ -7,6 +7,8 @@
 
 #include "common/check.h"
 #include "common/stopwatch.h"
+#include "obs/exporters.h"
+#include "obs/registry.h"
 
 namespace fdrms {
 
@@ -148,6 +150,15 @@ ServiceLoadResult RunServiceLoad(const Workload& workload,
     result.mean_staleness_ops =
         staleness_sum / static_cast<double>(total_queries);
   }
+  const obs::RegistrySnapshot scrape = service.registry()->Snapshot();
+  if (const obs::MetricSnapshot* lat =
+          scrape.Find("fdrms_publish_latency_us")) {
+    result.publish_p90_us = lat->Quantile(0.90);
+    result.publish_p999_us = lat->Quantile(0.999);
+  }
+  result.prometheus_text = obs::PrometheusText(scrape);
+  result.json_text = obs::JsonText(scrape);
+  result.debug_text = service.DebugString();
   return result;
 }
 
@@ -433,6 +444,22 @@ ShardedLoadResult RunShardedLoad(const Workload& workload,
       s /= static_cast<double>(total_queries);
     }
   }
+  const obs::RegistrySnapshot scrape = service.registry()->Snapshot();
+  auto counter = [&scrape](const char* name) -> uint64_t {
+    const obs::MetricSnapshot* m = scrape.Find(name);
+    return m != nullptr ? m->counter_value : 0;
+  };
+  result.merge_cache_hits = counter("fdrms_merge_cache_hits_total");
+  result.merge_cache_misses = counter("fdrms_merge_cache_misses_total");
+  result.merge_recovers = counter("fdrms_merge_recovers_total");
+  for (const obs::TraceEvent& event : scrape.trace) {
+    if (event.name.rfind("migration.", 0) == 0) {
+      result.migration_trace.push_back(event);
+    }
+  }
+  result.prometheus_text = obs::PrometheusText(scrape);
+  result.json_text = obs::JsonText(scrape);
+  result.debug_text = service.DebugString();
   return result;
 }
 

@@ -11,10 +11,12 @@
 /// (the interleaving is scheduler-chosen).
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "eval/workload.h"
+#include "obs/trace.h"
 #include "serve/fdrms_service.h"
 #include "shard/sharded_service.h"
 
@@ -53,6 +55,11 @@ struct ServiceLoadResult {
   double publish_p50_us = 0.0;
   double publish_p99_us = 0.0;
 
+  // Registry-derived tails of the same distribution (interpolated from the
+  // cumulative fdrms_publish_latency_us histogram at the final scrape).
+  double publish_p90_us = 0.0;
+  double publish_p999_us = 0.0;
+
   // Batching telemetry from the final snapshot: queue-depth quantiles
   // (operations, derived from the writer's power-of-two depth histogram),
   // the adaptive batch bound in force at the end, and the raw cumulative
@@ -71,6 +78,13 @@ struct ServiceLoadResult {
   /// Every reader saw monotone versions, sorted unique ids, |Q| <= r, and
   /// ids/points parallel; false flags a serving-layer consistency bug.
   bool consistent = true;
+
+  // One consistent scrape of the service's registry, taken after Stop():
+  // Prometheus text exposition, the JSON dump, and the human status page.
+  // What a monitoring agent would have collected at the end of the run.
+  std::string prometheus_text;
+  std::string json_text;
+  std::string debug_text;
 };
 
 /// Replays `workload` through a service built from `opts.service` (initial
@@ -161,6 +175,25 @@ struct ShardedLoadResult {
   /// Every reader saw component-wise monotone version vectors, sorted
   /// unique ids, parallel ids/points, and |Q| within the merge budget.
   bool consistent = true;
+
+  // Read-path cache behaviour over the run (constellation registry
+  // counters: hits answer from the cached merge, misses rebuild it,
+  // recovers additionally ran the greedy re-cover).
+  uint64_t merge_cache_hits = 0;
+  uint64_t merge_cache_misses = 0;
+  uint64_t merge_recovers = 0;
+
+  // Migration lifecycle trace ("migration.freeze/drain/replay/cutover"
+  // events with start/duration and epoch/count args), oldest first —
+  // one freeze/drain/replay/cutover quadruple per successful epoch.
+  std::vector<obs::TraceEvent> migration_trace;
+
+  // One consistent scrape of the constellation's registry after Stop():
+  // per-shard series (labelled shard="i") plus the sharded layer's own,
+  // and the constellation's DebugString() status page.
+  std::string prometheus_text;
+  std::string json_text;
+  std::string debug_text;
 };
 
 /// Replays `workload` through a ShardedFdRmsService built from

@@ -1,0 +1,306 @@
+#include "obs/exporters.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace fdrms {
+namespace obs {
+
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+/// Escapes a Prometheus label value (backslash, quote, newline).
+std::string EscapeLabelValue(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Escapes a HELP line (backslash and newline only, per exposition spec).
+std::string EscapeHelp(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string EscapeJson(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+/// Renders `{k1="v1",k2="v2"}` — with an optional extra label appended —
+/// or "" when there are no labels at all.
+std::string PromLabels(const Labels& labels, const std::string& extra_key = "",
+                       const std::string& extra_value = "") {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += k;
+    out += "=\"";
+    out += EscapeLabelValue(v);
+    out += "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) out.push_back(',');
+    out += extra_key;
+    out += "=\"";
+    out += EscapeLabelValue(extra_value);
+    out += "\"";
+  }
+  out.push_back('}');
+  return out;
+}
+
+/// Both histogram flavors flatten to the same exposition shape: `le` upper
+/// bounds per finite bucket, +Inf for the tail, cumulative counts, sum,
+/// count. Pow2 histograms have no exact sum, so we export the bucket-floor
+/// lower bound — monotone across scrapes, clearly documented in HELP.
+struct FlatHistogram {
+  std::vector<std::string> les;      // finite bucket boundaries, rendered
+  std::vector<uint64_t> cumulative;  // one per finite bucket
+  uint64_t total = 0;
+  double sum = 0.0;
+};
+
+FlatHistogram Flatten(const MetricSnapshot& m) {
+  FlatHistogram flat;
+  uint64_t running = 0;
+  if (m.type == MetricType::kPow2Histogram) {
+    for (size_t b = 0; b + 1 < m.buckets.size(); ++b) {
+      running += m.buckets[b];
+      flat.les.push_back(std::to_string(Pow2HistBucketCeil(b)));
+      flat.cumulative.push_back(running);
+      flat.sum += static_cast<double>(m.buckets[b]) *
+                  static_cast<double>(Pow2HistBucketFloor(b));
+    }
+    if (!m.buckets.empty()) {
+      flat.sum += static_cast<double>(m.buckets.back()) *
+                  static_cast<double>(
+                      Pow2HistBucketFloor(m.buckets.size() - 1));
+    }
+  } else {
+    for (size_t b = 0; b < m.bounds.size() && b < m.buckets.size(); ++b) {
+      running += m.buckets[b];
+      flat.les.push_back(FormatDouble(m.bounds[b]));
+      flat.cumulative.push_back(running);
+    }
+    flat.sum = m.sum;
+  }
+  flat.total = m.count;
+  return flat;
+}
+
+}  // namespace
+
+std::string PrometheusText(const RegistrySnapshot& snap) {
+  std::string out;
+  out.reserve(snap.metrics.size() * 96);
+  const std::string* prev_name = nullptr;
+  for (const auto& m : snap.metrics) {
+    const bool new_family = prev_name == nullptr || *prev_name != m.name;
+    prev_name = &m.name;
+    switch (m.type) {
+      case MetricType::kCounter:
+        if (new_family) {
+          out += "# HELP " + m.name + " " + EscapeHelp(m.help) + "\n";
+          out += "# TYPE " + m.name + " counter\n";
+        }
+        out += m.name + PromLabels(m.labels) + " " +
+               std::to_string(m.counter_value) + "\n";
+        break;
+      case MetricType::kGauge:
+        if (new_family) {
+          out += "# HELP " + m.name + " " + EscapeHelp(m.help) + "\n";
+          out += "# TYPE " + m.name + " gauge\n";
+        }
+        out += m.name + PromLabels(m.labels) + " " +
+               FormatDouble(m.gauge_value) + "\n";
+        break;
+      case MetricType::kPow2Histogram:
+      case MetricType::kLatencyHistogram: {
+        if (new_family) {
+          out += "# HELP " + m.name + " " + EscapeHelp(m.help) + "\n";
+          out += "# TYPE " + m.name + " histogram\n";
+        }
+        const FlatHistogram flat = Flatten(m);
+        for (size_t b = 0; b < flat.les.size(); ++b) {
+          out += m.name + "_bucket" +
+                 PromLabels(m.labels, "le", flat.les[b]) + " " +
+                 std::to_string(flat.cumulative[b]) + "\n";
+        }
+        out += m.name + "_bucket" + PromLabels(m.labels, "le", "+Inf") + " " +
+               std::to_string(flat.total) + "\n";
+        out += m.name + "_sum" + PromLabels(m.labels) + " " +
+               FormatDouble(flat.sum) + "\n";
+        out += m.name + "_count" + PromLabels(m.labels) + " " +
+               std::to_string(flat.total) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string JsonText(const RegistrySnapshot& snap) {
+  std::string out = "{\n";
+  out += "  \"uptime_seconds\": " + FormatDouble(snap.uptime_seconds) + ",\n";
+  out += "  \"metrics\": [\n";
+  for (size_t i = 0; i < snap.metrics.size(); ++i) {
+    const auto& m = snap.metrics[i];
+    out += "    {\"name\": \"" + EscapeJson(m.name) + "\", \"type\": \"" +
+           MetricTypeName(m.type) + "\"";
+    if (!m.labels.empty()) {
+      out += ", \"labels\": {";
+      for (size_t l = 0; l < m.labels.size(); ++l) {
+        if (l > 0) out += ", ";
+        out += '"';
+        out += EscapeJson(m.labels[l].first);
+        out += "\": \"";
+        out += EscapeJson(m.labels[l].second);
+        out += '"';
+      }
+      out += "}";
+    }
+    switch (m.type) {
+      case MetricType::kCounter:
+        out += ", \"value\": " + std::to_string(m.counter_value);
+        break;
+      case MetricType::kGauge:
+        out += ", \"value\": " + FormatDouble(m.gauge_value);
+        break;
+      case MetricType::kPow2Histogram:
+      case MetricType::kLatencyHistogram: {
+        if (m.type == MetricType::kLatencyHistogram) {
+          out += ", \"bounds_us\": [";
+          for (size_t b = 0; b < m.bounds.size(); ++b) {
+            if (b > 0) out += ", ";
+            out += FormatDouble(m.bounds[b]);
+          }
+          out += "], \"sum_us\": " + FormatDouble(m.sum);
+        }
+        out += ", \"buckets\": [";
+        for (size_t b = 0; b < m.buckets.size(); ++b) {
+          if (b > 0) out += ", ";
+          out += std::to_string(m.buckets[b]);
+        }
+        out += "], \"count\": " + std::to_string(m.count);
+        out += ", \"p50\": " + FormatDouble(m.Quantile(0.50));
+        out += ", \"p90\": " + FormatDouble(m.Quantile(0.90));
+        out += ", \"p99\": " + FormatDouble(m.Quantile(0.99));
+        out += ", \"p999\": " + FormatDouble(m.Quantile(0.999));
+        break;
+      }
+    }
+    out += i + 1 < snap.metrics.size() ? "},\n" : "}\n";
+  }
+  out += "  ],\n";
+  out += "  \"trace\": [\n";
+  for (size_t i = 0; i < snap.trace.size(); ++i) {
+    const auto& e = snap.trace[i];
+    out += "    {\"name\": \"" + EscapeJson(e.name) +
+           "\", \"start_us\": " + std::to_string(e.start_us) +
+           ", \"duration_us\": " + std::to_string(e.duration_us) +
+           ", \"arg0\": " + std::to_string(e.arg0) +
+           ", \"arg1\": " + std::to_string(e.arg1);
+    out += i + 1 < snap.trace.size() ? "},\n" : "}\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+std::string DebugString(const RegistrySnapshot& snap) {
+  std::ostringstream out;
+  out << "=== fdrms metrics (uptime " << FormatDouble(snap.uptime_seconds)
+      << "s, " << snap.metrics.size() << " series) ===\n";
+  for (const auto& m : snap.metrics) {
+    std::string series = m.name + PromLabels(m.labels);
+    out << "  " << series;
+    for (size_t pad = series.size(); pad < 52; ++pad) out << ' ';
+    switch (m.type) {
+      case MetricType::kCounter:
+        out << " " << m.counter_value << "\n";
+        break;
+      case MetricType::kGauge:
+        out << " " << FormatDouble(m.gauge_value) << "\n";
+        break;
+      case MetricType::kPow2Histogram:
+        out << " count=" << m.count << " p50=" << FormatDouble(m.Quantile(0.5))
+            << " p99=" << FormatDouble(m.Quantile(0.99)) << "\n";
+        break;
+      case MetricType::kLatencyHistogram:
+        out << " count=" << m.count << " sum=" << FormatDouble(m.sum)
+            << "us p50=" << FormatDouble(m.Quantile(0.5))
+            << " p90=" << FormatDouble(m.Quantile(0.9))
+            << " p99=" << FormatDouble(m.Quantile(0.99))
+            << " p999=" << FormatDouble(m.Quantile(0.999)) << "us\n";
+        break;
+    }
+  }
+  out << "  trace: " << snap.trace.size() << " events retained\n";
+  const size_t tail = snap.trace.size() > 8 ? snap.trace.size() - 8 : 0;
+  for (size_t i = tail; i < snap.trace.size(); ++i) {
+    const auto& e = snap.trace[i];
+    out << "    [" << e.start_us << "us] " << e.name << " dur="
+        << e.duration_us << "us arg0=" << e.arg0 << " arg1=" << e.arg1
+        << "\n";
+  }
+  return out.str();
+}
+
+bool WriteFileAtomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size()));
+    if (!out) return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+}  // namespace obs
+}  // namespace fdrms

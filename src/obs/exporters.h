@@ -1,0 +1,32 @@
+#ifndef FDRMS_OBS_EXPORTERS_H_
+#define FDRMS_OBS_EXPORTERS_H_
+
+/// \file exporters.h
+/// Render a RegistrySnapshot for the outside world:
+///  - PrometheusText: text exposition format 0.0.4 (# HELP/# TYPE blocks,
+///    cumulative `_bucket{le=...}` + `_sum` + `_count` for histograms).
+///  - JsonText: one self-contained JSON document with raw buckets,
+///    precomputed p50/p90/p99/p999, and the retained trace events.
+///  - DebugString: the human status page (aligned table + trace tail).
+/// All three render the same frozen snapshot, so a single scrape is
+/// internally consistent across formats.
+
+#include <string>
+
+#include "obs/registry.h"
+
+namespace fdrms {
+namespace obs {
+
+std::string PrometheusText(const RegistrySnapshot& snap);
+std::string JsonText(const RegistrySnapshot& snap);
+std::string DebugString(const RegistrySnapshot& snap);
+
+/// Write `content` to `path` atomically (temp file + rename) so scrapers
+/// never observe a half-written exposition. Returns false on any IO error.
+bool WriteFileAtomic(const std::string& path, const std::string& content);
+
+}  // namespace obs
+}  // namespace fdrms
+
+#endif  // FDRMS_OBS_EXPORTERS_H_

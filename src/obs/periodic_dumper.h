@@ -1,0 +1,65 @@
+#ifndef FDRMS_OBS_PERIODIC_DUMPER_H_
+#define FDRMS_OBS_PERIODIC_DUMPER_H_
+
+/// \file periodic_dumper.h
+/// Background thread that scrapes a MetricRegistry on a fixed cadence and
+/// writes the Prometheus exposition (and optionally a JSON sidecar) to
+/// disk with atomic tmp+rename, so external scrapers / the CI metrics-smoke
+/// step always read a complete document. A final dump is flushed on Stop(),
+/// guaranteeing the last scrape reflects end-of-run totals.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/registry.h"
+
+namespace fdrms {
+namespace obs {
+
+struct PeriodicDumperOptions {
+  std::string prometheus_path;  ///< empty = no Prometheus file
+  std::string json_path;        ///< empty = no JSON file
+  int interval_ms = 1000;
+};
+
+class PeriodicDumper {
+ public:
+  PeriodicDumper(std::shared_ptr<MetricRegistry> registry,
+                 PeriodicDumperOptions options);
+  ~PeriodicDumper();  // stops if still running
+  PeriodicDumper(const PeriodicDumper&) = delete;
+  PeriodicDumper& operator=(const PeriodicDumper&) = delete;
+
+  void Start();
+  /// Idempotent; performs one final dump before joining.
+  void Stop();
+
+  uint64_t dumps() const { return dumps_.load(std::memory_order_relaxed); }
+  uint64_t dump_failures() const {
+    return failures_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Loop();
+  void DumpOnce();
+
+  std::shared_ptr<MetricRegistry> registry_;
+  PeriodicDumperOptions options_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+  std::thread thread_;
+  std::atomic<uint64_t> dumps_{0};
+  std::atomic<uint64_t> failures_{0};
+};
+
+}  // namespace obs
+}  // namespace fdrms
+
+#endif  // FDRMS_OBS_PERIODIC_DUMPER_H_

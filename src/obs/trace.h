@@ -1,0 +1,111 @@
+#ifndef FDRMS_OBS_TRACE_H_
+#define FDRMS_OBS_TRACE_H_
+
+/// \file trace.h
+/// Fixed-size lock-free ring of trace events. Writers claim a slot with one
+/// fetch_add on the head ticket and publish through a per-slot sequence
+/// word (Vyukov-style seqlock: 2t+1 while the write is in flight, 2t+2 once
+/// complete). Old events are overwritten, never blocked on — tracing must
+/// not be able to stall the writer loop or a migration. Collect() walks the
+/// retained window and drops any slot whose sequence changed mid-read, so
+/// torn events are discarded rather than surfaced.
+///
+/// Event names must be string literals (static storage): the ring stores
+/// the pointer, not a copy.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fdrms {
+namespace obs {
+
+struct TraceEvent {
+  std::string name;
+  uint64_t start_us = 0;     ///< registry-clock timestamp (NowMicros)
+  uint64_t duration_us = 0;  ///< 0 for instant events
+  uint64_t arg0 = 0;         ///< event-specific (e.g. epoch, batch size)
+  uint64_t arg1 = 0;         ///< event-specific (e.g. op count)
+};
+
+class TraceRing {
+ public:
+  /// `capacity` is rounded up to a power of two; default keeps the ring at
+  /// ~256KB — thousands of batches / full migration histories.
+  explicit TraceRing(size_t capacity = 4096) {
+    size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    slots_.reset(new Slot[cap]);
+  }
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  void Record(const char* name, uint64_t start_us, uint64_t duration_us,
+              uint64_t arg0 = 0, uint64_t arg1 = 0) {
+    const uint64_t t = head_.fetch_add(1, std::memory_order_relaxed);
+    Slot& s = slots_[t & mask_];
+    s.seq.store(2 * t + 1, std::memory_order_release);
+    s.name.store(name, std::memory_order_relaxed);
+    s.start_us.store(start_us, std::memory_order_relaxed);
+    s.duration_us.store(duration_us, std::memory_order_relaxed);
+    s.arg0.store(arg0, std::memory_order_relaxed);
+    s.arg1.store(arg1, std::memory_order_relaxed);
+    s.seq.store(2 * t + 2, std::memory_order_release);
+  }
+
+  /// Events still resident in the ring, oldest first. Slots being
+  /// overwritten while we read are dropped (seq mismatch), so every
+  /// returned event is internally consistent.
+  std::vector<TraceEvent> Collect() const {
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    const uint64_t cap = mask_ + 1;
+    const uint64_t start = head > cap ? head - cap : 0;
+    std::vector<TraceEvent> out;
+    out.reserve(static_cast<size_t>(head - start));
+    for (uint64_t t = start; t < head; ++t) {
+      const Slot& s = slots_[t & mask_];
+      const uint64_t seq1 = s.seq.load(std::memory_order_acquire);
+      if (seq1 != 2 * t + 2) continue;  // in flight or already overwritten
+      TraceEvent e;
+      const char* name = s.name.load(std::memory_order_relaxed);
+      e.start_us = s.start_us.load(std::memory_order_relaxed);
+      e.duration_us = s.duration_us.load(std::memory_order_relaxed);
+      e.arg0 = s.arg0.load(std::memory_order_relaxed);
+      e.arg1 = s.arg1.load(std::memory_order_relaxed);
+      const uint64_t seq2 = s.seq.load(std::memory_order_acquire);
+      if (seq2 != seq1 || name == nullptr) continue;  // torn read, drop
+      e.name = name;
+      out.push_back(std::move(e));
+    }
+    return out;
+  }
+
+  /// Total events ever recorded (including ones already overwritten).
+  uint64_t total_recorded() const {
+    return head_.load(std::memory_order_relaxed);
+  }
+
+  size_t capacity() const { return mask_ + 1; }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> seq{0};  // 0 = never written
+    std::atomic<const char*> name{nullptr};
+    std::atomic<uint64_t> start_us{0};
+    std::atomic<uint64_t> duration_us{0};
+    std::atomic<uint64_t> arg0{0};
+    std::atomic<uint64_t> arg1{0};
+  };
+  std::unique_ptr<Slot[]> slots_;
+  size_t mask_ = 0;
+  std::atomic<uint64_t> head_{0};
+};
+
+}  // namespace obs
+}  // namespace fdrms
+
+#endif  // FDRMS_OBS_TRACE_H_

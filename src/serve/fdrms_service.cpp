@@ -4,35 +4,22 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 
 #include "common/check.h"
 #include "common/stopwatch.h"
 #include "core/snapshot.h"
+#include "obs/phase_span.h"
 
 namespace fdrms {
-
-namespace {
-
-/// How many completed batch latencies the p50/p99 window holds.
-constexpr size_t kLatencyWindow = 512;
-
-/// Quantile over an unordered sample (by value: nth_element reorders).
-double Quantile(std::vector<double> sample, double q) {
-  if (sample.empty()) return 0.0;
-  size_t idx = static_cast<size_t>(q * static_cast<double>(sample.size() - 1) +
-                                   0.5);
-  idx = std::min(idx, sample.size() - 1);
-  std::nth_element(sample.begin(), sample.begin() + idx, sample.end());
-  return sample[idx];
-}
-
-}  // namespace
 
 FdRmsService::FdRmsService(int dim, const FdRmsServiceOptions& options)
     : dim_(dim),
       options_(options),
       algo_(dim, options.algo),
-      queue_(options.queue_capacity) {
+      queue_(options.queue_capacity),
+      registry_(options.registry ? options.registry
+                                 : std::make_shared<obs::MetricRegistry>()) {
   FDRMS_CHECK(options.max_batch > 0);
   FDRMS_CHECK(options.min_batch > 0);
   FDRMS_CHECK(options.min_batch <= options.max_batch)
@@ -41,8 +28,67 @@ FdRmsService::FdRmsService(int dim, const FdRmsServiceOptions& options)
   // fixed-batch runs behave exactly like the pre-adaptive writer.
   effective_batch_ =
       options.adaptive_batching ? options.min_batch : options.max_batch;
-  queue_depth_hist_.assign(kPow2HistBuckets, 0);
-  batch_size_hist_.assign(kPow2HistBuckets, 0);
+  RegisterMetrics();
+}
+
+void FdRmsService::RegisterMetrics() {
+  const obs::Labels& l = options_.metrics_labels;
+  obs::MetricRegistry& r = *registry_;
+  metrics_.ops_submitted = r.GetCounter(
+      "fdrms_ops_submitted_total",
+      "Operations accepted into the update queue", l);
+  metrics_.ops_applied = r.GetCounter(
+      "fdrms_ops_applied_total", "Operations applied by the writer", l);
+  metrics_.ops_rejected = r.GetCounter(
+      "fdrms_ops_rejected_total",
+      "Operations the algorithm rejected (duplicate insert, vanished delete "
+      "target, ...)",
+      l);
+  metrics_.ops_dropped = r.GetCounter(
+      "fdrms_ops_dropped_total", "Operations discarded by Stop(kAbort)", l);
+  metrics_.batches = r.GetCounter(
+      "fdrms_batches_total", "ApplyBatch drains that carried work", l);
+  metrics_.publications = r.GetCounter(
+      "fdrms_publications_total",
+      "Snapshot publications, including the version-0 bootstrap", l);
+  metrics_.persists = r.GetCounter(
+      "fdrms_persists_total", "Background persistence runs completed", l);
+  metrics_.persist_failures = r.GetCounter(
+      "fdrms_persist_failures_total",
+      "Background persistence runs that failed (never fatal)", l);
+  metrics_.version = r.GetGauge(
+      "fdrms_snapshot_version", "Version of the latest published snapshot",
+      l);
+  metrics_.live_tuples = r.GetGauge(
+      "fdrms_live_tuples", "Live tuple count after the latest batch", l);
+  metrics_.sample_size_m = r.GetGauge(
+      "fdrms_sample_size_m", "FD-RMS utility sample size m in force", l);
+  metrics_.queue_depth = r.GetGauge(
+      "fdrms_queue_depth", "Queue depth observed at the last writer wakeup",
+      l);
+  metrics_.effective_max_batch = r.GetGauge(
+      "fdrms_effective_max_batch", "Adaptive batch bound in force", l);
+  metrics_.writer_busy_seconds = r.GetGauge(
+      "fdrms_writer_busy_seconds",
+      "Cumulative writer-thread CPU seconds spent applying batches", l);
+  metrics_.queue_depth_pow2 = r.GetPow2Histogram(
+      "fdrms_queue_depth_pow2",
+      "Queue depth per writer wakeup (power-of-two buckets)", l);
+  metrics_.batch_size_pow2 = r.GetPow2Histogram(
+      "fdrms_batch_size_pow2",
+      "Applied batch size (power-of-two buckets)", l);
+  metrics_.publish_latency_us = r.GetLatencyHistogram(
+      "fdrms_publish_latency_us",
+      "Batch publication latency: queue drain to snapshot publication (us)",
+      l);
+  metrics_.drain_us = r.GetLatencyHistogram(
+      "fdrms_writer_drain_us",
+      "Writer drain phase: time in PopBatch per non-empty batch (us)", l);
+  metrics_.apply_us = r.GetLatencyHistogram(
+      "fdrms_writer_apply_us", "Writer apply phase: ApplyBatch loop (us)", l);
+  metrics_.publish_us = r.GetLatencyHistogram(
+      "fdrms_writer_publish_us",
+      "Writer publish phase: snapshot construction + swap (us)", l);
 }
 
 FdRmsService::~FdRmsService() {
@@ -57,6 +103,14 @@ Status FdRmsService::Start(const std::vector<std::pair<int, Point>>& initial) {
   }
   FDRMS_RETURN_NOT_OK(InitializeAlgo(initial));
   PublishSnapshot();  // version 0: the post-Initialize state
+  if (options_.metrics_dump_every_ms > 0) {
+    obs::PeriodicDumperOptions dopt;
+    dopt.prometheus_path = options_.metrics_dump_path;
+    dopt.json_path = options_.metrics_dump_json_path;
+    dopt.interval_ms = options_.metrics_dump_every_ms;
+    dumper_ = std::make_unique<obs::PeriodicDumper>(registry_, dopt);
+    dumper_->Start();
+  }
   state_.store(State::kRunning);
   writer_ = std::thread(&FdRmsService::WriterLoop, this);
   return Status::OK();
@@ -114,9 +168,10 @@ Status FdRmsService::Stop(StopPolicy policy) {
   if (policy == StopPolicy::kAbort) {
     // Close first so no producer can slip an op in after the purge; the
     // writer still finishes its in-flight batch.
-    ops_dropped_.fetch_add(queue_.Clear(), std::memory_order_relaxed);
+    metrics_.ops_dropped->Increment(queue_.Clear());
   }
   if (writer_.joinable()) writer_.join();
+  if (dumper_ != nullptr) dumper_->Stop();  // final dump with final totals
   return Status::OK();
 }
 
@@ -136,6 +191,9 @@ Status FdRmsService::Submit(FdRms::BatchOp op) {
       return Status::FailedPrecondition("service is shutting down");
     }
   }
+  // Telemetry only: the authoritative submitted count is the queue's
+  // total_pushed() (see ops_submitted()'s >=-consumed invariant).
+  metrics_.ops_submitted->Increment();
   return Status::OK();
 }
 
@@ -234,7 +292,8 @@ void FdRmsService::WriterLoop() {
     // bound: double while the burst runs at least two bounds deep, halve
     // once the queue runs near-empty, hold inside the hysteresis band.
     const size_t depth = queue_.size();
-    ++queue_depth_hist_[Pow2HistBucket(depth)];
+    metrics_.queue_depth->Set(static_cast<double>(depth));
+    metrics_.queue_depth_pow2->Record(depth);
     if (options_.adaptive_batching) {
       if (depth >= 2 * effective_batch_) {
         effective_batch_ = std::min(2 * effective_batch_, options_.max_batch);
@@ -242,10 +301,14 @@ void FdRmsService::WriterLoop() {
         effective_batch_ = std::max(effective_batch_ / 2, options_.min_batch);
       }
     }
+    Stopwatch drain_watch;
     if (!queue_.PopBatch(effective_batch_, &batch)) break;
     // An empty batch is a Kick() wakeup: loop back for the control work.
     if (!batch.empty()) {
-      ++batch_size_hist_[Pow2HistBucket(batch.size())];
+      // Drain time only counts when ops arrived: an idle writer parked in
+      // PopBatch is not a drain phase worth charging.
+      metrics_.drain_us->Record(drain_watch.ElapsedMicros());
+      metrics_.batch_size_pow2->Record(batch.size());
       ApplyAndPublish(batch);
     }
   }
@@ -265,6 +328,7 @@ void FdRmsService::WriterLoop() {
 
 void FdRmsService::ApplyAndPublish(const std::vector<FdRms::BatchOp>& batch) {
   Stopwatch batch_watch;
+  const uint64_t batch_start_us = registry_->NowMicros();
   const double cpu_start = ThreadCpuSeconds();
   if (options_.batch_delay_us_for_test > 0) {
     std::this_thread::sleep_for(
@@ -277,37 +341,49 @@ void FdRmsService::ApplyAndPublish(const std::vector<FdRms::BatchOp>& batch) {
   // (duplicate insert, vanished delete target, ...) resume from the next
   // offset instead of discarding the tail — one submitter's bad op must
   // not eat its neighbors' writes.
-  size_t pos = 0;
-  while (pos < batch.size()) {
-    size_t applied = 0;
-    Status st = algo_.ApplyBatch(batch, pos, &applied);
-    applied_ += applied;
-    pos += applied;
-    if (!st.ok()) {
-      ++rejected_;
-      ++pos;  // skip the offender
+  {
+    obs::PhaseSpan apply_span(registry_.get(), metrics_.apply_us,
+                              "writer.apply");
+    apply_span.set_args(batch.size(), version_ + 1);
+    size_t pos = 0;
+    while (pos < batch.size()) {
+      size_t applied = 0;
+      Status st = algo_.ApplyBatch(batch, pos, &applied);
+      metrics_.ops_applied->Increment(applied);
+      pos += applied;
+      if (!st.ok()) {
+        metrics_.ops_rejected->Increment();
+        ++pos;  // skip the offender
+      }
     }
   }
   busy_seconds_ += ThreadCpuSeconds() - cpu_start;
+  metrics_.writer_busy_seconds->Set(busy_seconds_);
   ++batches_;
   ++version_;
+  metrics_.batches->Increment();
   MaybePersist(/*force=*/false);
-  PublishSnapshot();
+  {
+    obs::PhaseSpan publish_span(registry_.get(), metrics_.publish_us,
+                                "writer.publish");
+    publish_span.set_args(batch.size(), version_);
+    PublishSnapshot();
+  }
   {
     std::lock_guard<std::mutex> lock(flush_mutex_);
-    consumed_published_ = applied_ + rejected_;
+    // Writer-exact: only this thread increments the two counters.
+    consumed_published_ =
+        metrics_.ops_applied->Value() + metrics_.ops_rejected->Value();
   }
   flush_cv_.notify_all();
-  // This batch's drain→publish latency feeds the window the *next*
+  // This batch's drain→publish latency feeds the histogram the *next*
   // publication reports (its own snapshot was built before the duration
   // was known).
   const double latency_us = batch_watch.ElapsedMicros();
-  if (latency_window_.size() < kLatencyWindow) {
-    latency_window_.push_back(latency_us);
-  } else {
-    latency_window_[latency_next_] = latency_us;
-    latency_next_ = (latency_next_ + 1) % kLatencyWindow;
-  }
+  metrics_.publish_latency_us->Record(latency_us);
+  registry_->trace().Record("writer.batch", batch_start_us,
+                            static_cast<uint64_t>(latency_us), batch.size(),
+                            version_);
 }
 
 void FdRmsService::MaybePersist(bool force) {
@@ -339,27 +415,35 @@ void FdRmsService::MaybePersist(bool force) {
   }
   if (st.ok()) {
     persisted_batches_ = attempted_persist_batches_;
-    persists_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.persists->Increment();
   } else {
-    persist_failures_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.persist_failures->Increment();
   }
 }
 
 void FdRmsService::PublishSnapshot() {
+  // The snapshot's stat fields are views over the registry: every value
+  // below reads back out of the same metrics a scrape exports, so a
+  // ResultSnapshot and a concurrent PrometheusText() can never disagree
+  // about what this service has done.
+  metrics_.version->Set(static_cast<double>(version_));
+  metrics_.sample_size_m->Set(static_cast<double>(algo_.current_m()));
+  metrics_.live_tuples->Set(static_cast<double>(algo_.size()));
+  metrics_.effective_max_batch->Set(static_cast<double>(effective_batch_));
   auto snap = std::make_shared<ResultSnapshot>();
   snap->version = version_;
-  snap->ops_applied = applied_;
-  snap->ops_rejected = rejected_;
-  snap->batches = batches_;
+  snap->ops_applied = metrics_.ops_applied->Value();
+  snap->ops_rejected = metrics_.ops_rejected->Value();
+  snap->batches = metrics_.batches->Value();
   snap->sample_size_m = algo_.current_m();
   snap->live_tuples = algo_.size();
   snap->writer_busy_seconds = busy_seconds_;
-  snap->publish_p50_us = Quantile(latency_window_, 0.50);
-  snap->publish_p99_us = Quantile(latency_window_, 0.99);
-  snap->persisted = persists_.load(std::memory_order_relaxed);
+  snap->publish_p50_us = metrics_.publish_latency_us->Quantile(0.50);
+  snap->publish_p99_us = metrics_.publish_latency_us->Quantile(0.99);
+  snap->persisted = metrics_.persists->Value();
   snap->effective_max_batch = effective_batch_;
-  snap->queue_depth_hist = queue_depth_hist_;
-  snap->batch_size_hist = batch_size_hist_;
+  snap->queue_depth_hist = metrics_.queue_depth_pow2->BucketSums();
+  snap->batch_size_hist = metrics_.batch_size_pow2->BucketSums();
   std::vector<FdRms::ResultEntry> entries = algo_.ResolvedResult();
   snap->ids.reserve(entries.size());
   snap->points.reserve(entries.size());
@@ -369,7 +453,58 @@ void FdRmsService::PublishSnapshot() {
   }
   std::shared_ptr<const ResultSnapshot> published = std::move(snap);
   snapshot_.store(published, std::memory_order_release);
+  metrics_.publications->Increment();
   if (options_.on_publish) options_.on_publish(*published);
+}
+
+std::string FdRmsService::DebugString() const {
+  std::ostringstream out;
+  out << "FdRmsService{dim=" << dim_ << ", ";
+  switch (state_.load()) {
+    case State::kNew: out << "new"; break;
+    case State::kRunning: out << "running"; break;
+    case State::kStopped: out << "stopped"; break;
+  }
+  for (const auto& [k, v] : options_.metrics_labels) {
+    out << ", " << k << "=" << v;
+  }
+  out << "}\n";
+  out << "  version=" << static_cast<uint64_t>(metrics_.version->Value())
+      << " live_tuples=" << static_cast<int64_t>(metrics_.live_tuples->Value())
+      << " sample_m=" << static_cast<int64_t>(metrics_.sample_size_m->Value())
+      << "\n";
+  out << "  submitted=" << ops_submitted()
+      << " applied=" << metrics_.ops_applied->Value()
+      << " rejected=" << metrics_.ops_rejected->Value()
+      << " dropped=" << metrics_.ops_dropped->Value()
+      << " batches=" << metrics_.batches->Value()
+      << " publications=" << metrics_.publications->Value() << "\n";
+  out << "  queue_depth=" << static_cast<uint64_t>(
+             metrics_.queue_depth->Value())
+      << " effective_max_batch=" << static_cast<uint64_t>(
+             metrics_.effective_max_batch->Value())
+      << " writer_busy_s=" << metrics_.writer_busy_seconds->Value() << "\n";
+  char quant[160];
+  std::snprintf(quant, sizeof(quant),
+                "  publish_latency_us p50=%.1f p90=%.1f p99=%.1f p999=%.1f "
+                "(n=%llu)\n",
+                metrics_.publish_latency_us->Quantile(0.50),
+                metrics_.publish_latency_us->Quantile(0.90),
+                metrics_.publish_latency_us->Quantile(0.99),
+                metrics_.publish_latency_us->Quantile(0.999),
+                static_cast<unsigned long long>(
+                    metrics_.publish_latency_us->Count()));
+  out << quant;
+  std::snprintf(quant, sizeof(quant),
+                "  phases_us drain p50=%.1f apply p50=%.1f publish p50=%.1f\n",
+                metrics_.drain_us->Quantile(0.50),
+                metrics_.apply_us->Quantile(0.50),
+                metrics_.publish_us->Quantile(0.50));
+  out << quant;
+  out << "  persists=" << metrics_.persists->Value()
+      << " persist_failures=" << metrics_.persist_failures->Value()
+      << " resumed=" << (resumed_ ? "yes" : "no") << "\n";
+  return out.str();
 }
 
 }  // namespace fdrms

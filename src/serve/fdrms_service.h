@@ -44,6 +44,9 @@
 
 #include "common/status.h"
 #include "core/fdrms.h"
+#include "obs/metrics.h"
+#include "obs/periodic_dumper.h"
+#include "obs/registry.h"
 #include "serve/mpsc_ring_queue.h"
 #include "serve/result_snapshot.h"
 
@@ -112,6 +115,26 @@ struct FdRmsServiceOptions {
   /// making backlog-dependent behavior (backpressure, abort drops)
   /// deterministic to exercise. 0 in production.
   int batch_delay_us_for_test = 0;
+
+  /// Metric registry this service reports through (obs/registry.h). Null =
+  /// the service creates a private one (reachable via registry()). The
+  /// sharded layer passes one shared registry to every shard and tells the
+  /// series apart with `metrics_labels`.
+  std::shared_ptr<obs::MetricRegistry> registry;
+
+  /// Labels stamped on every metric series this instance registers
+  /// (e.g. {{"shard", "3"}}).
+  obs::Labels metrics_labels;
+
+  /// Periodic background metrics dump: every `metrics_dump_every_ms` the
+  /// registry's Prometheus exposition is written to `metrics_dump_path`
+  /// (and, when non-empty, a JSON document to `metrics_dump_json_path`)
+  /// with atomic tmp+rename; a final dump lands on Stop(). 0 = off. The
+  /// sharded layer keeps this off on its shards and runs one dumper over
+  /// the shared registry instead.
+  int metrics_dump_every_ms = 0;
+  std::string metrics_dump_path = "fdrms_metrics.prom";
+  std::string metrics_dump_json_path;
 };
 
 /// A live FD-RMS instance behind a single-writer/multi-reader façade.
@@ -190,20 +213,28 @@ class FdRmsService {
   uint64_t ops_submitted() const { return queue_.total_pushed(); }
 
   /// Operations discarded by Stop(kAbort).
-  uint64_t ops_dropped() const {
-    return ops_dropped_.load(std::memory_order_relaxed);
-  }
+  uint64_t ops_dropped() const { return metrics_.ops_dropped->Value(); }
 
   /// Background persistence runs completed / failed so far (0/0 when
   /// options.persist_every_batches is 0).
-  uint64_t persists() const {
-    return persists_.load(std::memory_order_relaxed);
-  }
+  uint64_t persists() const { return metrics_.persists->Value(); }
   uint64_t persist_failures() const {
-    return persist_failures_.load(std::memory_order_relaxed);
+    return metrics_.persist_failures->Value();
   }
 
   bool running() const { return state_.load() == State::kRunning; }
+
+  /// The registry every stat of this service lives in — the one passed via
+  /// options, or the private one created when none was. Scrape it with
+  /// registry()->PrometheusText() / JsonText(). Never null.
+  const std::shared_ptr<obs::MetricRegistry>& registry() const {
+    return registry_;
+  }
+
+  /// Human-readable status page: options summary, lifecycle state, and
+  /// this instance's own metric series (counters, gauges, latency
+  /// quantiles) — scoped to this shard even when the registry is shared.
+  std::string DebugString() const;
 
   /// True when Start() initialized from options.resume_path instead of the
   /// `initial` tuples.
@@ -249,6 +280,10 @@ class FdRmsService {
   /// landed since the last save). Writer-thread only.
   void MaybePersist(bool force);
 
+  /// Registers this instance's metric series (labelled with
+  /// options.metrics_labels) in registry_. Constructor only.
+  void RegisterMetrics();
+
   const int dim_;
   const FdRmsServiceOptions options_;
   FdRms algo_;
@@ -260,29 +295,48 @@ class FdRmsService {
 
   std::atomic<std::shared_ptr<const ResultSnapshot>> snapshot_;
 
-  std::atomic<uint64_t> ops_dropped_{0};
-  std::atomic<uint64_t> persists_{0};
-  std::atomic<uint64_t> persist_failures_{0};
+  /// Every stat below lives here; ResultSnapshot fields are views over it.
+  std::shared_ptr<obs::MetricRegistry> registry_;
+  std::unique_ptr<obs::PeriodicDumper> dumper_;
 
-  // Writer-thread-local tallies, surfaced through the published snapshot.
-  uint64_t applied_ = 0;
-  uint64_t rejected_ = 0;
-  uint64_t batches_ = 0;
+  /// Handles into registry_, stable for the service's lifetime. Counters
+  /// and pow2/latency histograms are multi-writer-safe (striped relaxed
+  /// atomics); the gauges are only Set from the writer thread (queue_depth,
+  /// live_tuples, ...) or Stop/Start (none currently).
+  struct Metrics {
+    obs::Counter* ops_submitted;     ///< accepted pushes (telemetry; the
+                                     ///< authoritative count stays in the
+                                     ///< queue, see ops_submitted())
+    obs::Counter* ops_applied;
+    obs::Counter* ops_rejected;
+    obs::Counter* ops_dropped;
+    obs::Counter* batches;
+    obs::Counter* publications;
+    obs::Counter* persists;
+    obs::Counter* persist_failures;
+    obs::Gauge* version;
+    obs::Gauge* live_tuples;
+    obs::Gauge* sample_size_m;
+    obs::Gauge* queue_depth;
+    obs::Gauge* effective_max_batch;
+    obs::Gauge* writer_busy_seconds;
+    obs::Pow2Histogram* queue_depth_pow2;
+    obs::Pow2Histogram* batch_size_pow2;
+    obs::LatencyHistogram* publish_latency_us;  ///< drain→publish per batch
+    obs::LatencyHistogram* drain_us;            ///< time in PopBatch per batch
+    obs::LatencyHistogram* apply_us;            ///< ApplyBatch phase
+    obs::LatencyHistogram* publish_us;          ///< snapshot-build phase
+  };
+  Metrics metrics_;
+
+  // Writer-thread-local policy state. Pure telemetry lives in metrics_;
+  // these stay local because control flow depends on them.
   uint64_t version_ = 0;
+  uint64_t batches_ = 0;
   uint64_t persisted_batches_ = 0;  ///< batches_ as of the last *successful* save
   uint64_t attempted_persist_batches_ = 0;  ///< batches_ as of the last attempt
   double busy_seconds_ = 0.0;
-
-  // Adaptive batching state (writer-thread only): the effective bound and
-  // the evidence histograms it is steered by.
-  size_t effective_batch_ = 0;
-  std::vector<uint64_t> queue_depth_hist_;
-  std::vector<uint64_t> batch_size_hist_;
-
-  // Sliding window of completed batch publication latencies (µs), feeding
-  // the p50/p99 the next publication reports. Writer-thread only.
-  std::vector<double> latency_window_;
-  size_t latency_next_ = 0;
+  size_t effective_batch_ = 0;  ///< adaptive batching bound in force
 
   // Flush rendezvous: consumed_published_ tracks applied_ + rejected_ as of
   // the last publication; writer_done_ flips when the writer exits.

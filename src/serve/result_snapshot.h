@@ -8,49 +8,22 @@
 /// they like without blocking the writer or each other. A snapshot is
 /// never mutated after publication.
 
-#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
 #include "geometry/point.h"
+#include "obs/pow2_hist.h"
 
 namespace fdrms {
 
-/// Power-of-two histograms used for the writer's queue-depth and
-/// batch-size telemetry: bucket 0 counts the value 0, bucket i >= 1 counts
-/// values in [2^(i-1), 2^i), and the last bucket is open-ended.
-inline constexpr size_t kPow2HistBuckets = 17;
-
-/// Bucket index of `v` in a kPow2HistBuckets-wide power-of-two histogram.
-inline size_t Pow2HistBucket(uint64_t v) {
-  const size_t width = static_cast<size_t>(std::bit_width(v));
-  return width < kPow2HistBuckets ? width : kPow2HistBuckets - 1;
-}
-
-/// Lower bound of bucket `b` (the value the quantile helper reports).
-inline uint64_t Pow2HistBucketFloor(size_t b) {
-  return b == 0 ? 0 : (uint64_t{1} << (b - 1));
-}
-
-/// Quantile over a power-of-two histogram, reported as the lower bound of
-/// the bucket where the cumulative count crosses q * total (0 on an empty
-/// histogram). Coarse by construction — good enough to steer batching
-/// policy and spot regressions, cheap enough to ride every snapshot.
-inline double Pow2HistQuantile(const std::vector<uint64_t>& hist, double q) {
-  uint64_t total = 0;
-  for (uint64_t c : hist) total += c;
-  if (total == 0) return 0.0;
-  const double target = q * static_cast<double>(total);
-  uint64_t seen = 0;
-  for (size_t b = 0; b < hist.size(); ++b) {
-    seen += hist[b];
-    if (static_cast<double>(seen) >= target) {
-      return static_cast<double>(Pow2HistBucketFloor(b));
-    }
-  }
-  return static_cast<double>(Pow2HistBucketFloor(hist.size() - 1));
-}
+// The power-of-two bucketing vocabulary moved to obs/pow2_hist.h when the
+// metric registry took ownership of all histogram plumbing; re-exported
+// here so existing serve/shard/bench callers keep their spelling.
+using obs::kPow2HistBuckets;
+using obs::Pow2HistBucket;
+using obs::Pow2HistBucketFloor;
+using obs::Pow2HistQuantile;
 
 /// One published view of the maintained result Q_t plus enough bookkeeping
 /// for a reader to reason about staleness.
@@ -84,11 +57,11 @@ struct ResultSnapshot {
   double writer_busy_seconds = 0.0;
 
   /// p50/p99 batch publication latency in microseconds — the time from a
-  /// batch leaving the queue to its snapshot being published — over a
-  /// sliding window of batches published before this snapshot (a batch's
-  /// own latency is only known once its publication completes, so each
-  /// publication reports the window up to its predecessor). 0 until the
-  /// second batch.
+  /// batch leaving the queue to its snapshot being published — interpolated
+  /// from the service's cumulative fdrms_publish_latency_us histogram over
+  /// the batches published before this snapshot (a batch's own latency is
+  /// only known once its publication completes, so each publication reports
+  /// the distribution up to its predecessor). 0 until the second batch.
   double publish_p50_us = 0.0;
   double publish_p99_us = 0.0;
 

@@ -9,9 +9,12 @@
 #include <string>
 #include <thread>
 
+#include <sstream>
+
 #include "common/check.h"
 #include "common/rng.h"
 #include "geometry/sampling.h"
+#include "obs/phase_span.h"
 
 namespace fdrms {
 
@@ -83,8 +86,12 @@ struct ShardedFdRmsService::MigrationState {
 ShardedFdRmsService::ShardedFdRmsService(int dim,
                                          const ShardedServiceOptions& options,
                                          std::unique_ptr<ShardRouter> router)
-    : dim_(dim), options_(options) {
+    : dim_(dim),
+      options_(options),
+      registry_(options.registry ? options.registry
+                                 : std::make_shared<obs::MetricRegistry>()) {
   FDRMS_CHECK(options.num_shards >= 1);
+  RegisterMetrics();
   if (router != nullptr) {
     FDRMS_CHECK(router->num_shards() == options.num_shards)
         << "router partitions " << router->num_shards()
@@ -104,6 +111,67 @@ ShardedFdRmsService::ShardedFdRmsService(int dim,
   ResetTopology();
 }
 
+void ShardedFdRmsService::RegisterMetrics() {
+  obs::MetricRegistry& r = *registry_;
+  metrics_.publications = r.GetCounter(
+      "fdrms_shard_publications_total",
+      "Per-shard snapshot publications observed by the sharded layer");
+  metrics_.reads = r.GetCounter(
+      "fdrms_reads_total", "Merged Query() calls served");
+  metrics_.merge_cache_hits = r.GetCounter(
+      "fdrms_merge_cache_hits_total",
+      "Query() calls answered from the cached merged snapshot");
+  metrics_.merge_cache_misses = r.GetCounter(
+      "fdrms_merge_cache_misses_total",
+      "Query() calls that rebuilt the merged snapshot");
+  metrics_.merge_recovers = r.GetCounter(
+      "fdrms_merge_recovers_total",
+      "Merge rebuilds that ran the greedy re-cover to the global budget");
+  metrics_.migrations = r.GetCounter(
+      "fdrms_migrations_total",
+      "Completed Migrate() calls (AddShard/RemoveShard count theirs)");
+  metrics_.migration_failures = r.GetCounter(
+      "fdrms_migration_failures_total", "Migrate() attempts that failed");
+  metrics_.migration_ops_replayed = r.GetCounter(
+      "fdrms_migration_ops_replayed_total",
+      "Tuples moved between shards by migration replay");
+  metrics_.migration_ops_side_buffered = r.GetCounter(
+      "fdrms_migration_ops_side_buffered_total",
+      "Operations parked in a migration side buffer at submit time");
+  metrics_.epoch = r.GetGauge(
+      "fdrms_epoch", "Published routing epoch");
+  metrics_.shards = r.GetGauge(
+      "fdrms_shards", "Live shard count of the current topology");
+  metrics_.migration_side_buffer_depth = r.GetGauge(
+      "fdrms_migration_side_buffer_depth",
+      "Operations currently parked in the in-flight migration's side buffer");
+  metrics_.merge_build_us = r.GetLatencyHistogram(
+      "fdrms_merge_build_us",
+      "Merged-snapshot rebuild on a read-cache miss (us)");
+  metrics_.merge_recover_us = r.GetLatencyHistogram(
+      "fdrms_merge_recover_us",
+      "Greedy re-cover portion of a merge rebuild (us)");
+  metrics_.migration_freeze_us = r.GetLatencyHistogram(
+      "fdrms_migration_freeze_us",
+      "Migration freeze phase: side-buffer interposer install (us)");
+  metrics_.migration_drain_us = r.GetLatencyHistogram(
+      "fdrms_migration_drain_us",
+      "Migration drain phase: all-shard flush + frozen-range collect (us)");
+  metrics_.migration_replay_us = r.GetLatencyHistogram(
+      "fdrms_migration_replay_us",
+      "Migration replay phase: target inserts, flush, source deletes (us)");
+  metrics_.migration_cutover_us = r.GetLatencyHistogram(
+      "fdrms_migration_cutover_us",
+      "Migration cutover phase: side-buffer drain + epoch publish + "
+      "post-cutover flush (us)");
+}
+
+void ShardedFdRmsService::UpdateTopologyGauges(uint64_t epoch,
+                                               size_t num_shards) {
+  metrics_.epoch->Set(static_cast<double>(epoch));
+  metrics_.shards->Set(static_cast<double>(num_shards));
+}
+
 std::shared_ptr<FdRmsService> ShardedFdRmsService::MakeShard(int index,
                                                               bool resumable) {
   FdRmsServiceOptions per_shard = options_.shard;
@@ -116,10 +184,15 @@ std::shared_ptr<FdRmsService> ShardedFdRmsService::MakeShard(int index,
     // A shard added to a live constellation starts empty by definition.
     per_shard.resume_path.clear();
   }
+  // One registry for the constellation: shards are told apart by label, and
+  // the sharded layer owns the (single) dumper.
+  per_shard.registry = registry_;
+  per_shard.metrics_labels.emplace_back("shard", std::to_string(index));
+  per_shard.metrics_dump_every_ms = 0;
   auto user_hook = per_shard.on_publish;
   per_shard.on_publish = [this, user_hook = std::move(user_hook)](
                              const ResultSnapshot& snap) {
-    publications_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.publications->Increment();
     if (user_hook) user_hook(snap);
   };
   return std::make_shared<FdRmsService>(dim_, per_shard);
@@ -134,6 +207,8 @@ void ShardedFdRmsService::ResetTopology() {
   }
   router_ = std::make_unique<EpochShardRouter>(initial_table_);
   merged_cache_.store(nullptr, std::memory_order_release);
+  UpdateTopologyGauges(initial_table_->epoch(),
+                       static_cast<size_t>(options_.num_shards));
   topology_.store(std::move(topo), std::memory_order_release);
 }
 
@@ -172,6 +247,7 @@ Status ShardedFdRmsService::Start(
         auto next = std::make_shared<Topology>(*topo);
         next->table = table;
         topo = next;
+        UpdateTopologyGauges(table->epoch(), num_shards);
         topology_.store(topo, std::memory_order_release);
       }
     }
@@ -201,6 +277,15 @@ Status ShardedFdRmsService::Start(
     }
     ResetTopology();
     started_.store(false);
+    return combined;
+  }
+  if (options_.metrics_dump_every_ms > 0 && dumper_ == nullptr) {
+    obs::PeriodicDumperOptions dump;
+    dump.prometheus_path = options_.metrics_dump_path;
+    dump.json_path = options_.metrics_dump_json_path;
+    dump.interval_ms = options_.metrics_dump_every_ms;
+    dumper_ = std::make_unique<obs::PeriodicDumper>(registry_, dump);
+    dumper_->Start();
   }
   return combined;
 }
@@ -215,6 +300,9 @@ Status ShardedFdRmsService::Stop(StopPolicy policy) {
   ForEachShardConcurrently(topo->shards.size(), [&](size_t s) {
     statuses[s] = topo->shards[s]->Stop(policy);
   });
+  // Stop the dumper after the shards so its final dump carries the shards'
+  // terminal counter values.
+  if (dumper_ != nullptr) dumper_->Stop();
   return FirstError(statuses);
 }
 
@@ -225,6 +313,9 @@ Status ShardedFdRmsService::Submit(FdRms::BatchOp op) {
   if (mig != nullptr && mig->Matches(op.id)) {
     std::lock_guard<std::mutex> g(mig->mu);
     mig->buffered.push_back(std::move(op));
+    metrics_.migration_ops_side_buffered->Increment();
+    metrics_.migration_side_buffer_depth->Set(
+        static_cast<double>(mig->buffered.size()));
     return Status::OK();
   }
   std::shared_ptr<const Topology> topo = topology();
@@ -251,6 +342,16 @@ Status ShardedFdRmsService::Migrate(const MigrationPlan& plan) {
 }
 
 Status ShardedFdRmsService::MigrateLocked(const MigrationPlan& plan) {
+  Status st = MigrateLockedImpl(plan);
+  if (st.ok()) {
+    metrics_.migrations->Increment();
+  } else {
+    metrics_.migration_failures->Increment();
+  }
+  return st;
+}
+
+Status ShardedFdRmsService::MigrateLockedImpl(const MigrationPlan& plan) {
   if (!started_.load()) {
     return Status::FailedPrecondition("sharded service never started");
   }
@@ -265,6 +366,9 @@ Status ShardedFdRmsService::MigrateLocked(const MigrationPlan& plan) {
   // can be mid-route across the freeze.
   auto state = std::make_shared<MigrationState>(plan);
   {
+    obs::PhaseSpan freeze(registry_.get(), metrics_.migration_freeze_us,
+                          "migration.freeze");
+    freeze.set_args(next->epoch());
     std::unique_lock<std::shared_mutex> lock(route_mutex_);
     migration_.store(state, std::memory_order_release);
   }
@@ -272,16 +376,6 @@ Status ShardedFdRmsService::MigrateLocked(const MigrationPlan& plan) {
   // (2) Drain: once every queue is flushed, each source's applied state
   // holds every pre-freeze mutation of the range, and the range can no
   // longer change there (new matching mutations sit in the buffer).
-  for (int s = 0; s < num_shards; ++s) {
-    Status st = topo->shards[s]->Flush();
-    if (!st.ok()) {
-      AbortFreeze(state, *topo);
-      return st;
-    }
-  }
-
-  // Read the frozen range out of its sources (drain-range hook; runs on
-  // each shard's writer thread against a consistent cut).
   struct MovedTuple {
     int source;
     int target;
@@ -289,23 +383,41 @@ Status ShardedFdRmsService::MigrateLocked(const MigrationPlan& plan) {
     Point point;
   };
   std::vector<MovedTuple> moved;
-  for (int s = 0; s < num_shards; ++s) {
-    std::vector<std::pair<int, Point>> in_range;
-    Status st = topo->shards[s]->CollectRange(
-        [&state](int id) { return state->Matches(id); }, &in_range);
-    if (!st.ok()) {
-      AbortFreeze(state, *topo);
-      return st;
-    }
-    for (auto& [id, point] : in_range) {
-      const int target = next->Route(id);
-      if (target < 0 || target >= num_shards) {
+  {
+    // An aborted drain still records its span (partial duration) — the
+    // trace then shows a freeze with no matching replay/cutover.
+    obs::PhaseSpan drain(registry_.get(), metrics_.migration_drain_us,
+                         "migration.drain");
+    drain.set_args(next->epoch());
+    for (int s = 0; s < num_shards; ++s) {
+      Status st = topo->shards[s]->Flush();
+      if (!st.ok()) {
         AbortFreeze(state, *topo);
-        return Status::Internal("post-migration route of id " +
-                                std::to_string(id) + " is out of range");
+        return st;
       }
-      if (target != s) moved.push_back({s, target, id, std::move(point)});
     }
+
+    // Read the frozen range out of its sources (drain-range hook; runs on
+    // each shard's writer thread against a consistent cut).
+    for (int s = 0; s < num_shards; ++s) {
+      std::vector<std::pair<int, Point>> in_range;
+      Status st = topo->shards[s]->CollectRange(
+          [&state](int id) { return state->Matches(id); }, &in_range);
+      if (!st.ok()) {
+        AbortFreeze(state, *topo);
+        return st;
+      }
+      for (auto& [id, point] : in_range) {
+        const int target = next->Route(id);
+        if (target < 0 || target >= num_shards) {
+          AbortFreeze(state, *topo);
+          return Status::Internal("post-migration route of id " +
+                                  std::to_string(id) + " is out of range");
+        }
+        if (target != s) moved.push_back({s, target, id, std::move(point)});
+      }
+    }
+    drain.set_args(next->epoch(), moved.size());
   }
 
   // (3) Replay, as ordinary journaled operations (the FD-RMS update is
@@ -321,63 +433,78 @@ Status ShardedFdRmsService::MigrateLocked(const MigrationPlan& plan) {
   auto note = [&first_error](Status st) {
     if (!st.ok() && first_error.ok()) first_error = std::move(st);
   };
-  for (const MovedTuple& m : moved) {
-    note(SubmitWithRetry(topo->shards[static_cast<size_t>(m.target)].get(),
-                         {FdRms::BatchOp::Kind::kInsert, m.id, m.point}));
-  }
-  for (int s = 0; s < num_shards; ++s) {
-    note(topo->shards[s]->Flush());  // the targets now hold the range
-  }
-  for (const MovedTuple& m : moved) {
-    note(SubmitWithRetry(topo->shards[static_cast<size_t>(m.source)].get(),
-                         {FdRms::BatchOp::Kind::kDelete, m.id, Point{}}));
+  {
+    obs::PhaseSpan replay(registry_.get(), metrics_.migration_replay_us,
+                          "migration.replay");
+    replay.set_args(next->epoch(), moved.size());
+    for (const MovedTuple& m : moved) {
+      note(SubmitWithRetry(topo->shards[static_cast<size_t>(m.target)].get(),
+                           {FdRms::BatchOp::Kind::kInsert, m.id, m.point}));
+    }
+    for (int s = 0; s < num_shards; ++s) {
+      note(topo->shards[s]->Flush());  // the targets now hold the range
+    }
+    for (const MovedTuple& m : moved) {
+      note(SubmitWithRetry(topo->shards[static_cast<size_t>(m.source)].get(),
+                           {FdRms::BatchOp::Kind::kDelete, m.id, Point{}}));
+    }
+    metrics_.migration_ops_replayed->Increment(moved.size());
   }
 
   // (4) Cutover: catch the side buffer up without blocking submitters,
   // then swap the epoch with the last stragglers under the exclusive lock.
   // Buffer order is preserved, and every buffered op follows the replayed
   // inserts already flushed into its target, so per-id order holds.
-  for (int round = 0; round < 4; ++round) {
-    std::vector<FdRms::BatchOp> chunk;
-    {
-      std::lock_guard<std::mutex> g(state->mu);
-      chunk.swap(state->buffered);
-    }
-    if (chunk.empty()) break;
-    for (FdRms::BatchOp& op : chunk) {
-      const int target = next->Route(op.id);
-      note(SubmitWithRetry(topo->shards[static_cast<size_t>(target)].get(),
-                           std::move(op)));
-    }
-  }
   {
-    std::unique_lock<std::shared_mutex> lock(route_mutex_);
-    std::vector<FdRms::BatchOp> rest;
+    obs::PhaseSpan cutover(registry_.get(), metrics_.migration_cutover_us,
+                           "migration.cutover");
+    uint64_t drained = 0;
+    for (int round = 0; round < 4; ++round) {
+      std::vector<FdRms::BatchOp> chunk;
+      {
+        std::lock_guard<std::mutex> g(state->mu);
+        chunk.swap(state->buffered);
+      }
+      if (chunk.empty()) break;
+      drained += chunk.size();
+      for (FdRms::BatchOp& op : chunk) {
+        const int target = next->Route(op.id);
+        note(SubmitWithRetry(topo->shards[static_cast<size_t>(target)].get(),
+                             std::move(op)));
+      }
+    }
     {
-      std::lock_guard<std::mutex> g(state->mu);
-      rest.swap(state->buffered);
+      std::unique_lock<std::shared_mutex> lock(route_mutex_);
+      std::vector<FdRms::BatchOp> rest;
+      {
+        std::lock_guard<std::mutex> g(state->mu);
+        rest.swap(state->buffered);
+      }
+      drained += rest.size();
+      for (FdRms::BatchOp& op : rest) {
+        const int target = next->Route(op.id);
+        note(SubmitWithRetry(topo->shards[static_cast<size_t>(target)].get(),
+                             std::move(op)));
+      }
+      router_->Publish(next);
+      auto cut = std::make_shared<Topology>(*topo);
+      cut->table = next;
+      UpdateTopologyGauges(next->epoch(), cut->shards.size());
+      topology_.store(std::move(cut), std::memory_order_release);
+      migration_.store(nullptr, std::memory_order_release);
+      metrics_.migration_side_buffer_depth->Set(0.0);
     }
-    for (FdRms::BatchOp& op : rest) {
-      const int target = next->Route(op.id);
-      note(SubmitWithRetry(topo->shards[static_cast<size_t>(target)].get(),
-                           std::move(op)));
-    }
-    router_->Publish(next);
-    auto cut = std::make_shared<Topology>(*topo);
-    cut->table = next;
-    topology_.store(std::move(cut), std::memory_order_release);
-    migration_.store(nullptr, std::memory_order_release);
-  }
+    cutover.set_args(next->epoch(), drained);
 
-  // Post-cutover flush: the source deletes and side-buffered operations
-  // are all applied before Migrate reports success, so ownership matches
-  // the published epoch exactly when we return.
-  for (int s = 0; s < num_shards; ++s) {
-    note(topo->shards[s]->Flush());
+    // Post-cutover flush: the source deletes and side-buffered operations
+    // are all applied before Migrate reports success, so ownership matches
+    // the published epoch exactly when we return.
+    for (int s = 0; s < num_shards; ++s) {
+      note(topo->shards[s]->Flush());
+    }
   }
   if (first_error.ok()) {
     PersistRoutingTable(*next);
-    migrations_.fetch_add(1, std::memory_order_relaxed);
   }
   return first_error;
 }
@@ -391,6 +518,7 @@ void ShardedFdRmsService::AbortFreeze(
     leftover.swap(state->buffered);
   }
   migration_.store(nullptr, std::memory_order_release);
+  metrics_.migration_side_buffer_depth->Set(0.0);
   // Nothing has moved yet: the pre-migration table still owns the range,
   // so the buffer replays to the old owners. These operations were already
   // acknowledged to their submitters, so backpressure is absorbed (retry on
@@ -428,6 +556,7 @@ Status ShardedFdRmsService::AddShard() {
     next->table = grown;
     next->shards.push_back(std::move(fresh));
     router_->Publish(grown);
+    UpdateTopologyGauges(grown->epoch(), next->shards.size());
     topology_.store(std::move(next), std::memory_order_release);
   }
 
@@ -473,6 +602,7 @@ Status ShardedFdRmsService::AddShard() {
         next->table = *shrunk_or;
         next->shards.pop_back();
         router_->Publish(*shrunk_or);
+        UpdateTopologyGauges((*shrunk_or)->epoch(), next->shards.size());
         topology_.store(std::move(next), std::memory_order_release);
       }
       (void)newcomer->Stop(FdRmsService::StopPolicy::kAbort);
@@ -531,6 +661,7 @@ Status ShardedFdRmsService::RemoveShard() {
     next->shards.pop_back();
     next->retired.push_back(victim_shard);
     router_->Publish(shrunk);
+    UpdateTopologyGauges(shrunk->epoch(), next->shards.size());
     topology_.store(std::move(next), std::memory_order_release);
   }
   Status stopped = victim_shard->Stop(FdRmsService::StopPolicy::kDrain);
@@ -575,6 +706,7 @@ bool ShardedFdRmsService::running() const {
 }
 
 std::shared_ptr<const MergedSnapshot> ShardedFdRmsService::Query() const {
+  metrics_.reads->Increment();
   std::shared_ptr<const Topology> topo = topology();
   const size_t num_shards = topo->shards.size();
   const uint64_t epoch = topo->table->epoch();
@@ -594,10 +726,19 @@ std::shared_ptr<const MergedSnapshot> ShardedFdRmsService::Query() const {
         break;
       }
     }
-    if (fresh) return cached;
+    if (fresh) {
+      metrics_.merge_cache_hits->Increment();
+      return cached;
+    }
   }
-  std::shared_ptr<const MergedSnapshot> merged =
-      BuildMerged(std::move(parts), epoch);
+  metrics_.merge_cache_misses->Increment();
+  std::shared_ptr<const MergedSnapshot> merged;
+  {
+    obs::PhaseSpan span(registry_.get(), metrics_.merge_build_us,
+                        "read.merge_build");
+    span.set_args(epoch, num_shards);
+    merged = BuildMerged(std::move(parts), epoch);
+  }
   // Racing readers may each publish their own merge; every candidate is
   // internally consistent and version-keyed, so last-writer-wins is safe —
   // a reader that loads a "stale" cache entry just rebuilds.
@@ -667,7 +808,12 @@ std::shared_ptr<const MergedSnapshot> ShardedFdRmsService::BuildMerged(
 
   if (options_.merged_budget_r > 0 &&
       order.size() > static_cast<size_t>(options_.merged_budget_r)) {
+    obs::PhaseSpan span(registry_.get(), metrics_.merge_recover_us,
+                        "read.merge_recover");
+    span.set_args(order.size(),
+                  static_cast<uint64_t>(options_.merged_budget_r));
     GreedyReCover(ids, points, &order);
+    metrics_.merge_recovers->Increment();
     merged->reduced = true;
   }
 
@@ -679,6 +825,28 @@ std::shared_ptr<const MergedSnapshot> ShardedFdRmsService::BuildMerged(
   }
   merged->shards = std::move(parts);
   return merged;
+}
+
+std::string ShardedFdRmsService::DebugString() const {
+  std::shared_ptr<const Topology> topo = topology();
+  std::ostringstream out;
+  out << "=== ShardedFdRmsService ===\n"
+      << "epoch=" << topo->table->epoch() << " shards=" << topo->shards.size()
+      << " retired=" << topo->retired.size()
+      << " running=" << (running() ? "yes" : "no") << "\n"
+      << "reads=" << metrics_.reads->Value()
+      << " merge_cache_hits=" << metrics_.merge_cache_hits->Value()
+      << " merge_cache_misses=" << metrics_.merge_cache_misses->Value()
+      << " merge_recovers=" << metrics_.merge_recovers->Value() << "\n"
+      << "migrations=" << metrics_.migrations->Value()
+      << " failures=" << metrics_.migration_failures->Value()
+      << " ops_replayed=" << metrics_.migration_ops_replayed->Value()
+      << " ops_side_buffered="
+      << metrics_.migration_ops_side_buffered->Value() << "\n";
+  for (size_t s = 0; s < topo->shards.size(); ++s) {
+    out << "--- shard " << s << " ---\n" << topo->shards[s]->DebugString();
+  }
+  return out.str();
 }
 
 void ShardedFdRmsService::GreedyReCover(const std::vector<int>& ids,

@@ -112,6 +112,21 @@ struct ShardedServiceOptions {
   /// at construction from merge_seed).
   int merge_directions = 512;
   uint64_t merge_seed = 4242;
+
+  /// Metric registry shared by the whole constellation: every shard reports
+  /// into it under a {"shard","<index>"} label, and the sharded layer adds
+  /// its own series (reads, merge cache, migration phases). Null = the
+  /// service creates one (reachable via registry()). Any registry set on
+  /// `shard.registry` is overridden by this one so the constellation never
+  /// splits across registries.
+  std::shared_ptr<obs::MetricRegistry> registry;
+
+  /// Constellation-level periodic metrics dump (see
+  /// FdRmsServiceOptions::metrics_dump_every_ms; per-shard dumpers are
+  /// forced off — one file covers all shards). 0 = off.
+  int metrics_dump_every_ms = 0;
+  std::string metrics_dump_path = "fdrms_metrics.prom";
+  std::string metrics_dump_json_path;
 };
 
 /// S single-writer FdRmsService instances behind one façade. Start/Stop/
@@ -207,16 +222,22 @@ class ShardedFdRmsService {
 
   /// Per-shard snapshot publications observed via the on_publish hook
   /// (includes each shard's version-0 publication).
-  uint64_t publications() const {
-    return publications_.load(std::memory_order_relaxed);
-  }
+  uint64_t publications() const { return metrics_.publications->Value(); }
 
   /// Completed Migrate() calls (AddShard/RemoveShard count theirs).
-  uint64_t migrations() const {
-    return migrations_.load(std::memory_order_relaxed);
-  }
+  uint64_t migrations() const { return metrics_.migrations->Value(); }
 
   bool running() const;
+
+  /// The constellation's shared registry: every shard's series (labelled
+  /// shard="<index>") plus the sharded layer's own. Never null.
+  const std::shared_ptr<obs::MetricRegistry>& registry() const {
+    return registry_;
+  }
+
+  /// Constellation status page: topology + migration + merge-cache summary
+  /// followed by each live shard's own DebugString() section.
+  std::string DebugString() const;
 
   int dim() const { return dim_; }
   int num_shards() const {
@@ -271,8 +292,18 @@ class ShardedFdRmsService {
   /// reset a constellation whose Start failed partway.
   void ResetTopology();
 
-  /// Migrate body; caller holds admin_mutex_.
+  /// Registers the sharded layer's own series in registry_. Ctor only,
+  /// before the first MakeShard (whose publish hook touches metrics_).
+  void RegisterMetrics();
+
+  /// Refreshes the fdrms_epoch / fdrms_shards gauges after a routing
+  /// publication or topology swap.
+  void UpdateTopologyGauges(uint64_t epoch, size_t num_shards);
+
+  /// Migrate body; caller holds admin_mutex_. Wraps MigrateLockedImpl to
+  /// count failures exactly once per attempt.
   Status MigrateLocked(const MigrationPlan& plan);
+  Status MigrateLockedImpl(const MigrationPlan& plan);
 
   /// Removes the freeze and re-routes anything buffered through `table`
   /// (used on early failure, before any tuple moved).
@@ -299,9 +330,37 @@ class ShardedFdRmsService {
   std::shared_ptr<const RoutingTable> initial_table_;  ///< epoch 0
   std::unique_ptr<EpochShardRouter> router_;
   std::vector<Point> merge_directions_;
-  std::atomic<uint64_t> publications_{0};
-  std::atomic<uint64_t> migrations_{0};
   std::atomic<bool> started_{false};
+
+  /// Shared by every shard; the sharded layer's own series live here too.
+  std::shared_ptr<obs::MetricRegistry> registry_;
+  std::unique_ptr<obs::PeriodicDumper> dumper_;
+
+  /// Constellation-level handles into registry_ (unlabelled — the shard
+  /// label belongs to per-shard series). Counters/histograms are
+  /// multi-writer-safe; the gauges are written under admin/route locking
+  /// (topology) or by the buffering submitter (side-buffer depth).
+  struct ShardedMetrics {
+    obs::Counter* publications;        ///< on_publish events, all shards
+    obs::Counter* reads;               ///< Query() calls reaching a merge
+    obs::Counter* merge_cache_hits;
+    obs::Counter* merge_cache_misses;
+    obs::Counter* merge_recovers;      ///< merges that ran GreedyReCover
+    obs::Counter* migrations;          ///< completed Migrate() calls
+    obs::Counter* migration_failures;
+    obs::Counter* migration_ops_replayed;
+    obs::Counter* migration_ops_side_buffered;
+    obs::Gauge* epoch;
+    obs::Gauge* shards;
+    obs::Gauge* migration_side_buffer_depth;
+    obs::LatencyHistogram* merge_build_us;
+    obs::LatencyHistogram* merge_recover_us;
+    obs::LatencyHistogram* migration_freeze_us;
+    obs::LatencyHistogram* migration_drain_us;
+    obs::LatencyHistogram* migration_replay_us;
+    obs::LatencyHistogram* migration_cutover_us;
+  };
+  ShardedMetrics metrics_;
 
   /// Serializes the control plane: Start, Stop, Migrate, AddShard,
   /// RemoveShard.
