@@ -152,7 +152,7 @@ class Pow2Histogram {
 };
 
 /// Default geometric boundary ladder for latency histograms, in
-/// microseconds: 1µs · 1.5^i up to 10s, 44 finite buckets plus overflow.
+/// microseconds: 1µs · 1.5^i up to 10s, 41 finite buckets plus overflow.
 /// Ratio 1.5 bounds quantile quantization error to ~±25% — far inside the
 /// 2x p99 inflation the perf-smoke gate tolerates.
 std::vector<double> DefaultLatencyBoundsUs();

@@ -27,17 +27,19 @@ void PeriodicDumper::Start() {
 }
 
 void PeriodicDumper::Stop() {
+  // Take ownership of the thread handle under the lock: exactly one caller
+  // sees running_ flip and performs the join + final dump, so concurrent
+  // Stop() calls can never double-join.
+  std::thread to_join;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!running_) return;
+    running_ = false;
     stop_requested_ = true;
+    to_join = std::move(thread_);
   }
   cv_.notify_all();
-  thread_.join();
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    running_ = false;
-  }
+  to_join.join();
   DumpOnce();  // end-of-run totals always land on disk
 }
 

@@ -36,7 +36,9 @@ class PeriodicDumper {
   PeriodicDumper& operator=(const PeriodicDumper&) = delete;
 
   void Start();
-  /// Idempotent; performs one final dump before joining.
+  /// Idempotent and safe for concurrent callers: exactly one caller joins
+  /// the dump thread and writes the final dump; the others return
+  /// immediately (possibly before that final dump lands).
   void Stop();
 
   uint64_t dumps() const { return dumps_.load(std::memory_order_relaxed); }

@@ -76,15 +76,21 @@ MetricRegistry::Entry* MetricRegistry::GetOrCreate(
     MetricType type, std::vector<double> bounds_us) {
   const std::string key = SeriesKey(name, labels);
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = index_.find(key);
-  if (it != index_.end()) {
-    Entry* e = entries_[it->second].get();
-    FDRMS_CHECK(e->type == type)
+  // Type consistency is enforced per NAME, not per series: a Prometheus
+  // family carries one # TYPE line, so the same name registered with
+  // different labels but a different type would render an exposition whose
+  // TYPE mismatches some of its series.
+  auto type_it = types_by_name_.find(name);
+  if (type_it != types_by_name_.end()) {
+    FDRMS_CHECK(type_it->second == type)
         << "metric '" << name << "' re-registered as "
         << MetricTypeName(type) << " but exists as "
-        << MetricTypeName(e->type);
-    return e;
+        << MetricTypeName(type_it->second);
+  } else {
+    types_by_name_.emplace(name, type);
   }
+  auto it = index_.find(key);
+  if (it != index_.end()) return entries_[it->second].get();
   auto entry = std::make_unique<Entry>();
   entry->name = name;
   entry->help = help;

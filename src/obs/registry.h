@@ -66,8 +66,9 @@ class MetricRegistry {
 
   /// Get-or-create. Re-registering an existing (name, labels) series
   /// returns the original handle; `help` from the first registration wins.
-  /// Registering the same series under a different metric type is a
-  /// programming error (FDRMS_CHECK).
+  /// Registering the same metric NAME under a different type — even with
+  /// different labels — is a programming error (FDRMS_CHECK): a Prometheus
+  /// family has exactly one type.
   Counter* GetCounter(const std::string& name, const std::string& help,
                       const Labels& labels = {});
   Gauge* GetGauge(const std::string& name, const std::string& help,
@@ -104,6 +105,7 @@ class MetricRegistry {
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<Entry>> entries_;
   std::unordered_map<std::string, size_t> index_;  // series key -> entries_
+  std::unordered_map<std::string, MetricType> types_by_name_;  // family type
   TraceRing trace_;
   Stopwatch uptime_;
 };

@@ -2,13 +2,16 @@
 #define FDRMS_OBS_TRACE_H_
 
 /// \file trace.h
-/// Fixed-size lock-free ring of trace events. Writers claim a slot with one
-/// fetch_add on the head ticket and publish through a per-slot sequence
+/// Fixed-size lock-free ring of trace events. Writers take a ticket with
+/// one fetch_add on the head, then claim their slot by CAS on its sequence
 /// word (Vyukov-style seqlock: 2t+1 while the write is in flight, 2t+2 once
 /// complete). Old events are overwritten, never blocked on — tracing must
-/// not be able to stall the writer loop or a migration. Collect() walks the
-/// retained window and drops any slot whose sequence changed mid-read, so
-/// torn events are discarded rather than surfaced.
+/// not be able to stall the writer loop or a migration. A writer that finds
+/// its slot mid-write or already claimed by a newer ticket (the ring lapped
+/// it) drops its event instead of racing: two tickets must never interleave
+/// payload stores into one slot. Collect() walks the retained window and
+/// drops any slot whose sequence changed mid-read, so torn events are
+/// discarded rather than surfaced.
 ///
 /// Event names must be string literals (static storage): the ring stores
 /// the pointer, not a copy.
@@ -48,7 +51,22 @@ class TraceRing {
               uint64_t arg0 = 0, uint64_t arg1 = 0) {
     const uint64_t t = head_.fetch_add(1, std::memory_order_relaxed);
     Slot& s = slots_[t & mask_];
-    s.seq.store(2 * t + 1, std::memory_order_release);
+    // Claim the slot, or drop the event. Tickets aliasing one slot differ
+    // by a multiple of the capacity, so any prior complete write has
+    // seq <= 2(t - cap) + 2 < 2t + 1 and any newer claim has seq > 2t + 2;
+    // an odd seq means some write is in flight. Writing anyway in either
+    // case could leave the slot with a consistent-looking seq over another
+    // ticket's half-stored payload.
+    uint64_t prev = s.seq.load(std::memory_order_relaxed);
+    if ((prev & 1) != 0 || prev > 2 * t ||
+        !s.seq.compare_exchange_strong(prev, 2 * t + 1,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_relaxed)) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    // The acquire half of the CAS keeps the payload stores below from
+    // hoisting above the odd-seq claim; the release store publishes them.
     s.name.store(name, std::memory_order_relaxed);
     s.start_us.store(start_us, std::memory_order_relaxed);
     s.duration_us.store(duration_us, std::memory_order_relaxed);
@@ -76,7 +94,12 @@ class TraceRing {
       e.duration_us = s.duration_us.load(std::memory_order_relaxed);
       e.arg0 = s.arg0.load(std::memory_order_relaxed);
       e.arg1 = s.arg1.load(std::memory_order_relaxed);
-      const uint64_t seq2 = s.seq.load(std::memory_order_acquire);
+      // Classic seqlock reader fence: an acquire *load* only orders later
+      // accesses, so without the fence the relaxed payload loads above
+      // could be reordered past the seq2 re-check and a torn event could
+      // slip through on weakly-ordered hardware.
+      std::atomic_thread_fence(std::memory_order_acquire);
+      const uint64_t seq2 = s.seq.load(std::memory_order_relaxed);
       if (seq2 != seq1 || name == nullptr) continue;  // torn read, drop
       e.name = name;
       out.push_back(std::move(e));
@@ -87,6 +110,13 @@ class TraceRing {
   /// Total events ever recorded (including ones already overwritten).
   uint64_t total_recorded() const {
     return head_.load(std::memory_order_relaxed);
+  }
+
+  /// Events abandoned because their slot was mid-write or already lapped
+  /// by a newer ticket (only possible once the ring wraps under
+  /// concurrency).
+  uint64_t total_dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
   }
 
   size_t capacity() const { return mask_ + 1; }
@@ -103,6 +133,7 @@ class TraceRing {
   std::unique_ptr<Slot[]> slots_;
   size_t mask_ = 0;
   std::atomic<uint64_t> head_{0};
+  std::atomic<uint64_t> dropped_{0};
 };
 
 }  // namespace obs

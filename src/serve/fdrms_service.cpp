@@ -350,9 +350,11 @@ void FdRmsService::ApplyAndPublish(const std::vector<FdRms::BatchOp>& batch) {
       size_t applied = 0;
       Status st = algo_.ApplyBatch(batch, pos, &applied);
       metrics_.ops_applied->Increment(applied);
+      applied_total_ += applied;
       pos += applied;
       if (!st.ok()) {
         metrics_.ops_rejected->Increment();
+        ++rejected_total_;
         ++pos;  // skip the offender
       }
     }
@@ -371,9 +373,12 @@ void FdRmsService::ApplyAndPublish(const std::vector<FdRms::BatchOp>& batch) {
   }
   {
     std::lock_guard<std::mutex> lock(flush_mutex_);
-    // Writer-exact: only this thread increments the two counters.
-    consumed_published_ =
-        metrics_.ops_applied->Value() + metrics_.ops_rejected->Value();
+    // Writer-exact, and deliberately instance-local rather than reading the
+    // registry counters back: a registry series can be shared with a prior
+    // incarnation (same name + labels), and a rendezvous seeded with a dead
+    // instance's totals would let Flush() report an un-drained queue as
+    // flushed.
+    consumed_published_ = applied_total_ + rejected_total_;
   }
   flush_cv_.notify_all();
   // This batch's drain→publish latency feeds the histogram the *next*

@@ -337,9 +337,14 @@ class FdRmsService {
   uint64_t attempted_persist_batches_ = 0;  ///< batches_ as of the last attempt
   double busy_seconds_ = 0.0;
   size_t effective_batch_ = 0;  ///< adaptive batching bound in force
+  uint64_t applied_total_ = 0;   ///< ops this instance applied
+  uint64_t rejected_total_ = 0;  ///< ops this instance rejected
 
-  // Flush rendezvous: consumed_published_ tracks applied_ + rejected_ as of
-  // the last publication; writer_done_ flips when the writer exits.
+  // Flush rendezvous: consumed_published_ tracks applied_total_ +
+  // rejected_total_ as of the last publication; writer_done_ flips when the
+  // writer exits. The tallies are instance-local on purpose: registry
+  // counters may be shared with a prior incarnation of the same series, and
+  // Flush's contract is about THIS instance's queue.
   mutable std::mutex flush_mutex_;
   std::condition_variable flush_cv_;
   uint64_t consumed_published_ = 0;

@@ -185,9 +185,20 @@ std::shared_ptr<FdRmsService> ShardedFdRmsService::MakeShard(int index,
     per_shard.resume_path.clear();
   }
   // One registry for the constellation: shards are told apart by label, and
-  // the sharded layer owns the (single) dumper.
+  // the sharded layer owns the (single) dumper. GetOrCreate hands the same
+  // series back for the same (name, labels), so a reborn index must not
+  // reuse the retired instance's labels — its counters would resume at the
+  // dead instance's totals, inflating the new shard's stats. The first
+  // instance keeps the plain {shard=i} label; rebirths add {gen=n}.
   per_shard.registry = registry_;
+  if (static_cast<size_t>(index) >= shard_incarnations_.size()) {
+    shard_incarnations_.resize(static_cast<size_t>(index) + 1, 0);
+  }
+  const uint64_t gen = shard_incarnations_[static_cast<size_t>(index)]++;
   per_shard.metrics_labels.emplace_back("shard", std::to_string(index));
+  if (gen > 0) {
+    per_shard.metrics_labels.emplace_back("gen", std::to_string(gen));
+  }
   per_shard.metrics_dump_every_ms = 0;
   auto user_hook = per_shard.on_publish;
   per_shard.on_publish = [this, user_hook = std::move(user_hook)](

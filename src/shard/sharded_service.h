@@ -114,8 +114,9 @@ struct ShardedServiceOptions {
   uint64_t merge_seed = 4242;
 
   /// Metric registry shared by the whole constellation: every shard reports
-  /// into it under a {"shard","<index>"} label, and the sharded layer adds
-  /// its own series (reads, merge cache, migration phases). Null = the
+  /// into it under a {"shard","<index>"} label (plus {"gen","<n>"} when an
+  /// index is re-created, so instances never share series), and the sharded
+  /// layer adds its own series (reads, merge cache, migration phases). Null = the
   /// service creates one (reachable via registry()). Any registry set on
   /// `shard.registry` is overridden by this one so the constellation never
   /// splits across registries.
@@ -285,7 +286,10 @@ class ShardedFdRmsService {
   }
 
   /// Builds one shard service (publication hook, per-shard persist/resume
-  /// paths) for slot `index`.
+  /// paths) for slot `index`. The first instance at an index is labelled
+  /// {shard=index}; rebirths (RemoveShard→AddShard, failed-Start rebuild,
+  /// AddShard rollback retry) add a {gen=n} label so the new instance never
+  /// inherits the retired instance's registry series.
   std::shared_ptr<FdRmsService> MakeShard(int index, bool resumable);
 
   /// (Re)creates the S-shard epoch-0 topology. Used at construction and to
@@ -335,6 +339,10 @@ class ShardedFdRmsService {
   /// Shared by every shard; the sharded layer's own series live here too.
   std::shared_ptr<obs::MetricRegistry> registry_;
   std::unique_ptr<obs::PeriodicDumper> dumper_;
+
+  /// Instances ever created per shard index, driving MakeShard's gen label.
+  /// Guarded by admin_mutex_ (the constructor's use is pre-publication).
+  std::vector<uint64_t> shard_incarnations_;
 
   /// Constellation-level handles into registry_ (unlabelled — the shard
   /// label belongs to per-shard series). Counters/histograms are

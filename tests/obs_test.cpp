@@ -19,6 +19,7 @@
 #include "obs/pow2_hist.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
+#include "shard/sharded_service.h"
 
 // All suites here are named Obs* on purpose: the `tsan` CMake test preset
 // (and the CI ThreadSanitizer job) selects them with ^(Serve|Shard|...|Obs).
@@ -230,6 +231,47 @@ TEST(ObsTrace, ConcurrentWritersNeverSurfaceTornEvents) {
   EXPECT_EQ(ring.total_recorded(), uint64_t{kThreads} * kPerThread);
 }
 
+TEST(ObsTrace, SingleWriterNeverDropsEvenAcrossWrap) {
+  TraceRing ring(4);
+  for (uint64_t i = 0; i < 100; ++i) ring.Record("e", i, 0, i, i + 1);
+  EXPECT_EQ(ring.total_dropped(), 0u);
+  EXPECT_EQ(ring.total_recorded(), 100u);
+  EXPECT_EQ(ring.Collect().size(), 4u);
+}
+
+TEST(ObsTrace, WrapRacingWritersNeverMixPayloads) {
+  // A tiny ring makes tickets alias the same slot constantly, exercising
+  // the claim path: a writer that finds its slot mid-write or lapped must
+  // drop its event rather than interleave payload stores with another
+  // ticket's.
+  TraceRing ring(4);
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 20000;
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      for (const TraceEvent& e : ring.Collect()) {
+        // Writers always store arg1 == arg0 + 1; a mixed slot breaks it.
+        ASSERT_EQ(e.arg1, e.arg0 + 1);
+        ASSERT_EQ(e.name, "w");
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        ring.Record("w", i, 1, i, i + 1);
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(ring.total_recorded(), uint64_t{kThreads} * kPerThread);
+  EXPECT_LE(ring.total_dropped(), ring.total_recorded());
+}
+
 // ---------------------------------------------------------------------------
 // Registry
 // ---------------------------------------------------------------------------
@@ -251,6 +293,16 @@ TEST(ObsRegistry, GetOrCreateReturnsStableHandles) {
   EXPECT_EQ(plain->counter_value, 5u);
   EXPECT_EQ(shard0->counter_value, 7u);
   EXPECT_EQ(snap.Find("absent"), nullptr);
+}
+
+TEST(ObsRegistryDeathTest, FamilyTypeConflictAbortsEvenAcrossLabels) {
+  // A Prometheus family carries exactly one # TYPE line, so the same name
+  // under a different type — even with different labels — would render an
+  // exposition whose TYPE mismatches some of its series.
+  MetricRegistry reg;
+  reg.GetCounter("fdrms_mixed_total", "c", {{"shard", "0"}});
+  EXPECT_DEATH(reg.GetGauge("fdrms_mixed_total", "g", {{"shard", "1"}}),
+               "re-registered");
 }
 
 TEST(ObsRegistry, SnapshotIsSortedByNameThenLabels) {
@@ -486,6 +538,27 @@ TEST(ObsDumper, WritesFinalDumpOnStop) {
   std::remove(opt.json_path.c_str());
 }
 
+TEST(ObsDumper, ConcurrentStopJoinsExactlyOnce) {
+  auto reg = std::make_shared<MetricRegistry>();
+  reg->GetCounter("fdrms_ops_total", "ops")->Increment();
+  PeriodicDumperOptions opt;
+  opt.prometheus_path = "obs_test_concurrent_stop.prom";
+  opt.interval_ms = 1;
+  PeriodicDumper dumper(reg, opt);
+  dumper.Start();
+  // All callers race Stop; exactly one may join the dump thread (a double
+  // join is std::terminate), the rest must return immediately.
+  std::vector<std::thread> stoppers;
+  for (int i = 0; i < 4; ++i) {
+    stoppers.emplace_back([&] { dumper.Stop(); });
+  }
+  for (std::thread& t : stoppers) t.join();
+  EXPECT_GE(dumper.dumps(), 1u);
+  dumper.Stop();  // still idempotent afterwards
+  std::remove(opt.prometheus_path.c_str());
+  std::remove((opt.prometheus_path + ".tmp").c_str());
+}
+
 // ---------------------------------------------------------------------------
 // Live-service integration: the acceptance scrape
 // ---------------------------------------------------------------------------
@@ -576,6 +649,56 @@ TEST(ObsShardedIntegration, MigrationLifecycleIsObservable) {
   EXPECT_NE(res.debug_text.find("=== ShardedFdRmsService ==="),
             std::string::npos);
   EXPECT_NE(res.debug_text.find("--- shard 2 ---"), std::string::npos);
+}
+
+TEST(ObsShardedIntegration, RebornShardIndexGetsFreshSeries) {
+  // RemoveShard then AddShard re-creates index 2. The registry hands back
+  // the same series for the same (name, labels), so the reborn instance
+  // must carry a distinguishing gen label — otherwise its counters would
+  // resume at the dead instance's totals, inflating its stats and (before
+  // the Flush rendezvous went instance-local) letting Flush() report an
+  // un-drained queue as flushed.
+  PointSet ps = GenerateIndep(240, 3, 41);
+  ShardedServiceOptions sopt;
+  sopt.num_shards = 3;
+  sopt.shard.algo.r = 6;
+  sopt.shard.algo.max_utilities = 128;
+  ShardedFdRmsService service(3, sopt);
+  std::vector<std::pair<int, Point>> initial;
+  for (int i = 0; i < 240; ++i) initial.emplace_back(i, ps.Get(i));
+  ASSERT_TRUE(service.Start(initial).ok());
+
+  ASSERT_TRUE(service.RemoveShard().ok());
+  RegistrySnapshot mid = service.registry()->Snapshot();
+  const MetricSnapshot* retired =
+      mid.Find("fdrms_ops_applied_total", {{"shard", "2"}});
+  ASSERT_NE(retired, nullptr);
+  // The victim applied the migration deletes that drained it.
+  EXPECT_GT(retired->counter_value, 0u);
+  const uint64_t retired_applied = retired->counter_value;
+
+  ASSERT_TRUE(service.AddShard().ok());
+  RegistrySnapshot snap = service.registry()->Snapshot();
+  const MetricSnapshot* old_series =
+      snap.Find("fdrms_ops_applied_total", {{"shard", "2"}});
+  const MetricSnapshot* new_series =
+      snap.Find("fdrms_ops_applied_total", {{"shard", "2"}, {"gen", "1"}});
+  ASSERT_NE(old_series, nullptr);
+  ASSERT_NE(new_series, nullptr);
+  // The dead instance's series is frozen; the reborn instance's series
+  // covers only its own work (the slots migrated onto it).
+  EXPECT_EQ(old_series->counter_value, retired_applied);
+  auto reborn = service.shard(2).Query();
+  ASSERT_NE(reborn, nullptr);
+  EXPECT_EQ(new_series->counter_value, reborn->ops_applied);
+
+  // Flush on the reborn constellation still means fully drained.
+  ASSERT_TRUE(service.SubmitDelete(11).ok());
+  ASSERT_TRUE(service.Flush().ok());
+  auto merged = service.Query();
+  ASSERT_NE(merged, nullptr);
+  EXPECT_EQ(merged->live_tuples, 239);
+  ASSERT_TRUE(service.Stop().ok());
 }
 
 }  // namespace
