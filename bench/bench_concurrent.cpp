@@ -23,6 +23,7 @@
 
 #include "bench_common.h"
 #include "eval/service_driver.h"
+#include "obs/pow2_hist.h"
 
 using namespace fdrms;
 
@@ -100,7 +101,7 @@ int main(int argc, char** argv) {
     for (size_t b = 0; b < res.batch_size_hist.size(); ++b) {
       if (res.batch_size_hist[b] == 0) continue;
       metrics.emplace_back(
-          "batch_size_hist_ge_" + std::to_string(Pow2HistBucketFloor(b)),
+          "batch_size_hist_ge_" + std::to_string(obs::Pow2HistBucketFloor(b)),
           static_cast<double>(res.batch_size_hist[b]));
     }
     json.AddCase("readers=" + std::to_string(readers) +

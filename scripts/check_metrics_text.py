@@ -59,6 +59,9 @@ REQUIRED_SERIES = [
     "fdrms_reads_total",
     "fdrms_merge_cache_hits_total",
     "fdrms_merge_cache_misses_total",
+    # Process-level series every registry snapshot synthesizes.
+    "process_uptime_seconds",
+    "obs_registry_series",
 ]
 
 MIGRATION_SERIES = [
@@ -128,6 +131,9 @@ def parse_exposition(path, errors):
     for family in types:
         if family not in helps:
             errors.append(f"family {family}: # TYPE without # HELP")
+    for family in helps:
+        if family not in types:
+            errors.append(f"family {family}: # HELP without # TYPE")
     return samples, types
 
 

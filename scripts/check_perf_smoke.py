@@ -49,7 +49,7 @@ import argparse
 import json
 import sys
 
-THROUGHPUT_KEYS = ("update_ops_per_s", "items_per_second")
+THROUGHPUT_KEYS = ("update_ops_per_s", "wall_ops_per_s", "items_per_second")
 
 
 def load_cases(path):

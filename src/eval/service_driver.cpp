@@ -2,17 +2,103 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cmath>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "common/check.h"
 #include "common/stopwatch.h"
 #include "obs/exporters.h"
+#include "obs/pow2_hist.h"
 #include "obs/registry.h"
 
 namespace fdrms {
 
+std::vector<ArrivalPhase> FlashCrowdArrival(double base_ops_per_sec,
+                                            double burst_multiplier,
+                                            double burst_fraction) {
+  // Fractions: 30% baseline warmup, the crowd, then a baseline tail with
+  // whatever remains — the tail is what makes "p99 recovered" measurable.
+  burst_fraction = std::min(std::max(burst_fraction, 0.05), 0.9);
+  const double lead = std::min(0.3, (1.0 - burst_fraction) / 2.0);
+  return {
+      {lead, base_ops_per_sec},
+      {burst_fraction, base_ops_per_sec * burst_multiplier},
+      {1.0 - lead - burst_fraction, base_ops_per_sec},
+  };
+}
+
+std::vector<ArrivalPhase> DiurnalArrival(double base_ops_per_sec, int cycles,
+                                         int phases_per_cycle,
+                                         double amplitude) {
+  cycles = std::max(cycles, 1);
+  phases_per_cycle = std::max(phases_per_cycle, 2);
+  amplitude = std::min(std::max(amplitude, 0.0), 0.95);
+  std::vector<ArrivalPhase> phases;
+  const int total = cycles * phases_per_cycle;
+  const double fraction = 1.0 / static_cast<double>(total);
+  constexpr double kTau = 6.28318530717958647692;
+  for (int i = 0; i < total; ++i) {
+    const double angle =
+        kTau * static_cast<double>(i % phases_per_cycle) /
+        static_cast<double>(phases_per_cycle);
+    phases.push_back(
+        {fraction, base_ops_per_sec * (1.0 + amplitude * std::sin(angle))});
+  }
+  return phases;
+}
+
 namespace {
+
+/// Per-operation scheduled submission instants (seconds from load start)
+/// for a paced run: within each phase, operations are spaced 1/rate apart,
+/// phases running back to back. Empty when `arrival` is empty (= full
+/// speed).
+std::vector<double> BuildArrivalSchedule(
+    const std::vector<ArrivalPhase>& arrival, size_t num_ops) {
+  std::vector<double> at;
+  if (arrival.empty() || num_ops == 0) return at;
+  at.reserve(num_ops);
+  double clock = 0.0;
+  size_t scheduled = 0;
+  for (size_t p = 0; p < arrival.size() && scheduled < num_ops; ++p) {
+    const ArrivalPhase& phase = arrival[p];
+    size_t count = p + 1 == arrival.size()
+                       ? num_ops - scheduled  // last phase absorbs rounding
+                       : std::min(num_ops - scheduled,
+                                  static_cast<size_t>(
+                                      phase.ops_fraction *
+                                      static_cast<double>(num_ops)));
+    const double gap =
+        phase.ops_per_sec > 0.0 ? 1.0 / phase.ops_per_sec : 0.0;
+    for (size_t i = 0; i < count; ++i) {
+      at.push_back(clock);
+      clock += gap;
+    }
+    scheduled += count;
+  }
+  while (at.size() < num_ops) at.push_back(clock);  // defensive top-up
+  return at;
+}
+
+/// Parks the caller until `wall` reaches `target_seconds` — sleeping for
+/// the bulk, yielding the last stretch so the submit lands close to its
+/// slot without burning a core for the whole wait.
+void WaitUntil(const Stopwatch& wall, double target_seconds) {
+  for (;;) {
+    const double now = wall.ElapsedSeconds();
+    if (now >= target_seconds) return;
+    const double remaining = target_seconds - now;
+    if (remaining > 0.0005) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(static_cast<int64_t>(remaining * 5e5)));
+    } else {
+      std::this_thread::yield();
+    }
+  }
+}
 
 /// Staleness/consistency tallies of one reader thread (no sharing: each
 /// reader owns its accumulator; the driver merges after join).
@@ -120,8 +206,8 @@ ServiceLoadResult RunServiceLoad(const Workload& workload,
   result.writer_busy_seconds = last->writer_busy_seconds;
   result.publish_p50_us = last->publish_p50_us;
   result.publish_p99_us = last->publish_p99_us;
-  result.queue_depth_p50 = Pow2HistQuantile(last->queue_depth_hist, 0.50);
-  result.queue_depth_p99 = Pow2HistQuantile(last->queue_depth_hist, 0.99);
+  result.queue_depth_p50 = obs::Pow2HistQuantile(last->queue_depth_hist, 0.50);
+  result.queue_depth_p99 = obs::Pow2HistQuantile(last->queue_depth_hist, 0.99);
   result.effective_max_batch = last->effective_max_batch;
   result.queue_depth_hist = last->queue_depth_hist;
   result.batch_size_hist = last->batch_size_hist;
@@ -181,13 +267,19 @@ ShardedLoadResult RunShardedLoad(const Workload& workload,
   FDRMS_CHECK(opts.num_readers >= 0);
   FDRMS_CHECK(opts.num_submitters >= 1);
   const int num_shards = opts.service.num_shards;
-  const bool fixed_topology = opts.migrations.empty();
+  // The SLO controller is a second source of topology changes: when its
+  // topology actuator is live, the shard set can grow or shrink at any
+  // moment the signals say so, exactly like configured migration events.
+  const bool controller_topology =
+      opts.enable_slo_controller && opts.slo.enable_topology;
+  const bool fixed_topology = opts.migrations.empty() && !controller_topology;
   // Staleness is derived from service.ops_submitted() (which keeps counting
   // retired shards, monotone) minus the merged view's consumed ops (live
   // shards only). Once a shard retires, its lifetime op count inflates that
-  // difference forever, so runs with kRemoveShard events skip the staleness
-  // tally instead of reporting a phantom backlog.
-  bool track_staleness = true;
+  // difference forever, so runs with kRemoveShard events (or a controller
+  // that may scale down) skip the staleness tally instead of reporting a
+  // phantom backlog.
+  bool track_staleness = !controller_topology;
   for (const ShardedLoadOptions::MigrationEvent& event : opts.migrations) {
     if (event.kind == ShardedLoadOptions::MigrationEvent::Kind::kRemoveShard) {
       track_staleness = false;
@@ -211,7 +303,14 @@ ShardedLoadResult RunShardedLoad(const Workload& workload,
       ++max_shards;
     }
   }
+  if (controller_topology) {
+    max_shards = std::max(max_shards, opts.slo.max_shards);
+  }
   const std::vector<Operation>& ops = workload.operations();
+  // Paced arrivals: per-op scheduled instants against the shared wall
+  // clock; empty = submit full speed.
+  const std::vector<double> arrival_at =
+      BuildArrivalSchedule(opts.arrival, ops.size());
   std::atomic<bool> readers_stop{false};
   std::atomic<uint64_t> submit_failures{0};
   // Workload operations pushed so far (excludes migration-internal ops, so
@@ -314,6 +413,7 @@ ShardedLoadResult RunShardedLoad(const Workload& workload,
     threads.emplace_back([&, t] {
       for (size_t i = static_cast<size_t>(t); i < ops.size();
            i += static_cast<size_t>(opts.num_submitters)) {
+        if (!arrival_at.empty()) WaitUntil(wall, arrival_at[i]);
         Status st = ops[i].is_insert
                         ? service.SubmitInsert(ops[i].id,
                                                workload.data().Get(ops[i].id))
@@ -324,6 +424,19 @@ ShardedLoadResult RunShardedLoad(const Workload& workload,
         workload_submitted.fetch_add(1, std::memory_order_relaxed);
       }
     });
+  }
+
+  // The SLO control loop runs for the submission phase only: it is stopped
+  // before the final drain, so end-of-run slack (the queue emptying once
+  // the stream ends) can't read as sustained idleness and scale the
+  // constellation back down under the assertions' feet.
+  std::unique_ptr<control::ShardedServiceActuator> actuator;
+  std::unique_ptr<control::SloController> slo_controller;
+  if (opts.enable_slo_controller) {
+    actuator = std::make_unique<control::ShardedServiceActuator>(&service);
+    slo_controller = std::make_unique<control::SloController>(
+        service.registry(), actuator.get(), opts.slo);
+    slo_controller->Start();
   }
 
   // Controller: fires the topology events at their stream fractions while
@@ -377,6 +490,10 @@ ShardedLoadResult RunShardedLoad(const Workload& workload,
   }
   submitters_done.store(true, std::memory_order_release);
   if (controller.joinable()) controller.join();
+  if (slo_controller != nullptr) {
+    slo_controller->Stop();
+    result.controller_debug_text = slo_controller->DebugString();
+  }
   Status flushed = service.Flush();
   FDRMS_CHECK(flushed.ok()) << flushed.ToString();
   const double wall_seconds = wall.ElapsedSeconds();
@@ -452,9 +569,29 @@ ShardedLoadResult RunShardedLoad(const Workload& workload,
   result.merge_cache_hits = counter("fdrms_merge_cache_hits_total");
   result.merge_cache_misses = counter("fdrms_merge_cache_misses_total");
   result.merge_recovers = counter("fdrms_merge_recovers_total");
+  if (opts.enable_slo_controller) {
+    auto gauge = [&scrape](const char* name) -> double {
+      const obs::MetricSnapshot* m = scrape.Find(name);
+      return m != nullptr ? m->gauge_value : 0.0;
+    };
+    result.control_ticks = counter("control_ticks_total");
+    result.control_decisions = counter("control_decisions_total");
+    result.control_scale_ups = counter("control_scale_ups_total");
+    result.control_scale_downs = counter("control_scale_downs_total");
+    result.control_scale_failures = counter("control_scale_failures_total");
+    result.control_batch_adjustments =
+        counter("control_batch_adjustments_total");
+    result.control_publish_p99_window_us =
+        gauge("control_publish_p99_window_us");
+    result.control_slo_violation_seconds =
+        gauge("control_slo_violation_seconds");
+  }
   for (const obs::TraceEvent& event : scrape.trace) {
     if (event.name.rfind("migration.", 0) == 0) {
       result.migration_trace.push_back(event);
+    }
+    if (event.name.rfind("control.", 0) == 0) {
+      result.control_trace.push_back(event);
     }
   }
   result.prometheus_text = obs::PrometheusText(scrape);

@@ -15,12 +15,38 @@
 #include <vector>
 
 #include "common/status.h"
+#include "control/slo_controller.h"
 #include "eval/workload.h"
 #include "obs/trace.h"
 #include "serve/fdrms_service.h"
 #include "shard/sharded_service.h"
 
 namespace fdrms {
+
+/// One segment of a paced arrival schedule: `ops_fraction` of the op
+/// stream submitted at an aggregate `ops_per_sec` target rate. Fractions
+/// should sum to ~1 (the last phase absorbs rounding). An empty schedule
+/// means full speed (the pre-pacing behavior).
+struct ArrivalPhase {
+  double ops_fraction = 1.0;
+  double ops_per_sec = 0.0;  ///< <= 0 means unpaced within the phase
+};
+
+/// Flash-crowd arrival: baseline -> `burst_multiplier`x burst over
+/// `burst_fraction` of the stream -> baseline tail. The tail keeps traffic
+/// flowing after the crowd so post-recovery windows (the "did p99 come
+/// back under the SLO" check) measure a served system, not silence.
+std::vector<ArrivalPhase> FlashCrowdArrival(double base_ops_per_sec,
+                                            double burst_multiplier = 8.0,
+                                            double burst_fraction = 0.4);
+
+/// Diurnal arrival: `cycles` piecewise-sinusoid day cycles, each sampled
+/// at `phases_per_cycle` plateaus swinging rate between
+/// base*(1-amplitude) and base*(1+amplitude).
+std::vector<ArrivalPhase> DiurnalArrival(double base_ops_per_sec,
+                                         int cycles = 2,
+                                         int phases_per_cycle = 8,
+                                         double amplitude = 0.75);
 
 /// Shape of one load run.
 struct ServiceLoadOptions {
@@ -63,7 +89,7 @@ struct ServiceLoadResult {
   // Batching telemetry from the final snapshot: queue-depth quantiles
   // (operations, derived from the writer's power-of-two depth histogram),
   // the adaptive batch bound in force at the end, and the raw cumulative
-  // histograms (see Pow2HistBucket for the bucket scheme).
+  // histograms (see obs::Pow2HistBucket for the bucket scheme).
   double queue_depth_p50 = 0.0;
   double queue_depth_p99 = 0.0;
   uint64_t effective_max_batch = 0;
@@ -111,6 +137,18 @@ struct ShardedLoadOptions {
     MigrationPlan plan;  ///< kPlan only
   };
   std::vector<MigrationEvent> migrations;
+
+  /// Paced submission schedule (see ArrivalPhase); empty = full speed.
+  /// Submitters share one wall clock and sleep until each operation's
+  /// scheduled instant, so the aggregate rate tracks the phase targets.
+  std::vector<ArrivalPhase> arrival;
+
+  /// Closed-loop control: when enabled, an SloController (driving the
+  /// live service through a ShardedServiceActuator) runs for the duration
+  /// of the submission phase. Its control_* series and control.* trace
+  /// events land in the same registry the result scrapes.
+  bool enable_slo_controller = false;
+  control::SloControllerOptions slo;
 };
 
 /// What happened during a sharded run.
@@ -187,6 +225,22 @@ struct ShardedLoadResult {
   // events with start/duration and epoch/count args), oldest first —
   // one freeze/drain/replay/cutover quadruple per successful epoch.
   std::vector<obs::TraceEvent> migration_trace;
+
+  // SLO controller outcome (zeroed unless enable_slo_controller): decision
+  // counters scraped from the control_* family, the last non-empty
+  // window's publish p99, the controller's own decision trace
+  // ("control.scale_up/scale_down/scale_fail/batch_raise/batch_lower"),
+  // and its status page at shutdown.
+  uint64_t control_ticks = 0;
+  uint64_t control_decisions = 0;
+  uint64_t control_scale_ups = 0;
+  uint64_t control_scale_downs = 0;
+  uint64_t control_scale_failures = 0;
+  uint64_t control_batch_adjustments = 0;
+  double control_publish_p99_window_us = 0.0;
+  double control_slo_violation_seconds = 0.0;
+  std::vector<obs::TraceEvent> control_trace;
+  std::string controller_debug_text;
 
   // One consistent scrape of the constellation's registry after Stop():
   // per-shard series (labelled shard="i") plus the sharded layer's own,

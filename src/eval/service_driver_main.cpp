@@ -11,11 +11,25 @@
 /// Flags (all optional):
 ///   --n INT            dataset size (default 2000)
 ///   --dim INT          dimensionality (default 4)
+///   --r INT            FD-RMS result-size bound (default 20; larger makes
+///                      each update heavier — the smoke's knob for pushing
+///                      a writer to saturation at modest arrival rates)
 ///   --shards INT       initial shard count (default 2)
 ///   --readers INT      merged-Query() threads (default 2)
 ///   --submitters INT   submitter threads (default 2)
 ///   --migrate          fire AddShard at 50% of the op stream (default on;
 ///                      --no-migrate disables)
+///   --scenario NAME    arrival pacing: none (default, full speed), flash
+///                      (baseline -> burst -> baseline), diurnal
+///                      (sinusoid day cycles)
+///   --base-rate R      paced scenarios' baseline ops/s (default 4000)
+///   --burst X          flash-crowd burst multiplier (default 10)
+///   --burst-frac F     fraction of the op stream inside the burst
+///                      (default 0.4; larger = longer crowd)
+///   --slo              run the SLO controller (src/control/) against the
+///                      live constellation for the submission phase
+///   --slo-p99-us N     publish-p99 objective in microseconds (default
+///                      20000)
 ///   --dump-every-ms N  periodic dumper interval (default 200; 0 disables)
 ///   --prom PATH        Prometheus text output (default fdrms_metrics.prom)
 ///   --json PATH        JSON dump output (default fdrms_metrics.json)
@@ -44,17 +58,29 @@ long ArgLong(int argc, char** argv, int* i, long fallback) {
   return std::strtol(argv[++*i], nullptr, 10);
 }
 
+double ArgDouble(int argc, char** argv, int* i, double fallback) {
+  if (*i + 1 >= argc) return fallback;
+  return std::strtod(argv[++*i], nullptr);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   int n = 2000;
   int dim = 4;
+  int r = 20;
   int shards = 2;
   int readers = 2;
   int submitters = 2;
   bool migrate = true;
   int dump_every_ms = 200;
   bool debug = false;
+  std::string scenario = "none";
+  double base_rate = 4000.0;
+  double burst = 10.0;
+  double burst_frac = 0.4;
+  bool slo = false;
+  double slo_p99_us = 20000.0;
   std::string prom_path = "fdrms_metrics.prom";
   std::string json_path = "fdrms_metrics.json";
   for (int i = 1; i < argc; ++i) {
@@ -62,6 +88,8 @@ int main(int argc, char** argv) {
       n = static_cast<int>(ArgLong(argc, argv, &i, n));
     } else if (std::strcmp(argv[i], "--dim") == 0) {
       dim = static_cast<int>(ArgLong(argc, argv, &i, dim));
+    } else if (std::strcmp(argv[i], "--r") == 0) {
+      r = static_cast<int>(ArgLong(argc, argv, &i, r));
     } else if (std::strcmp(argv[i], "--shards") == 0) {
       shards = static_cast<int>(ArgLong(argc, argv, &i, shards));
     } else if (std::strcmp(argv[i], "--readers") == 0) {
@@ -72,6 +100,18 @@ int main(int argc, char** argv) {
       migrate = true;
     } else if (std::strcmp(argv[i], "--no-migrate") == 0) {
       migrate = false;
+    } else if (std::strcmp(argv[i], "--scenario") == 0 && i + 1 < argc) {
+      scenario = argv[++i];
+    } else if (std::strcmp(argv[i], "--base-rate") == 0) {
+      base_rate = ArgDouble(argc, argv, &i, base_rate);
+    } else if (std::strcmp(argv[i], "--burst") == 0) {
+      burst = ArgDouble(argc, argv, &i, burst);
+    } else if (std::strcmp(argv[i], "--burst-frac") == 0) {
+      burst_frac = ArgDouble(argc, argv, &i, burst_frac);
+    } else if (std::strcmp(argv[i], "--slo") == 0) {
+      slo = true;
+    } else if (std::strcmp(argv[i], "--slo-p99-us") == 0) {
+      slo_p99_us = ArgDouble(argc, argv, &i, slo_p99_us);
     } else if (std::strcmp(argv[i], "--dump-every-ms") == 0) {
       dump_every_ms = static_cast<int>(ArgLong(argc, argv, &i, dump_every_ms));
     } else if (std::strcmp(argv[i], "--prom") == 0 && i + 1 < argc) {
@@ -93,7 +133,7 @@ int main(int argc, char** argv) {
   opts.num_readers = readers;
   opts.num_submitters = submitters;
   opts.service.num_shards = shards;
-  opts.service.shard.algo.r = 20;
+  opts.service.shard.algo.r = r;
   opts.service.shard.queue_capacity = 4096;
   opts.service.shard.max_batch = 64;
   opts.service.metrics_dump_every_ms = dump_every_ms;
@@ -103,12 +143,41 @@ int main(int argc, char** argv) {
     opts.migrations.push_back(
         {ShardedLoadOptions::MigrationEvent::Kind::kAddShard, 0.5, {}});
   }
+  if (scenario == "flash") {
+    opts.arrival = FlashCrowdArrival(base_rate, burst, burst_frac);
+  } else if (scenario == "diurnal") {
+    opts.arrival = DiurnalArrival(base_rate);
+  } else if (scenario != "none") {
+    std::cerr << "unknown --scenario: " << scenario
+              << " (expected none|flash|diurnal)\n";
+    return 2;
+  }
+  if (slo) {
+    opts.enable_slo_controller = true;
+    opts.slo.publish_p99_slo_us = slo_p99_us;
+    // Smoke-friendly control constants: quick windows and a short sustain
+    // so a few-second flash crowd is enough to trip the scale-up, a long
+    // cooldown so the post-burst slack can't scale back down before the
+    // final scrape, and a floor at the initial topology.
+    opts.slo.tick_ms = 100;
+    opts.slo.sustain_ticks = 2;
+    opts.slo.cooldown_us = 3000000;
+    opts.slo.min_shards = shards;
+    opts.slo.max_shards = shards + 4;
+  }
 
-  std::cout << "service_driver: n=" << n << " dim=" << dim
+  std::cout << "service_driver: n=" << n << " dim=" << dim << " r=" << r
             << " shards=" << shards << " readers=" << readers
             << " submitters=" << submitters << " ops=" << wl.operations().size()
             << " migrate=" << (migrate ? "AddShard@0.5" : "off")
-            << " dump_every_ms=" << dump_every_ms << "\n";
+            << " scenario=" << scenario;
+  if (scenario != "none") {
+    std::cout << " base_rate=" << base_rate;
+    if (scenario == "flash") std::cout << " burst=" << burst;
+  }
+  std::cout << " slo=" << (slo ? "on" : "off");
+  if (slo) std::cout << " slo_p99_us=" << slo_p99_us;
+  std::cout << " dump_every_ms=" << dump_every_ms << "\n";
 
   ShardedLoadResult res = RunShardedLoad(wl, opts);
 
@@ -127,6 +196,21 @@ int main(int argc, char** argv) {
               << " duration_us=" << ev.duration_us << " arg0=" << ev.arg0
               << " arg1=" << ev.arg1 << "\n";
   }
+  if (slo) {
+    std::cout << "control: ticks=" << res.control_ticks
+              << " decisions=" << res.control_decisions
+              << " scale_ups=" << res.control_scale_ups
+              << " scale_downs=" << res.control_scale_downs
+              << " scale_failures=" << res.control_scale_failures
+              << " batch_adjustments=" << res.control_batch_adjustments
+              << " window_p99_us=" << res.control_publish_p99_window_us
+              << " slo_violation_s=" << res.control_slo_violation_seconds
+              << "\n";
+    for (const obs::TraceEvent& ev : res.control_trace) {
+      std::cout << "  " << ev.name << " start_us=" << ev.start_us
+                << " arg0=" << ev.arg0 << " arg1=" << ev.arg1 << "\n";
+    }
+  }
 
   // The periodic dumper already wrote its final dump at Stop(); overwrite
   // with the post-run scrape so the files carry the terminal counters even
@@ -141,11 +225,20 @@ int main(int argc, char** argv) {
   if (debug) {
     // Post-run status page and scrape of the stopped constellation:
     // counters are terminal.
-    std::cout << "\n" << res.debug_text << "\n" << res.prometheus_text << "\n";
+    std::cout << "\n" << res.debug_text << "\n";
+    if (slo) std::cout << res.controller_debug_text << "\n";
+    std::cout << res.prometheus_text << "\n";
   }
 
   const bool ok = res.consistent && res.null_queries == 0 &&
                   res.migrations_failed == 0 && wrote;
-  std::cout << (ok ? "OK" : "FAILED") << "\n";
-  return ok ? 0 : 1;
+  if (!ok) {
+    std::cout << "FAILED: consistent=" << res.consistent
+              << " null_queries=" << res.null_queries
+              << " migrations_failed=" << res.migrations_failed
+              << " wrote=" << wrote << "\n";
+    return 1;
+  }
+  std::cout << "OK\n";
+  return 0;
 }

@@ -154,7 +154,7 @@ RegistrySnapshot MetricRegistry::Snapshot() const {
   snap.uptime_seconds = uptime_.ElapsedSeconds();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    snap.metrics.reserve(entries_.size());
+    snap.metrics.reserve(entries_.size() + 2);
     for (const auto& e : entries_) {
       MetricSnapshot m;
       m.name = e->name;
@@ -181,6 +181,21 @@ RegistrySnapshot MetricRegistry::Snapshot() const {
       }
       snap.metrics.push_back(std::move(m));
     }
+    // Process-level series synthesized at scrape time, so every exporter
+    // (and Find) sees them without any layer having to register or update
+    // them: scrapes are self-describing about the process they came from.
+    MetricSnapshot uptime;
+    uptime.name = "process_uptime_seconds";
+    uptime.help = "Seconds since this registry (and its process) started";
+    uptime.type = MetricType::kGauge;
+    uptime.gauge_value = snap.uptime_seconds;
+    snap.metrics.push_back(std::move(uptime));
+    MetricSnapshot series;
+    series.name = "obs_registry_series";
+    series.help = "Registered metric series in this registry";
+    series.type = MetricType::kGauge;
+    series.gauge_value = static_cast<double>(entries_.size());
+    snap.metrics.push_back(std::move(series));
   }
   std::sort(snap.metrics.begin(), snap.metrics.end(),
             [](const MetricSnapshot& a, const MetricSnapshot& b) {

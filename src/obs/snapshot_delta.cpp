@@ -1,0 +1,132 @@
+#include "obs/snapshot_delta.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace fdrms {
+namespace obs {
+
+namespace {
+
+/// Exact-label lookup in `snap` (Find's empty-labels wildcard would grab
+/// an arbitrary first series, which is wrong for pairing before/after).
+const MetricSnapshot* FindExact(const RegistrySnapshot& snap,
+                                const std::string& name,
+                                const Labels& labels) {
+  for (const MetricSnapshot& m : snap.metrics) {
+    if (m.name == name && m.labels == labels) return &m;
+  }
+  return nullptr;
+}
+
+uint64_t GenOf(const Labels& labels) {
+  for (const auto& [k, v] : labels) {
+    if (k == "gen") {
+      return static_cast<uint64_t>(std::strtoull(v.c_str(), nullptr, 10));
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+bool LabelsMatchSubset(const Labels& series, const Labels& filter) {
+  for (const auto& want : filter) {
+    bool found = false;
+    for (const auto& have : series) {
+      if (have == want) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+double SnapshotDelta::WindowSeconds() const {
+  return std::max(0.0, after_->uptime_seconds - before_->uptime_seconds);
+}
+
+uint64_t SnapshotDelta::CounterDelta(const std::string& name,
+                                     const Labels& labels) const {
+  uint64_t delta = 0;
+  for (const MetricSnapshot& m : after_->metrics) {
+    if (m.name != name || !LabelsMatchSubset(m.labels, labels)) continue;
+    const MetricSnapshot* prev = FindExact(*before_, name, m.labels);
+    const uint64_t base = prev != nullptr ? prev->counter_value : 0;
+    if (m.counter_value > base) delta += m.counter_value - base;
+  }
+  return delta;
+}
+
+double SnapshotDelta::Rate(const std::string& name,
+                           const Labels& labels) const {
+  const double window = WindowSeconds();
+  if (window <= 0.0) return 0.0;
+  return static_cast<double>(CounterDelta(name, labels)) / window;
+}
+
+double SnapshotDelta::GaugeDelta(const std::string& name,
+                                 const Labels& labels) const {
+  double delta = 0.0;
+  for (const MetricSnapshot& m : after_->metrics) {
+    if (m.name != name || !LabelsMatchSubset(m.labels, labels)) continue;
+    const MetricSnapshot* prev = FindExact(*before_, name, m.labels);
+    const double base = prev != nullptr ? prev->gauge_value : 0.0;
+    delta += m.gauge_value - base;
+  }
+  return delta;
+}
+
+double SnapshotDelta::GaugeLatest(const std::string& name,
+                                  const Labels& labels) const {
+  const MetricSnapshot* live = nullptr;
+  uint64_t live_gen = 0;
+  for (const MetricSnapshot& m : after_->metrics) {
+    if (m.name != name || !LabelsMatchSubset(m.labels, labels)) continue;
+    const uint64_t gen = GenOf(m.labels);
+    if (live == nullptr || gen >= live_gen) {
+      live = &m;
+      live_gen = gen;
+    }
+  }
+  return live != nullptr ? live->gauge_value : 0.0;
+}
+
+double SnapshotDelta::HistQuantile(const std::string& name, double q,
+                                   const Labels& labels) const {
+  std::vector<uint64_t> buckets;
+  const MetricSnapshot* family = nullptr;
+  for (const MetricSnapshot& m : after_->metrics) {
+    if (m.name != name || !LabelsMatchSubset(m.labels, labels)) continue;
+    family = &m;
+    if (buckets.size() < m.buckets.size()) buckets.resize(m.buckets.size(), 0);
+    const MetricSnapshot* prev = FindExact(*before_, name, m.labels);
+    for (size_t b = 0; b < m.buckets.size(); ++b) {
+      const uint64_t base =
+          prev != nullptr && b < prev->buckets.size() ? prev->buckets[b] : 0;
+      if (m.buckets[b] > base) buckets[b] += m.buckets[b] - base;
+    }
+  }
+  if (family == nullptr) return 0.0;
+  if (family->type == MetricType::kLatencyHistogram) {
+    return LatencyHistogram::QuantileFromBuckets(family->bounds, buckets, q);
+  }
+  return Pow2HistQuantile(buckets, q);
+}
+
+uint64_t SnapshotDelta::HistCountDelta(const std::string& name,
+                                       const Labels& labels) const {
+  uint64_t delta = 0;
+  for (const MetricSnapshot& m : after_->metrics) {
+    if (m.name != name || !LabelsMatchSubset(m.labels, labels)) continue;
+    const MetricSnapshot* prev = FindExact(*before_, name, m.labels);
+    const uint64_t base = prev != nullptr ? prev->count : 0;
+    if (m.count > base) delta += m.count - base;
+  }
+  return delta;
+}
+
+}  // namespace obs
+}  // namespace fdrms

@@ -1,0 +1,86 @@
+#ifndef FDRMS_OBS_SNAPSHOT_DELTA_H_
+#define FDRMS_OBS_SNAPSHOT_DELTA_H_
+
+/// \file snapshot_delta.h
+/// Windowed rates and quantiles between two RegistrySnapshots.
+///
+/// Cumulative counters and histograms answer "since process start"; a
+/// controller needs "over the last tick". SnapshotDelta pins a (before,
+/// after) snapshot pair and derives window-scoped views: counter deltas
+/// and rates, gauge movement, and histogram quantiles computed on the
+/// elementwise bucket *difference* — the distribution of only the
+/// observations that landed inside the window.
+///
+/// Label matching is subset-based: a series matches when its label set
+/// contains every (key, value) pair of the filter. That is what makes
+/// per-shard selectors work against the constellation registry, where a
+/// reborn shard's series carry an extra {gen="n"} label a caller has no
+/// way to predict — {shard="2"} matches both {shard="2"} and
+/// {shard="2", gen="1"}. Aggregating accessors (CounterDelta, GaugeDelta,
+/// HistQuantile) sum every matching series; the delta of a series that
+/// stopped moving (a retired incarnation) is zero, so dead generations
+/// never distort a window. GaugeLatest instead picks the single live
+/// (numerically highest gen) series — the right read for level signals
+/// like queue depth, where a frozen retired value is a lie.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/registry.h"
+
+namespace fdrms {
+namespace obs {
+
+class SnapshotDelta {
+ public:
+  /// Both snapshots must come from the same registry, `before` taken no
+  /// later than `after` (the usual pattern: keep last tick's snapshot).
+  SnapshotDelta(const RegistrySnapshot& before, const RegistrySnapshot& after)
+      : before_(&before), after_(&after) {}
+
+  /// Window length in seconds (after.uptime - before.uptime, floored at 0).
+  double WindowSeconds() const;
+
+  /// Sum over matching after-series of (after - before), each saturating
+  /// at 0 (a series born inside the window contributes its full value).
+  uint64_t CounterDelta(const std::string& name,
+                        const Labels& labels = {}) const;
+
+  /// CounterDelta / WindowSeconds; 0 when the window is empty.
+  double Rate(const std::string& name, const Labels& labels = {}) const;
+
+  /// Sum of per-series gauge movement over the window. The right read for
+  /// cumulative gauges (fdrms_writer_busy_seconds): a retired incarnation
+  /// stops moving, so its contribution is zero.
+  double GaugeDelta(const std::string& name, const Labels& labels = {}) const;
+
+  /// The after-value of the single live matching series — among matches,
+  /// the one with the numerically largest "gen" label (absent = 0). The
+  /// right read for level gauges (fdrms_queue_depth), where a retired
+  /// incarnation's frozen value must not shadow the live shard's.
+  double GaugeLatest(const std::string& name, const Labels& labels = {}) const;
+
+  /// Quantile of the observations recorded inside the window: elementwise
+  /// bucket difference summed across matching series, then the family's
+  /// quantile rule (interpolated for latency histograms, bucket floor for
+  /// pow2). 0 when nothing landed in the window.
+  double HistQuantile(const std::string& name, double q,
+                      const Labels& labels = {}) const;
+
+  /// Observations recorded inside the window across matching series.
+  uint64_t HistCountDelta(const std::string& name,
+                          const Labels& labels = {}) const;
+
+ private:
+  const RegistrySnapshot* before_;
+  const RegistrySnapshot* after_;
+};
+
+/// True when `series` carries every (key, value) pair of `filter`.
+bool LabelsMatchSubset(const Labels& series, const Labels& filter);
+
+}  // namespace obs
+}  // namespace fdrms
+
+#endif  // FDRMS_OBS_SNAPSHOT_DELTA_H_

@@ -18,6 +18,7 @@ FdRmsService::FdRmsService(int dim, const FdRmsServiceOptions& options)
       options_(options),
       algo_(dim, options.algo),
       queue_(options.queue_capacity),
+      batch_bound_(options.max_batch),
       registry_(options.registry ? options.registry
                                  : std::make_shared<obs::MetricRegistry>()) {
   FDRMS_CHECK(options.max_batch > 0);
@@ -29,6 +30,15 @@ FdRmsService::FdRmsService(int dim, const FdRmsServiceOptions& options)
   effective_batch_ =
       options.adaptive_batching ? options.min_batch : options.max_batch;
   RegisterMetrics();
+  metrics_.batch_bound->Set(static_cast<double>(options.max_batch));
+}
+
+size_t FdRmsService::SetBatchBound(size_t bound) {
+  const size_t clamped =
+      std::min(std::max(bound, options_.min_batch), options_.max_batch);
+  batch_bound_.store(clamped, std::memory_order_relaxed);
+  metrics_.batch_bound->Set(static_cast<double>(clamped));
+  return clamped;
 }
 
 void FdRmsService::RegisterMetrics() {
@@ -68,6 +78,11 @@ void FdRmsService::RegisterMetrics() {
       l);
   metrics_.effective_max_batch = r.GetGauge(
       "fdrms_effective_max_batch", "Adaptive batch bound in force", l);
+  metrics_.batch_bound = r.GetGauge(
+      "fdrms_batch_bound",
+      "External batch ceiling set via SetBatchBound (== max_batch until the "
+      "controller moves it)",
+      l);
   metrics_.writer_busy_seconds = r.GetGauge(
       "fdrms_writer_busy_seconds",
       "Cumulative writer-thread CPU seconds spent applying batches", l);
@@ -294,12 +309,18 @@ void FdRmsService::WriterLoop() {
     const size_t depth = queue_.size();
     metrics_.queue_depth->Set(static_cast<double>(depth));
     metrics_.queue_depth_pow2->Record(depth);
+    // The external ceiling (SetBatchBound) caps whatever the policy below
+    // decides; already clamped into [min_batch, max_batch] at the setter.
+    const size_t ceiling = batch_bound_.load(std::memory_order_relaxed);
     if (options_.adaptive_batching) {
+      effective_batch_ = std::min(effective_batch_, ceiling);
       if (depth >= 2 * effective_batch_) {
-        effective_batch_ = std::min(2 * effective_batch_, options_.max_batch);
+        effective_batch_ = std::min(2 * effective_batch_, ceiling);
       } else if (depth * 4 <= effective_batch_) {
         effective_batch_ = std::max(effective_batch_ / 2, options_.min_batch);
       }
+    } else {
+      effective_batch_ = ceiling;
     }
     Stopwatch drain_watch;
     if (!queue_.PopBatch(effective_batch_, &batch)) break;

@@ -206,6 +206,21 @@ class FdRmsService {
     return snapshot_.load(std::memory_order_acquire);
   }
 
+  /// Control surface for an external policy (the SLO controller): caps the
+  /// batch ceiling the writer steers under. `bound` is clamped into
+  /// [options.min_batch, options.max_batch]; the clamped value in force is
+  /// returned and takes effect at the writer's next wakeup. With adaptive
+  /// batching the AIMD policy keeps running inside [min_batch, bound];
+  /// without it the writer drains fixed batches of exactly `bound`.
+  /// Safe from any thread; exported as the fdrms_batch_bound gauge.
+  size_t SetBatchBound(size_t bound);
+
+  /// The batch ceiling currently in force (== options.max_batch until the
+  /// first SetBatchBound call).
+  size_t batch_bound() const {
+    return batch_bound_.load(std::memory_order_relaxed);
+  }
+
   /// Operations accepted into the queue so far (monotone). Counted inside
   /// the queue at push time, so ops_submitted() >= Query()->ops_applied +
   /// ops_rejected always holds (for a snapshot loaded before the read) and
@@ -289,6 +304,10 @@ class FdRmsService {
   FdRms algo_;
 
   MpscRingQueue<FdRms::BatchOp> queue_;
+  /// External batch ceiling (SetBatchBound); always within
+  /// [options.min_batch, options.max_batch]. Read by the writer each
+  /// wakeup, written by any controlling thread.
+  std::atomic<size_t> batch_bound_;
   std::thread writer_;
   std::atomic<State> state_{State::kNew};
   bool resumed_ = false;  ///< written before the writer spawns, const after
@@ -319,6 +338,7 @@ class FdRmsService {
     obs::Gauge* sample_size_m;
     obs::Gauge* queue_depth;
     obs::Gauge* effective_max_batch;
+    obs::Gauge* batch_bound;
     obs::Gauge* writer_busy_seconds;
     obs::Pow2Histogram* queue_depth_pow2;
     obs::Pow2Histogram* batch_size_pow2;

@@ -13,17 +13,8 @@
 #include <vector>
 
 #include "geometry/point.h"
-#include "obs/pow2_hist.h"
 
 namespace fdrms {
-
-// The power-of-two bucketing vocabulary moved to obs/pow2_hist.h when the
-// metric registry took ownership of all histogram plumbing; re-exported
-// here so existing serve/shard/bench callers keep their spelling.
-using obs::kPow2HistBuckets;
-using obs::Pow2HistBucket;
-using obs::Pow2HistBucketFloor;
-using obs::Pow2HistQuantile;
 
 /// One published view of the maintained result Q_t plus enough bookkeeping
 /// for a reader to reason about staleness.
@@ -74,7 +65,8 @@ struct ResultSnapshot {
   /// (== options.max_batch when adaptive batching is off); the histograms
   /// count, per writer wakeup, the queue depth observed before draining
   /// and the sizes of the batches actually applied (power-of-two buckets,
-  /// see Pow2HistBucket). Both are cumulative over the service's lifetime.
+  /// see obs::Pow2HistBucket). Both are cumulative over the service's
+  /// lifetime.
   uint64_t effective_max_batch = 0;
   std::vector<uint64_t> queue_depth_hist;
   std::vector<uint64_t> batch_size_hist;

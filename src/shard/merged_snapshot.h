@@ -77,7 +77,7 @@ struct MergedSnapshot {
 
   /// Batching telemetry across shards: the largest adaptive batch bound
   /// any shard is running at, plus the per-shard queue-depth and
-  /// batch-size histograms summed bucket-wise (see Pow2HistBucket) — the
+  /// batch-size histograms summed bucket-wise (see obs::Pow2HistBucket) — the
   /// constellation-wide ingestion profile an operator sizes max_batch and
   /// queue_capacity from.
   uint64_t effective_max_batch_max = 0;

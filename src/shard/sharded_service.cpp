@@ -88,6 +88,7 @@ ShardedFdRmsService::ShardedFdRmsService(int dim,
                                          std::unique_ptr<ShardRouter> router)
     : dim_(dim),
       options_(options),
+      batch_bound_(options.shard.max_batch),
       registry_(options.registry ? options.registry
                                  : std::make_shared<obs::MetricRegistry>()) {
   FDRMS_CHECK(options.num_shards >= 1);
@@ -206,7 +207,27 @@ std::shared_ptr<FdRmsService> ShardedFdRmsService::MakeShard(int index,
     metrics_.publications->Increment();
     if (user_hook) user_hook(snap);
   };
-  return std::make_shared<FdRmsService>(dim_, per_shard);
+  auto shard = std::make_shared<FdRmsService>(dim_, per_shard);
+  // A shard born under an active controller override must start throttled:
+  // the controller only re-asserts the bound on its next adjustment.
+  const size_t bound = batch_bound_.load(std::memory_order_relaxed);
+  if (bound != options_.shard.max_batch) shard->SetBatchBound(bound);
+  return shard;
+}
+
+size_t ShardedFdRmsService::SetBatchBound(size_t bound) {
+  // Remember the override first so a shard being created concurrently
+  // (MakeShard reads batch_bound_) can never miss both the fan-out below
+  // and the seeded value.
+  size_t in_force =
+      std::min(std::max(bound, options_.shard.min_batch),
+               options_.shard.max_batch);
+  batch_bound_.store(in_force, std::memory_order_relaxed);
+  std::shared_ptr<const Topology> topo = topology();
+  for (const auto& shard : topo->shards) {
+    in_force = shard->SetBatchBound(bound);
+  }
+  return in_force;
 }
 
 void ShardedFdRmsService::ResetTopology() {
@@ -356,6 +377,10 @@ Status ShardedFdRmsService::MigrateLocked(const MigrationPlan& plan) {
   Status st = MigrateLockedImpl(plan);
   if (st.ok()) {
     metrics_.migrations->Increment();
+    // Cooldown anchor for the SLO controller: every completed migration
+    // (including AddShard/RemoveShard's internal ones) resets the window.
+    last_topology_change_us_.store(registry_->NowMicros(),
+                                   std::memory_order_relaxed);
   } else {
     metrics_.migration_failures->Increment();
   }
@@ -596,6 +621,8 @@ Status ShardedFdRmsService::AddShard() {
   }
   if (slots.empty()) {
     PersistRoutingTable(*grown);
+    last_topology_change_us_.store(registry_->NowMicros(),
+                                   std::memory_order_relaxed);
     return Status::OK();  // degenerate: more shards than slots
   }
   Status migrated = MigrateLocked(MigrationPlan::Slots(slots, num_shards));
@@ -677,6 +704,10 @@ Status ShardedFdRmsService::RemoveShard() {
   }
   Status stopped = victim_shard->Stop(FdRmsService::StopPolicy::kDrain);
   PersistRoutingTable(*shrunk);
+  if (stopped.ok()) {
+    last_topology_change_us_.store(registry_->NowMicros(),
+                                   std::memory_order_relaxed);
+  }
   return stopped;
 }
 

@@ -211,6 +211,26 @@ class ShardedFdRmsService {
   /// default hash router and at least two shards.
   Status RemoveShard();
 
+  /// Fans FdRmsService::SetBatchBound out to every live shard and remembers
+  /// the override so shards created later (AddShard, rebirths) inherit it.
+  /// Returns the clamped value in force (identical on every shard — they
+  /// share one options template). Safe from any thread.
+  size_t SetBatchBound(size_t bound);
+
+  /// The constellation-wide batch ceiling (options.shard.max_batch until
+  /// the first SetBatchBound call).
+  size_t batch_bound() const {
+    return batch_bound_.load(std::memory_order_relaxed);
+  }
+
+  /// Registry-clock microsecond stamp of the last completed topology
+  /// change (successful Migrate/AddShard/RemoveShard), 0 if none yet. The
+  /// SLO controller's cooldown signal — it covers operator-initiated
+  /// migrations too, so an external rebalance also quiets the controller.
+  uint64_t last_topology_change_us() const {
+    return last_topology_change_us_.load(std::memory_order_relaxed);
+  }
+
   /// The latest merged view, or nullptr before every shard has published
   /// its version-0 snapshot. Wait-free when no shard published since the
   /// last merge (cache hit); the first reader after a publication pays the
@@ -335,6 +355,14 @@ class ShardedFdRmsService {
   std::unique_ptr<EpochShardRouter> router_;
   std::vector<Point> merge_directions_;
   std::atomic<bool> started_{false};
+
+  /// Constellation-wide batch ceiling; fan-out target of SetBatchBound and
+  /// the value MakeShard seeds new instances with.
+  std::atomic<size_t> batch_bound_;
+
+  /// NowMicros() of the last successful Migrate/AddShard/RemoveShard; 0
+  /// before any. Written under admin_mutex_, read lock-free.
+  std::atomic<uint64_t> last_topology_change_us_{0};
 
   /// Shared by every shard; the sharded layer's own series live here too.
   std::shared_ptr<obs::MetricRegistry> registry_;

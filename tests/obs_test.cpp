@@ -18,6 +18,7 @@
 #include "obs/phase_span.h"
 #include "obs/pow2_hist.h"
 #include "obs/registry.h"
+#include "obs/snapshot_delta.h"
 #include "obs/trace.h"
 #include "shard/sharded_service.h"
 
@@ -312,12 +313,18 @@ TEST(ObsRegistry, SnapshotIsSortedByNameThenLabels) {
   reg.GetCounter("mid_total", "m", {{"shard", "1"}});
   reg.GetCounter("mid_total", "m", {{"shard", "0"}});
   RegistrySnapshot snap = reg.Snapshot();
-  ASSERT_EQ(snap.metrics.size(), 4u);
+  // 4 registered series + the 2 process-level series every snapshot
+  // synthesizes (obs_registry_series, process_uptime_seconds).
+  ASSERT_EQ(snap.metrics.size(), 6u);
   EXPECT_EQ(snap.metrics[0].name, "alpha");
   EXPECT_EQ(snap.metrics[1].name, "mid_total");
   EXPECT_EQ(snap.metrics[1].labels, (Labels{{"shard", "0"}}));
   EXPECT_EQ(snap.metrics[2].labels, (Labels{{"shard", "1"}}));
-  EXPECT_EQ(snap.metrics[3].name, "zeta_total");
+  EXPECT_EQ(snap.metrics[3].name, "obs_registry_series");
+  EXPECT_EQ(snap.metrics[3].gauge_value, 4.0);
+  EXPECT_EQ(snap.metrics[4].name, "process_uptime_seconds");
+  EXPECT_EQ(snap.metrics[4].gauge_value, snap.uptime_seconds);
+  EXPECT_EQ(snap.metrics[5].name, "zeta_total");
 }
 
 TEST(ObsRegistry, CountersNeverDecreaseAcrossScrapes) {
@@ -699,6 +706,128 @@ TEST(ObsShardedIntegration, RebornShardIndexGetsFreshSeries) {
   ASSERT_NE(merged, nullptr);
   EXPECT_EQ(merged->live_tuples, 239);
   ASSERT_TRUE(service.Stop().ok());
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotDelta: windowed views over a (before, after) snapshot pair
+// ---------------------------------------------------------------------------
+
+TEST(ObsSnapshotDelta, LabelSubsetMatching) {
+  EXPECT_TRUE(LabelsMatchSubset({{"shard", "2"}, {"gen", "1"}},
+                                {{"shard", "2"}}));
+  EXPECT_TRUE(LabelsMatchSubset({{"shard", "2"}}, {}));
+  EXPECT_FALSE(LabelsMatchSubset({{"shard", "2"}}, {{"shard", "3"}}));
+  EXPECT_FALSE(LabelsMatchSubset({}, {{"shard", "2"}}));
+  EXPECT_FALSE(LabelsMatchSubset({{"shard", "2"}},
+                                 {{"shard", "2"}, {"gen", "1"}}));
+}
+
+TEST(ObsSnapshotDelta, CounterDeltaAndRateAcrossIncarnations) {
+  MetricRegistry reg;
+  Counter* s0 = reg.GetCounter("fdrms_ops_total", "ops", {{"shard", "0"}});
+  Counter* s1 = reg.GetCounter("fdrms_ops_total", "ops", {{"shard", "1"}});
+  s0->Increment(10);
+  s1->Increment(5);
+  RegistrySnapshot before = reg.Snapshot();
+  s0->Increment(7);
+  // Shard 1 is reborn inside the window: the gen series springs into
+  // existence and must contribute its full value.
+  Counter* s1g = reg.GetCounter("fdrms_ops_total", "ops",
+                                {{"shard", "1"}, {"gen", "1"}});
+  s1g->Increment(3);
+  RegistrySnapshot after = reg.Snapshot();
+  // Pin the window length so the rate assertion is exact.
+  before.uptime_seconds = 1.0;
+  after.uptime_seconds = 3.0;
+
+  SnapshotDelta delta(before, after);
+  EXPECT_EQ(delta.WindowSeconds(), 2.0);
+  EXPECT_EQ(delta.CounterDelta("fdrms_ops_total"), 10u);  // 7 + 0 + 3
+  EXPECT_EQ(delta.CounterDelta("fdrms_ops_total", {{"shard", "0"}}), 7u);
+  EXPECT_EQ(delta.CounterDelta("fdrms_ops_total", {{"shard", "1"}}), 3u);
+  EXPECT_EQ(delta.Rate("fdrms_ops_total", {{"shard", "0"}}), 3.5);
+  EXPECT_EQ(delta.CounterDelta("absent"), 0u);
+}
+
+TEST(ObsSnapshotDelta, GaugeDeltaIgnoresFrozenIncarnations) {
+  MetricRegistry reg;
+  Gauge* retired = reg.GetGauge("fdrms_writer_busy_seconds", "busy",
+                                {{"shard", "2"}});
+  Gauge* live = reg.GetGauge("fdrms_writer_busy_seconds", "busy",
+                             {{"shard", "2"}, {"gen", "1"}});
+  retired->Set(40.0);  // frozen at the old incarnation's lifetime total
+  live->Set(1.0);
+  RegistrySnapshot before = reg.Snapshot();
+  live->Add(0.5);  // only the live incarnation moves
+  RegistrySnapshot after = reg.Snapshot();
+  SnapshotDelta delta(before, after);
+  EXPECT_DOUBLE_EQ(delta.GaugeDelta("fdrms_writer_busy_seconds",
+                                    {{"shard", "2"}}),
+                   0.5);
+}
+
+TEST(ObsSnapshotDelta, GaugeLatestPicksTheHighestGen) {
+  MetricRegistry reg;
+  reg.GetGauge("fdrms_queue_depth", "depth", {{"shard", "2"}})->Set(900.0);
+  reg.GetGauge("fdrms_queue_depth", "depth", {{"shard", "2"}, {"gen", "1"}})
+      ->Set(3.0);
+  RegistrySnapshot before = reg.Snapshot();
+  RegistrySnapshot after = reg.Snapshot();
+  SnapshotDelta delta(before, after);
+  // The retired incarnation's frozen depth (900) must not shadow the live
+  // gen's level reading.
+  EXPECT_DOUBLE_EQ(delta.GaugeLatest("fdrms_queue_depth", {{"shard", "2"}}),
+                   3.0);
+  EXPECT_DOUBLE_EQ(delta.GaugeLatest("absent"), 0.0);
+}
+
+TEST(ObsSnapshotDelta, HistQuantileSeesOnlyTheWindow) {
+  MetricRegistry reg;
+  LatencyHistogram* h =
+      reg.GetLatencyHistogram("fdrms_publish_latency_us", "publish",
+                              {{"shard", "0"}});
+  // History: a thousand fast publications before the window.
+  for (int i = 0; i < 1000; ++i) h->Record(2.0);
+  RegistrySnapshot before = reg.Snapshot();
+  // The window itself: 10 slow ones. A cumulative read would report a
+  // fast p99; the windowed diff must see only the slow tail.
+  for (int i = 0; i < 10; ++i) h->Record(5e5);
+  RegistrySnapshot after = reg.Snapshot();
+  SnapshotDelta delta(before, after);
+  EXPECT_EQ(delta.HistCountDelta("fdrms_publish_latency_us"), 10u);
+  EXPECT_GT(delta.HistQuantile("fdrms_publish_latency_us", 0.99), 1e5);
+  // Empty window: quantile reports 0 (distinct from "fast").
+  SnapshotDelta still(after, after);
+  EXPECT_EQ(still.HistCountDelta("fdrms_publish_latency_us"), 0u);
+  EXPECT_EQ(still.HistQuantile("fdrms_publish_latency_us", 0.99), 0.0);
+}
+
+TEST(ObsSnapshotDelta, Pow2HistQuantileUsesBucketFloors) {
+  MetricRegistry reg;
+  Pow2Histogram* h = reg.GetPow2Histogram("fdrms_queue_depth_hist", "depth");
+  h->Record(1);
+  RegistrySnapshot before = reg.Snapshot();
+  for (int i = 0; i < 100; ++i) h->Record(70);  // bucket [64, 128)
+  RegistrySnapshot after = reg.Snapshot();
+  SnapshotDelta delta(before, after);
+  EXPECT_EQ(delta.HistQuantile("fdrms_queue_depth_hist", 0.5), 64.0);
+}
+
+TEST(ObsRegistry, SnapshotSynthesizesProcessSeries) {
+  MetricRegistry reg;
+  reg.GetCounter("fdrms_ops_total", "ops");
+  RegistrySnapshot snap = reg.Snapshot();
+  const MetricSnapshot* uptime = snap.Find("process_uptime_seconds");
+  ASSERT_NE(uptime, nullptr);
+  EXPECT_EQ(uptime->type, MetricType::kGauge);
+  EXPECT_EQ(uptime->gauge_value, snap.uptime_seconds);
+  const MetricSnapshot* series = snap.Find("obs_registry_series");
+  ASSERT_NE(series, nullptr);
+  EXPECT_EQ(series->gauge_value, 1.0);  // the synthesized pair not counted
+  // And they render in the Prometheus exposition with HELP+TYPE.
+  const std::string text = reg.PrometheusText();
+  EXPECT_NE(text.find("# HELP process_uptime_seconds"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE obs_registry_series gauge"), std::string::npos);
 }
 
 }  // namespace

@@ -12,6 +12,7 @@
 #include "data/generators.h"
 #include "eval/service_driver.h"
 #include "eval/workload.h"
+#include "obs/pow2_hist.h"
 #include "serve/bounded_queue.h"
 #include "serve/fdrms_service.h"
 #include "serve/mpsc_ring_queue.h"
@@ -818,8 +819,8 @@ TEST(ServeBatchingTest, AdaptiveBoundStaysInRangeAndHistogramsAccount) {
   ASSERT_NE(snap, nullptr);
   EXPECT_GE(snap->effective_max_batch, sopt.min_batch);
   EXPECT_LE(snap->effective_max_batch, sopt.max_batch);
-  ASSERT_EQ(snap->queue_depth_hist.size(), kPow2HistBuckets);
-  ASSERT_EQ(snap->batch_size_hist.size(), kPow2HistBuckets);
+  ASSERT_EQ(snap->queue_depth_hist.size(), obs::kPow2HistBuckets);
+  ASSERT_EQ(snap->batch_size_hist.size(), obs::kPow2HistBuckets);
   // Every applied batch was histogrammed, no batch exceeded the cap, and
   // the writer observed at least one depth beyond min_batch during the
   // burst (otherwise the bound could never have moved).
@@ -827,7 +828,7 @@ TEST(ServeBatchingTest, AdaptiveBoundStaysInRangeAndHistogramsAccount) {
   for (size_t b = 0; b < snap->batch_size_hist.size(); ++b) {
     batches_counted += snap->batch_size_hist[b];
     if (snap->batch_size_hist[b] > 0) {
-      EXPECT_LE(Pow2HistBucketFloor(b), sopt.max_batch);
+      EXPECT_LE(obs::Pow2HistBucketFloor(b), sopt.max_batch);
     }
   }
   EXPECT_EQ(batches_counted, snap->batches);
@@ -857,7 +858,7 @@ TEST(ServeBatchingTest, FixedModeKeepsTheConfiguredBound) {
   EXPECT_EQ(snap->effective_max_batch, 16u);
   for (size_t b = 0; b < snap->batch_size_hist.size(); ++b) {
     if (snap->batch_size_hist[b] > 0) {
-      EXPECT_LE(Pow2HistBucketFloor(b), 16u);
+      EXPECT_LE(obs::Pow2HistBucketFloor(b), 16u);
     }
   }
   ASSERT_TRUE(service.Stop().ok());
