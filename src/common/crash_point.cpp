@@ -1,0 +1,93 @@
+#include "common/crash_point.h"
+
+#include <cstdlib>
+#include <mutex>
+
+namespace fdrms {
+
+std::atomic<CrashPoints::State> CrashPoints::state_{CrashPoints::State::kUninit};
+std::atomic<bool> CrashPoints::crashed_{false};
+
+namespace {
+
+std::mutex& Mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+// Guarded by Mu(). `hard` marks the env-armed flavor (_Exit instead of
+// latching crashed()).
+struct Armed {
+  std::string name;
+  int skip = 0;
+  bool hard = false;
+};
+
+Armed& ArmedPoint() {
+  static Armed a;
+  return a;
+}
+
+}  // namespace
+
+void CrashPoints::Arm(const std::string& name, int skip_hits) {
+  std::lock_guard<std::mutex> lock(Mu());
+  Armed& a = ArmedPoint();
+  a.name = name;
+  a.skip = skip_hits;
+  a.hard = false;
+  crashed_.store(false, std::memory_order_release);
+  state_.store(State::kArmed, std::memory_order_release);
+}
+
+void CrashPoints::Reset() {
+  std::lock_guard<std::mutex> lock(Mu());
+  Armed& a = ArmedPoint();
+  a.name.clear();
+  a.skip = 0;
+  a.hard = false;
+  crashed_.store(false, std::memory_order_release);
+  // Back to kUninit, not kIdle: the env var is re-probed on the next Hit so
+  // a Reset inside a test cannot mask a hard point armed for the process.
+  state_.store(State::kUninit, std::memory_order_release);
+}
+
+bool CrashPoints::HitSlow(const char* prefix, const char* step) {
+  std::lock_guard<std::mutex> lock(Mu());
+  Armed& a = ArmedPoint();
+  if (state_.load(std::memory_order_relaxed) == State::kUninit) {
+    if (a.name.empty()) {
+      const char* env = std::getenv("FDRMS_CRASH_POINT");
+      if (env != nullptr && env[0] != '\0') {
+        a.name = env;
+        a.skip = 0;
+        a.hard = true;
+        const char* skip_env = std::getenv("FDRMS_CRASH_POINT_SKIP");
+        if (skip_env != nullptr) a.skip = std::atoi(skip_env);
+      }
+    }
+    state_.store(a.name.empty() ? State::kIdle : State::kArmed,
+                 std::memory_order_release);
+    if (a.name.empty()) return false;
+  }
+  // Already "dead": every later point also reports crashed so multi-step
+  // sequences stop at the first armed hit.
+  if (!a.hard && crashed_.load(std::memory_order_relaxed)) return true;
+  std::string name = prefix;
+  name += '.';
+  name += step;
+  if (name != a.name) return false;
+  if (a.skip > 0) {
+    --a.skip;
+    return false;
+  }
+  if (a.hard) {
+    // SIGKILL semantics: no atexit handlers, no stream flushes, no stack
+    // unwinding — the file system sees exactly what was durable.
+    std::_Exit(137);
+  }
+  crashed_.store(true, std::memory_order_release);
+  return true;
+}
+
+}  // namespace fdrms

@@ -1,0 +1,76 @@
+#ifndef FDRMS_COMMON_CRASH_POINT_H_
+#define FDRMS_COMMON_CRASH_POINT_H_
+
+/// \file crash_point.h
+/// Test-only crash injection compiled into the persistence paths.
+///
+/// Every durability-critical step names itself before proceeding:
+///
+///   CrashPoints::Hit("shard.manifest", "renamed");
+///
+/// In production the call is a single relaxed atomic load (the registry
+/// stays in the `kIdle` state and nothing else happens). Two modes arm it:
+///
+///  * **Hard mode** (process granularity, used by the CI kill-and-resume
+///    smoke): set `FDRMS_CRASH_POINT=<prefix>.<step>` in the environment and
+///    the process `_Exit(137)`s the first time that point is reached —
+///    no destructors, no flushes, exactly like a SIGKILL at that instant.
+///  * **Soft mode** (in-process crash matrix, used by tests/manifest_test):
+///    `CrashPoints::Arm("shard.manifest.renamed")` latches a sticky
+///    `crashed()` flag when the point is reached. The durable-write helpers
+///    and persistence loops consult `crashed()` and refuse to touch disk
+///    once it is set, so everything after the "crash" behaves as if the
+///    process had died: no later rename lands, no counter advances, and the
+///    test can then resume a second service instance against the files that
+///    made it to disk. `Reset()` disarms between cases.
+///
+/// `Arm(name, skip_hits)` skips the first `skip_hits` occurrences, so a
+/// point that fires once per shard can be crashed on shard k specifically.
+
+#include <atomic>
+#include <string>
+
+namespace fdrms {
+
+class CrashPoints {
+ public:
+  /// Names a crash point. Returns true when the caller should simulate a
+  /// crash (soft mode only; hard mode never returns). The fast path — no
+  /// env var, nothing armed — is one relaxed atomic load.
+  static bool Hit(const char* prefix, const char* step) {
+    State s = state_.load(std::memory_order_relaxed);
+    if (s == State::kIdle) return false;
+    return HitSlow(prefix, step);
+  }
+
+  /// Arms soft mode: the `skip_hits+1`-th reach of `name` latches
+  /// `crashed()`. Replaces any previous arming; clears `crashed()`.
+  static void Arm(const std::string& name, int skip_hits = 0);
+
+  /// Disarms soft mode and clears `crashed()`. Hard mode (env var) is
+  /// re-probed on the next Hit after a Reset.
+  static void Reset();
+
+  /// True once an armed soft crash point has been reached. Persistence
+  /// paths treat this as "the process is dead": they stop writing.
+  static bool crashed() {
+    return state_.load(std::memory_order_relaxed) == State::kArmed &&
+           crashed_.load(std::memory_order_acquire);
+  }
+
+ private:
+  enum class State : int {
+    kUninit = 0,  ///< env var not probed yet
+    kIdle = 1,    ///< nothing armed, env empty: Hit is a no-op
+    kArmed = 2,   ///< soft-armed (or env probing found a hard point)
+  };
+
+  static bool HitSlow(const char* prefix, const char* step);
+
+  static std::atomic<State> state_;
+  static std::atomic<bool> crashed_;
+};
+
+}  // namespace fdrms
+
+#endif  // FDRMS_COMMON_CRASH_POINT_H_

@@ -272,14 +272,19 @@ ShardedLoadResult RunShardedLoad(const Workload& workload,
   // moment the signals say so, exactly like configured migration events.
   const bool controller_topology =
       opts.enable_slo_controller && opts.slo.enable_topology;
-  const bool fixed_topology = opts.migrations.empty() && !controller_topology;
+  // A resume run's restored counters (applied ops carried over from the
+  // previous process) sit ahead of this process's submitted count, so the
+  // backlog arithmetic below is meaningless there — skip it like a
+  // changing topology.
+  const bool fixed_topology =
+      opts.migrations.empty() && !controller_topology && !opts.resume;
   // Staleness is derived from service.ops_submitted() (which keeps counting
   // retired shards, monotone) minus the merged view's consumed ops (live
   // shards only). Once a shard retires, its lifetime op count inflates that
   // difference forever, so runs with kRemoveShard events (or a controller
   // that may scale down) skip the staleness tally instead of reporting a
   // phantom backlog.
-  bool track_staleness = !controller_topology;
+  bool track_staleness = !controller_topology && !opts.resume;
   for (const ShardedLoadOptions::MigrationEvent& event : opts.migrations) {
     if (event.kind == ShardedLoadOptions::MigrationEvent::Kind::kRemoveShard) {
       track_staleness = false;
@@ -288,16 +293,26 @@ ShardedLoadResult RunShardedLoad(const Workload& workload,
 
   ShardedFdRmsService service(workload.data().dim(), opts.service);
   std::vector<std::pair<int, Point>> initial;
-  initial.reserve(workload.initial_ids().size());
-  for (int id : workload.initial_ids()) {
-    initial.emplace_back(id, workload.data().Get(id));
+  if (!opts.resume) {
+    // A resume run restores P_0's successor state from the manifest; bulk
+    // loading it again would double-apply the initial tuples.
+    initial.reserve(workload.initial_ids().size());
+    for (int id : workload.initial_ids()) {
+      initial.emplace_back(id, workload.data().Get(id));
+    }
   }
   Status started = service.Start(initial);
   FDRMS_CHECK(started.ok()) << started.ToString();
+  const bool resumed = service.resumed();
+  const uint64_t resume_epoch = resumed ? service.epoch() : 0;
+  const int resume_num_shards = resumed ? service.num_shards() : 0;
+
+  // On resume the manifest, not the options, decides the starting count.
+  const int base_shards = resumed ? resume_num_shards : num_shards;
 
   // Upper bound of the live shard count over the run (AddShard events can
   // only grow it one at a time) — the merged result bound scales with it.
-  int max_shards = num_shards;
+  int max_shards = base_shards;
   for (const ShardedLoadOptions::MigrationEvent& event : opts.migrations) {
     if (event.kind == ShardedLoadOptions::MigrationEvent::Kind::kAddShard) {
       ++max_shards;
@@ -321,7 +336,8 @@ ShardedLoadResult RunShardedLoad(const Workload& workload,
   std::vector<ShardedReaderTally> tallies(
       static_cast<size_t>(std::max(opts.num_readers, 0)));
   for (ShardedReaderTally& tally : tallies) {
-    tally.per_shard_staleness_sum.assign(static_cast<size_t>(num_shards), 0.0);
+    tally.per_shard_staleness_sum.assign(static_cast<size_t>(base_shards),
+                                         0.0);
   }
   std::vector<std::thread> threads;
   Stopwatch wall;
@@ -394,7 +410,7 @@ ShardedLoadResult RunShardedLoad(const Workload& workload,
           }
         }
         if (fixed_topology) {
-          for (int s = 0; s < num_shards; ++s) {
+          for (int s = 0; s < base_shards; ++s) {
             uint64_t shard_submitted = service.shard(s).ops_submitted();
             uint64_t shard_consumed = snap->shards[s]->ops_applied +
                                       snap->shards[s]->ops_rejected;
@@ -517,6 +533,9 @@ ShardedLoadResult RunShardedLoad(const Workload& workload,
   result.final_min_m = last->min_sample_size_m;
   result.final_epoch = last->epoch;
   result.final_num_shards = final_shards;
+  result.resumed = resumed;
+  result.resume_epoch = resume_epoch;
+  result.resume_num_shards = resume_num_shards;
   result.publish_p50_us = last->publish_p50_us_max;
   result.publish_p99_us = last->publish_p99_us_max;
   for (int s = 0; s < final_shards; ++s) {
@@ -537,14 +556,15 @@ ShardedLoadResult RunShardedLoad(const Workload& workload,
   }
   uint64_t total_queries = 0;
   double staleness_sum = 0.0;
-  result.per_shard_mean_staleness.assign(static_cast<size_t>(num_shards), 0.0);
+  result.per_shard_mean_staleness.assign(static_cast<size_t>(base_shards),
+                                         0.0);
   for (const ShardedReaderTally& tally : tallies) {
     total_queries += tally.queries;
     result.null_queries += tally.null_queries;
     staleness_sum += tally.staleness_sum;
     result.max_staleness_ops =
         std::max(result.max_staleness_ops, tally.staleness_max);
-    for (int s = 0; s < num_shards; ++s) {
+    for (int s = 0; s < base_shards; ++s) {
       result.per_shard_mean_staleness[s] += tally.per_shard_staleness_sum[s];
     }
     result.consistent = result.consistent && tally.consistent;

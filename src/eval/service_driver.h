@@ -149,6 +149,13 @@ struct ShardedLoadOptions {
   /// events land in the same registry the result scrapes.
   bool enable_slo_controller = false;
   control::SloControllerOptions slo;
+
+  /// Resume instead of bulk-loading: Start() restores the topology from
+  /// the constellation manifest at service.shard.resume_path (which the
+  /// caller must set, equal to persist_path) and the workload's P_0 is NOT
+  /// loaded — the persisted state stands in for it. The op stream still
+  /// replays on top.
+  bool resume = false;
 };
 
 /// What happened during a sharded run.
@@ -194,6 +201,11 @@ struct ShardedLoadResult {
   double migration_update_throughput = 0.0;
   uint64_t final_epoch = 0;
   int final_num_shards = 0;
+  /// Resume outcome (resume runs only): Start() restored from a manifest,
+  /// and the epoch/shard count it came back with before any new traffic.
+  bool resumed = false;
+  uint64_t resume_epoch = 0;
+  int resume_num_shards = 0;
   /// Merged reads that returned nullptr after the service was up — must
   /// stay 0: a live migration never blocks or errors a read.
   uint64_t null_queries = 0;

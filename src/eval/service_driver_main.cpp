@@ -31,6 +31,14 @@
 ///   --slo-p99-us N     publish-p99 objective in microseconds (default
 ///                      20000)
 ///   --dump-every-ms N  periodic dumper interval (default 200; 0 disables)
+///   --persist PATH     durable store base path: versioned per-shard
+///                      snapshots + routing + constellation manifest are
+///                      committed crash-durably under this prefix
+///   --persist-every N  per-shard persist cadence in batches (default 1
+///                      when --persist is set)
+///   --resume           restore the topology from the manifest at the
+///                      --persist path instead of bulk-loading P_0 (the
+///                      kill-and-resume smoke's second run)
 ///   --prom PATH        Prometheus text output (default fdrms_metrics.prom)
 ///   --json PATH        JSON dump output (default fdrms_metrics.json)
 ///   --debug            print the constellation DebugString() status page
@@ -81,6 +89,9 @@ int main(int argc, char** argv) {
   double burst_frac = 0.4;
   bool slo = false;
   double slo_p99_us = 20000.0;
+  std::string persist_path;
+  int persist_every = 1;
+  bool resume = false;
   std::string prom_path = "fdrms_metrics.prom";
   std::string json_path = "fdrms_metrics.json";
   for (int i = 1; i < argc; ++i) {
@@ -112,6 +123,12 @@ int main(int argc, char** argv) {
       slo = true;
     } else if (std::strcmp(argv[i], "--slo-p99-us") == 0) {
       slo_p99_us = ArgDouble(argc, argv, &i, slo_p99_us);
+    } else if (std::strcmp(argv[i], "--persist") == 0 && i + 1 < argc) {
+      persist_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--persist-every") == 0) {
+      persist_every = static_cast<int>(ArgLong(argc, argv, &i, persist_every));
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      resume = true;
     } else if (std::strcmp(argv[i], "--dump-every-ms") == 0) {
       dump_every_ms = static_cast<int>(ArgLong(argc, argv, &i, dump_every_ms));
     } else if (std::strcmp(argv[i], "--prom") == 0 && i + 1 < argc) {
@@ -139,6 +156,18 @@ int main(int argc, char** argv) {
   opts.service.metrics_dump_every_ms = dump_every_ms;
   opts.service.metrics_dump_path = prom_path;
   opts.service.metrics_dump_json_path = json_path;
+  if (!persist_path.empty()) {
+    opts.service.shard.persist_path = persist_path;
+    opts.service.shard.persist_every_batches = persist_every;
+  }
+  if (resume) {
+    if (persist_path.empty()) {
+      std::cerr << "--resume requires --persist PATH\n";
+      return 2;
+    }
+    opts.service.shard.resume_path = persist_path;
+    opts.resume = true;
+  }
   if (migrate) {
     opts.migrations.push_back(
         {ShardedLoadOptions::MigrationEvent::Kind::kAddShard, 0.5, {}});
@@ -177,6 +206,10 @@ int main(int argc, char** argv) {
   }
   std::cout << " slo=" << (slo ? "on" : "off");
   if (slo) std::cout << " slo_p99_us=" << slo_p99_us;
+  if (!persist_path.empty()) {
+    std::cout << " persist=" << persist_path << " persist_every="
+              << persist_every << (resume ? " resume=yes" : "");
+  }
   std::cout << " dump_every_ms=" << dump_every_ms << "\n";
 
   ShardedLoadResult res = RunShardedLoad(wl, opts);
@@ -191,6 +224,11 @@ int main(int argc, char** argv) {
             << res.migration_trace.size() << ", final_epoch="
             << res.final_epoch << ", final_shards=" << res.final_num_shards
             << "\n";
+  if (resume) {
+    std::cout << "resume: resumed=" << (res.resumed ? "yes" : "no")
+              << " resume_epoch=" << res.resume_epoch
+              << " resume_shards=" << res.resume_num_shards << "\n";
+  }
   for (const obs::TraceEvent& ev : res.migration_trace) {
     std::cout << "  " << ev.name << " start_us=" << ev.start_us
               << " duration_us=" << ev.duration_us << " arg0=" << ev.arg0
@@ -230,13 +268,14 @@ int main(int argc, char** argv) {
     std::cout << res.prometheus_text << "\n";
   }
 
+  const bool resume_ok = !resume || res.resumed;
   const bool ok = res.consistent && res.null_queries == 0 &&
-                  res.migrations_failed == 0 && wrote;
+                  res.migrations_failed == 0 && wrote && resume_ok;
   if (!ok) {
     std::cout << "FAILED: consistent=" << res.consistent
               << " null_queries=" << res.null_queries
               << " migrations_failed=" << res.migrations_failed
-              << " wrote=" << wrote << "\n";
+              << " wrote=" << wrote << " resume_ok=" << resume_ok << "\n";
     return 1;
   }
   std::cout << "OK\n";

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "common/durable_io.h"
 #include "common/stopwatch.h"
 #include "core/snapshot.h"
 #include "obs/phase_span.h"
@@ -414,7 +415,15 @@ void FdRmsService::ApplyAndPublish(const std::vector<FdRms::BatchOp>& batch) {
 
 void FdRmsService::MaybePersist(bool force) {
   if (options_.persist_every_batches == 0) return;
-  if (batches_ == persisted_batches_) return;  // everything durable already
+  // Versioned (manifest) mode treats "never saved this run" as dirty too:
+  // a bulk-loaded P_0 with zero batches must still reach disk on the
+  // forced exit/PersistNow saves, or the manifest would have nothing to
+  // reference for this shard. Legacy mode keeps the exact historical
+  // condition.
+  const bool dirty = options_.persist_versioned
+                         ? (batches_ != persisted_batches_ || !ever_persisted_)
+                         : (batches_ != persisted_batches_);
+  if (!dirty) return;
   // Throttle on the last *attempt* so a failing disk is retried once per
   // interval, not once per batch; gate on the last *success* above so the
   // forced exit save still fires whenever any batch is not yet durable.
@@ -422,29 +431,65 @@ void FdRmsService::MaybePersist(bool force) {
       batches_ - attempted_persist_batches_ < options_.persist_every_batches) {
     return;
   }
+  DoPersist();
+}
+
+Status FdRmsService::DoPersist() {
   attempted_persist_batches_ = batches_;
-  const std::string tmp = options_.persist_path + ".tmp";
-  Status st;
-  {
-    std::ofstream out(tmp, std::ios::trunc);
-    if (!out) {
-      st = Status::Internal("cannot open " + tmp);
-    } else {
-      st = SaveSnapshot(algo_, &out);
-      out.close();
-      if (st.ok() && !out) st = Status::Internal("write to " + tmp + " failed");
-    }
-  }
-  if (st.ok() &&
-      std::rename(tmp.c_str(), options_.persist_path.c_str()) != 0) {
-    st = Status::Internal("rename to " + options_.persist_path + " failed");
-  }
+  // Serialize to memory first: the checksum handed to on_persist must be
+  // over the exact bytes that land on disk, with no re-read race.
+  std::ostringstream buf;
+  Status st = SaveSnapshot(algo_, &buf);
+  std::string bytes;
+  std::string path;
+  long long gen = 0;
   if (st.ok()) {
-    persisted_batches_ = attempted_persist_batches_;
-    metrics_.persists->Increment();
-  } else {
-    metrics_.persist_failures->Increment();
+    bytes = buf.str();
+    if (options_.persist_versioned && options_.persist_version_path) {
+      // Immutable versioned file; gen survives restarts via
+      // persist_gen_start so names never collide across boots.
+      gen = std::max(persist_gen_, options_.persist_gen_start) + 1;
+      path = options_.persist_version_path(
+          gen, static_cast<long long>(batches_));
+    } else {
+      path = options_.persist_path;
+    }
+    st = WriteFileDurable(path, bytes, "serve.persist");
   }
+  if (!st.ok()) {
+    metrics_.persist_failures->Increment();
+    return st;
+  }
+  if (gen > 0) persist_gen_ = gen;
+  persisted_batches_ = batches_;
+  ever_persisted_ = true;
+  metrics_.persists->Increment();
+  if (options_.on_persist) {
+    PersistEvent ev;
+    ev.file = path;
+    ev.gen = gen;
+    ev.batches = static_cast<long long>(batches_);
+    ev.checksum = Fnv1a64(bytes.data(), bytes.size());
+    options_.on_persist(ev);
+  }
+  return Status::OK();
+}
+
+Status FdRmsService::PersistNow() {
+  if (options_.persist_every_batches == 0) {
+    return Status::FailedPrecondition("persistence not configured");
+  }
+  Status save = Status::OK();
+  Status rendezvous = Inspect([this, &save](const FdRms&) {
+    // Writer thread, between batches: a forced save outside the cadence.
+    const bool dirty =
+        options_.persist_versioned
+            ? (batches_ != persisted_batches_ || !ever_persisted_)
+            : (batches_ != persisted_batches_);
+    if (dirty) save = DoPersist();
+  });
+  FDRMS_RETURN_NOT_OK(rendezvous);
+  return save;
 }
 
 void FdRmsService::PublishSnapshot() {

@@ -52,6 +52,16 @@
 
 namespace fdrms {
 
+/// What a completed snapshot save looked like — handed to
+/// FdRmsServiceOptions::on_persist so the sharded layer's manifest can
+/// reference the exact bytes on disk.
+struct PersistEvent {
+  std::string file;        ///< full path the snapshot landed at
+  long long gen = 0;       ///< persist generation (versioned mode; else 0)
+  long long batches = 0;   ///< writer batches applied at save time
+  std::uint64_t checksum = 0;  ///< FNV-1a over the bytes written
+};
+
 /// Knobs of the serving layer (the algorithm's own knobs ride in `algo`).
 struct FdRmsServiceOptions {
   FdRmsOptions algo;
@@ -82,13 +92,40 @@ struct FdRmsServiceOptions {
   Overflow overflow = Overflow::kBlock;
 
   /// Background persistence: every N batches the writer saves the full
-  /// FD-RMS state (core/snapshot.h SaveSnapshot) to `persist_path` with an
-  /// atomic write-to-temp + rename, and once more when the writer exits, so
+  /// FD-RMS state (core/snapshot.h SaveSnapshot) to `persist_path` with a
+  /// crash-durable write-to-temp → fsync → rename → dir-fsync (a failed
+  /// fsync counts as a persist failure), and once more when the writer
+  /// exits, so
   /// a crash loses at most N batches and a clean shutdown loses nothing.
   /// 0 = off. Failures are counted (persist_failures()), never fatal: a
   /// full disk must not take the serving path down.
   size_t persist_every_batches = 0;
   std::string persist_path = "fdrms_service.snapshot";
+
+  /// Versioned persistence (the sharded layer's manifest mode): instead of
+  /// overwriting the fixed `persist_path`, every save goes to a fresh
+  /// immutable file named by `version_path(gen, batches)` (the shard layer
+  /// supplies `<base>.shard<i>.g<gen>.b<batches>`), written crash-durably
+  /// (tmp → fsync → rename → dir fsync), and `on_persist` reports the file
+  /// + its checksum so the constellation manifest can reference it. A
+  /// referenced file is never rewritten, so a crash mid-save can only
+  /// orphan a new file. In this mode the writer also force-saves on exit
+  /// even when zero batches landed (a bulk-loaded P_0 must be restorable).
+  /// Off (the default): the legacy fixed-path overwrite semantics, now with
+  /// fsync-before-rename.
+  bool persist_versioned = false;
+  std::function<std::string(long long gen, long long batches)>
+      persist_version_path;
+
+  /// First `gen` handed to persist_version_path is persist_gen_start + 1 —
+  /// the sharded layer seeds it from the manifest so filenames stay unique
+  /// across restarts.
+  long long persist_gen_start = 0;
+
+  /// Writer-thread hook fired after every *successful* snapshot save (both
+  /// modes). The sharded layer feeds its persist ledger from it. Must be
+  /// cheap and must not call back into the service.
+  std::function<void(const PersistEvent&)> on_persist;
 
   /// Restart-from-snapshot: when non-empty and the file exists at Start(),
   /// the service initializes from the persisted snapshot (core/snapshot.h)
@@ -200,6 +237,15 @@ class FdRmsService {
   Status CollectRange(const std::function<bool(int)>& pred,
                       std::vector<std::pair<int, Point>>* out);
 
+  /// Persists the current algorithm state right now, on the writer thread
+  /// (via the Inspect rendezvous), regardless of the batch cadence — the
+  /// sharded layer calls this before committing a manifest so every shard
+  /// has a snapshot at least as new as the routing epoch being committed.
+  /// Requires persistence configured; fails if the writer is not running or
+  /// the save itself fails (a failed save also counts in
+  /// persist_failures()).
+  Status PersistNow();
+
   /// Wait-free read of the latest published snapshot. Never null after a
   /// successful Start(); null before it.
   std::shared_ptr<const ResultSnapshot> Query() const {
@@ -295,6 +341,11 @@ class FdRmsService {
   /// landed since the last save). Writer-thread only.
   void MaybePersist(bool force);
 
+  /// The save itself: serializes the algorithm state, writes it
+  /// crash-durably (tmp → fsync → rename → dir fsync), bumps the persist
+  /// counters, and fires options.on_persist. Writer-thread only.
+  Status DoPersist();
+
   /// Registers this instance's metric series (labelled with
   /// options.metrics_labels) in registry_. Constructor only.
   void RegisterMetrics();
@@ -355,6 +406,8 @@ class FdRmsService {
   uint64_t batches_ = 0;
   uint64_t persisted_batches_ = 0;  ///< batches_ as of the last *successful* save
   uint64_t attempted_persist_batches_ = 0;  ///< batches_ as of the last attempt
+  bool ever_persisted_ = false;     ///< any successful save this run
+  long long persist_gen_ = 0;       ///< versioned mode: last gen handed out
   double busy_seconds_ = 0.0;
   size_t effective_batch_ = 0;  ///< adaptive batching bound in force
   uint64_t applied_total_ = 0;   ///< ops this instance applied

@@ -4,14 +4,17 @@
 #include <array>
 #include <chrono>
 #include <cstdio>
-#include <fstream>
+#include <filesystem>
 #include <functional>
+#include <set>
 #include <string>
 #include <thread>
 
 #include <sstream>
 
 #include "common/check.h"
+#include "common/crash_point.h"
+#include "common/durable_io.h"
 #include "common/rng.h"
 #include "geometry/sampling.h"
 #include "obs/phase_span.h"
@@ -92,6 +95,11 @@ ShardedFdRmsService::ShardedFdRmsService(int dim,
       registry_(options.registry ? options.registry
                                  : std::make_shared<obs::MetricRegistry>()) {
   FDRMS_CHECK(options.num_shards >= 1);
+  versioned_persist_ = options_.shard.persist_every_batches > 0 &&
+                       !options_.shard.persist_path.empty();
+  // With a resume path the manifest decides the topology, so shard
+  // construction waits for Start (keeps non-resume behavior bit-identical).
+  defer_topology_ = !options_.shard.resume_path.empty();
   RegisterMetrics();
   if (router != nullptr) {
     FDRMS_CHECK(router->num_shards() == options.num_shards)
@@ -110,6 +118,13 @@ ShardedFdRmsService::ShardedFdRmsService(int dim,
     }
   }
   ResetTopology();
+}
+
+ShardedFdRmsService::~ShardedFdRmsService() {
+  // Runs before member destruction, so the ticker can still see every
+  // member; shard writer threads are joined when topology_ (declared last,
+  // destroyed first) releases the FdRmsService instances.
+  StopManifestTicker();
 }
 
 void ShardedFdRmsService::RegisterMetrics() {
@@ -139,6 +154,20 @@ void ShardedFdRmsService::RegisterMetrics() {
   metrics_.migration_ops_side_buffered = r.GetCounter(
       "fdrms_migration_ops_side_buffered_total",
       "Operations parked in a migration side buffer at submit time");
+  metrics_.routing_persists = r.GetCounter(
+      "fdrms_routing_persists_total",
+      "Routing-table snapshot files written crash-durably");
+  metrics_.routing_persist_failures = r.GetCounter(
+      "fdrms_routing_persist_failures_total",
+      "Routing-table snapshot writes that failed at any step "
+      "(serialize, write, fsync, rename, dir sync)");
+  metrics_.manifest_commits = r.GetCounter(
+      "fdrms_manifest_commits_total",
+      "Constellation manifest generations committed crash-durably");
+  metrics_.manifest_commit_failures = r.GetCounter(
+      "fdrms_manifest_commit_failures_total",
+      "Manifest commit attempts that failed (shard save, routing write, "
+      "or manifest slot write)");
   metrics_.epoch = r.GetGauge(
       "fdrms_epoch", "Published routing epoch");
   metrics_.shards = r.GetGauge(
@@ -146,6 +175,13 @@ void ShardedFdRmsService::RegisterMetrics() {
   metrics_.migration_side_buffer_depth = r.GetGauge(
       "fdrms_migration_side_buffer_depth",
       "Operations currently parked in the in-flight migration's side buffer");
+  metrics_.manifest_generation = r.GetGauge(
+      "fdrms_manifest_generation",
+      "Generation of the last committed constellation manifest");
+  metrics_.manifest_commit_us = r.GetLatencyHistogram(
+      "fdrms_manifest_commit_us",
+      "Constellation manifest commit: routing snapshot + manifest slot "
+      "write + snapshot GC (us)");
   metrics_.merge_build_us = r.GetLatencyHistogram(
       "fdrms_merge_build_us",
       "Merged-snapshot rebuild on a read-cache miss (us)");
@@ -173,18 +209,37 @@ void ShardedFdRmsService::UpdateTopologyGauges(uint64_t epoch,
   metrics_.shards->Set(static_cast<double>(num_shards));
 }
 
-std::shared_ptr<FdRmsService> ShardedFdRmsService::MakeShard(int index,
-                                                              bool resumable) {
+std::shared_ptr<FdRmsService> ShardedFdRmsService::MakeShard(
+    int index, const std::string& resume_file) {
   FdRmsServiceOptions per_shard = options_.shard;
-  if (per_shard.persist_every_batches > 0) {
+  if (versioned_persist_) {
+    // Manifest mode: every save goes to a fresh immutable
+    // `<base>.shard<i>.g<G>.b<B>` file and reports into the ledger; the
+    // persist-generation floor keeps filenames unique across rebirths and
+    // process restarts.
+    if (static_cast<size_t>(index) >= persist_gen_seeds_.size()) {
+      persist_gen_seeds_.resize(static_cast<size_t>(index) + 1, 0);
+    }
+    const std::string base = options_.shard.persist_path;
+    per_shard.persist_versioned = true;
+    per_shard.persist_gen_start = persist_gen_seeds_[static_cast<size_t>(index)];
+    per_shard.persist_version_path = [base, index](long long gen,
+                                                   long long batches) {
+      return ShardSnapshotPath(base, index, gen, batches);
+    };
+    auto user_persist = per_shard.on_persist;
+    per_shard.on_persist = [this, index, user_persist = std::move(
+                                             user_persist)](
+                               const PersistEvent& ev) {
+      OnShardPersist(index, ev);
+      if (user_persist) user_persist(ev);
+    };
+  } else if (per_shard.persist_every_batches > 0) {
     per_shard.persist_path += ".shard" + std::to_string(index);
   }
-  if (resumable && !per_shard.resume_path.empty()) {
-    per_shard.resume_path += ".shard" + std::to_string(index);
-  } else {
-    // A shard added to a live constellation starts empty by definition.
-    per_shard.resume_path.clear();
-  }
+  // `resume_file` is the exact snapshot the manifest references (resume
+  // boots only); a shard added to a live constellation starts empty.
+  per_shard.resume_path = resume_file;
   // One registry for the constellation: shards are told apart by label, and
   // the sharded layer owns the (single) dumper. GetOrCreate hands the same
   // series back for the same (name, labels), so a reborn index must not
@@ -233,14 +288,18 @@ size_t ShardedFdRmsService::SetBatchBound(size_t bound) {
 void ShardedFdRmsService::ResetTopology() {
   auto topo = std::make_shared<Topology>();
   topo->table = initial_table_;
-  topo->shards.reserve(static_cast<size_t>(options_.num_shards));
-  for (int s = 0; s < options_.num_shards; ++s) {
-    topo->shards.push_back(MakeShard(s, /*resumable=*/true));
+  if (!defer_topology_) {
+    topo->shards.reserve(static_cast<size_t>(options_.num_shards));
+    for (int s = 0; s < options_.num_shards; ++s) {
+      topo->shards.push_back(MakeShard(s, /*resume_file=*/""));
+    }
   }
+  // Deferred (resume) constellations stay shard-less until Start resolves
+  // the manifest: the persisted shard count, not options_.num_shards, is
+  // authoritative there.
   router_ = std::make_unique<EpochShardRouter>(initial_table_);
   merged_cache_.store(nullptr, std::memory_order_release);
-  UpdateTopologyGauges(initial_table_->epoch(),
-                       static_cast<size_t>(options_.num_shards));
+  UpdateTopologyGauges(initial_table_->epoch(), topo->shards.size());
   topology_.store(std::move(topo), std::memory_order_release);
 }
 
@@ -251,39 +310,19 @@ Status ShardedFdRmsService::Start(
   if (!started_.compare_exchange_strong(expected, true)) {
     return Status::FailedPrecondition("sharded service already started");
   }
-  std::shared_ptr<const Topology> topo = topology();
-  const size_t num_shards = topo->shards.size();
-
-  // Restore the routing table first: a persisted constellation must resume
-  // with its migrated routing, or per-shard snapshots and routing would
-  // disagree about ownership.
-  if (!options_.shard.resume_path.empty()) {
-    std::ifstream in(options_.shard.resume_path + ".routing");
-    if (in.good()) {
-      auto table_or = RoutingTable::Load(&in);
-      if (!table_or.ok()) {
-        started_.store(false);
-        return table_or.status();
-      }
-      std::shared_ptr<const RoutingTable> table = *table_or;
-      if (table->num_shards() != static_cast<int>(num_shards)) {
-        started_.store(false);
-        return Status::Invalid(
-            "resumed routing table spans " +
-            std::to_string(table->num_shards()) +
-            " shards, constellation has " + std::to_string(num_shards) +
-            " (construct with the persisted shard count)");
-      }
-      if (table->epoch() > router_->epoch()) {
-        router_->Publish(table);
-        auto next = std::make_shared<Topology>(*topo);
-        next->table = table;
-        topo = next;
-        UpdateTopologyGauges(table->epoch(), num_shards);
-        topology_.store(topo, std::memory_order_release);
-      }
+  // On resume the whole topology — shard count, epoch, per-shard snapshot
+  // files — comes out of the constellation manifest; a torn or missing
+  // store fails loudly here instead of serving a guessed topology.
+  if (defer_topology_) {
+    Status resolved = BuildResumedTopologyLocked();
+    if (!resolved.ok()) {
+      started_.store(false);
+      return resolved;
     }
   }
+
+  std::shared_ptr<const Topology> topo = topology();
+  const size_t num_shards = topo->shards.size();
 
   std::vector<std::vector<std::pair<int, Point>>> partitions(num_shards);
   for (const auto& [id, point] : initial) {
@@ -307,9 +346,24 @@ Status ShardedFdRmsService::Start(
     for (size_t s = 0; s < num_shards; ++s) {
       if (statuses[s].ok()) (void)topo->shards[s]->Stop(StopPolicy::kAbort);
     }
+    {
+      std::lock_guard<std::mutex> lg(ledger_.mu);
+      ledger_.entries.clear();
+      ledger_.dirty = false;
+    }
+    resumed_ = false;
     ResetTopology();
     started_.store(false);
     return combined;
+  }
+  if (versioned_persist_) {
+    // Durability root: commit a manifest for the just-started constellation
+    // (forcing every shard's first save) so a crash from here on always
+    // resumes — without this, files-without-manifest is indistinguishable
+    // from a torn store and resume must refuse it. Failures are counted,
+    // not fatal: a full disk must not take the serving path down.
+    (void)CommitConstellationLocked(/*persist_shards=*/true);
+    StartManifestTickerLocked();
   }
   if (options_.metrics_dump_every_ms > 0 && dumper_ == nullptr) {
     obs::PeriodicDumperOptions dump;
@@ -327,11 +381,18 @@ Status ShardedFdRmsService::Stop(StopPolicy policy) {
   if (!started_.load()) {
     return Status::FailedPrecondition("sharded service never started");
   }
+  // The ticker only try-locks admin_mutex_, so joining it while holding the
+  // lock cannot deadlock; stopping it first means no commit races the
+  // shard shutdown below.
+  StopManifestTicker();
   std::shared_ptr<const Topology> topo = topology();
   std::vector<Status> statuses(topo->shards.size());
   ForEachShardConcurrently(topo->shards.size(), [&](size_t s) {
     statuses[s] = topo->shards[s]->Stop(policy);
   });
+  // Final manifest: every shard's exit save has landed in the ledger, so
+  // this commit makes the terminal state the restorable one.
+  (void)CommitConstellationLocked(/*persist_shards=*/false);
   // Stop the dumper after the shards so its final dump carries the shards'
   // terminal counter values.
   if (dumper_ != nullptr) dumper_->Stop();
@@ -351,6 +412,11 @@ Status ShardedFdRmsService::Submit(FdRms::BatchOp op) {
     return Status::OK();
   }
   std::shared_ptr<const Topology> topo = topology();
+  if (topo->shards.empty()) {
+    // A resume-deferred constellation has no shards until Start resolves
+    // the manifest.
+    return Status::FailedPrecondition("sharded service never started");
+  }
   const int s = topo->table->Route(op.id);
   if (s < 0 || s >= static_cast<int>(topo->shards.size())) {
     return Status::Internal("router sent id " + std::to_string(op.id) +
@@ -361,6 +427,9 @@ Status ShardedFdRmsService::Submit(FdRms::BatchOp op) {
 
 Status ShardedFdRmsService::Flush() {
   std::shared_ptr<const Topology> topo = topology();
+  if (topo->shards.empty()) {
+    return Status::FailedPrecondition("sharded service never started");
+  }
   std::vector<Status> statuses(topo->shards.size());
   for (size_t s = 0; s < topo->shards.size(); ++s) {
     statuses[s] = topo->shards[s]->Flush();
@@ -540,7 +609,12 @@ Status ShardedFdRmsService::MigrateLockedImpl(const MigrationPlan& plan) {
     }
   }
   if (first_error.ok()) {
-    PersistRoutingTable(*next);
+    // The manifest is the migration's durability commit point: a crash
+    // before the slot rename resumes into the pre-migration constellation
+    // (replay covers the gap); after it, into the post-migration one.
+    CrashPoints::Hit("shard.cutover", "pre_manifest");
+    (void)CommitConstellationLocked(/*persist_shards=*/true);
+    CrashPoints::Hit("shard.cutover", "committed");
   }
   return first_error;
 }
@@ -582,7 +656,7 @@ Status ShardedFdRmsService::AddShard() {
   }
   const int num_shards = static_cast<int>(topo->shards.size());
   std::shared_ptr<FdRmsService> fresh =
-      MakeShard(num_shards, /*resumable=*/false);
+      MakeShard(num_shards, /*resume_file=*/"");
   FDRMS_RETURN_NOT_OK(fresh->Start({}));
   std::shared_ptr<const RoutingTable> grown =
       topo->table->WithNumShards(num_shards + 1);
@@ -620,7 +694,7 @@ Status ShardedFdRmsService::AddShard() {
     --load[static_cast<size_t>(donor)];
   }
   if (slots.empty()) {
-    PersistRoutingTable(*grown);
+    (void)CommitConstellationLocked(/*persist_shards=*/true);
     last_topology_change_us_.store(registry_->NowMicros(),
                                    std::memory_order_relaxed);
     return Status::OK();  // degenerate: more shards than slots
@@ -703,7 +777,29 @@ Status ShardedFdRmsService::RemoveShard() {
     topology_.store(std::move(next), std::memory_order_release);
   }
   Status stopped = victim_shard->Stop(FdRmsService::StopPolicy::kDrain);
-  PersistRoutingTable(*shrunk);
+  // Retire the victim from the durable constellation: drop its ledger row
+  // (the exit save above already reported into it) but remember its persist
+  // generation, so a reborn shard at this index keeps filenames unique. The
+  // next manifest commit stops referencing the victim's snapshot, and GC
+  // unlinks it once no slot references it — the fix for resurrected dead
+  // tuples on rebirth + crash + resume.
+  if (versioned_persist_) {
+    {
+      std::lock_guard<std::mutex> lg(ledger_.mu);
+      auto it = ledger_.entries.find(victim);
+      if (it != ledger_.entries.end()) {
+        if (static_cast<size_t>(victim) >= persist_gen_seeds_.size()) {
+          persist_gen_seeds_.resize(static_cast<size_t>(victim) + 1, 0);
+        }
+        persist_gen_seeds_[static_cast<size_t>(victim)] =
+            std::max(persist_gen_seeds_[static_cast<size_t>(victim)],
+                     it->second.gen);
+        ledger_.entries.erase(it);
+      }
+      ledger_.dirty = true;
+    }
+    (void)CommitConstellationLocked(/*persist_shards=*/false);
+  }
   if (stopped.ok()) {
     last_topology_change_us_.store(registry_->NowMicros(),
                                    std::memory_order_relaxed);
@@ -711,16 +807,357 @@ Status ShardedFdRmsService::RemoveShard() {
   return stopped;
 }
 
-void ShardedFdRmsService::PersistRoutingTable(const RoutingTable& table) const {
-  if (options_.shard.persist_every_batches == 0) return;
-  const std::string path = options_.shard.persist_path + ".routing";
-  const std::string tmp = path + ".tmp";
-  std::ofstream out(tmp, std::ios::trunc);
-  if (!out) return;
-  if (!table.Save(&out).ok()) return;
-  out.close();
-  if (!out) return;
-  (void)std::rename(tmp.c_str(), path.c_str());
+Status ShardedFdRmsService::PersistRoutingLocked(const RoutingTable& table,
+                                                 std::string* file,
+                                                 std::uint64_t* checksum) {
+  // Serialize first: the checksum must cover the exact bytes on disk, and a
+  // serialization failure must count like any other persist failure instead
+  // of leaving a half-written file.
+  std::ostringstream buf;
+  Status st = table.Save(&buf);
+  if (!st.ok()) {
+    metrics_.routing_persist_failures->Increment();
+    return st;
+  }
+  const std::string bytes = buf.str();
+  const std::string path = RoutingSnapshotPath(
+      options_.shard.persist_path, static_cast<long long>(table.epoch()));
+  st = WriteFileDurable(path, bytes, "shard.routing");
+  if (!st.ok()) {
+    metrics_.routing_persist_failures->Increment();
+    return st;
+  }
+  metrics_.routing_persists->Increment();
+  *file = FileBasename(path);
+  *checksum = Fnv1a64(bytes.data(), bytes.size());
+  return Status::OK();
+}
+
+void ShardedFdRmsService::OnShardPersist(int index, const PersistEvent& ev) {
+  std::lock_guard<std::mutex> lg(ledger_.mu);
+  ManifestShardEntry& e = ledger_.entries[index];
+  const std::string file = FileBasename(ev.file);
+  if (!e.file.empty() && e.file != file) {
+    // The replaced save may never reach a manifest (the commit cadence can
+    // lag the writer cadence); remember it so commit-time GC can unlink it.
+    ledger_.superseded.push_back(e.file);
+  }
+  e.index = index;
+  e.gen = ev.gen;
+  e.batches = ev.batches;
+  e.checksum = ev.checksum;
+  e.file = file;
+  ledger_.dirty = true;
+}
+
+Status ShardedFdRmsService::CommitConstellationLocked(bool persist_shards) {
+  if (!versioned_persist_) return Status::OK();
+  std::shared_ptr<const Topology> topo = topology();
+  if (topo->shards.empty()) return Status::OK();
+  if (CrashPoints::crashed()) {
+    metrics_.manifest_commit_failures->Increment();
+    return Status::Internal("crash injected: process is dead");
+  }
+  obs::PhaseSpan span(registry_.get(), metrics_.manifest_commit_us,
+                      "manifest.commit");
+
+  if (persist_shards) {
+    // Cutover/Start commits force every shard's applied state to disk first
+    // so the manifest binds the constellation *as of this epoch*, not as of
+    // each shard's last lazy save.
+    for (const auto& shard : topo->shards) {
+      Status st = shard->PersistNow();
+      if (!st.ok()) {
+        metrics_.manifest_commit_failures->Increment();
+        return st;
+      }
+    }
+  }
+
+  const std::shared_ptr<const RoutingTable> table = topo->table;
+  const long long epoch = static_cast<long long>(table->epoch());
+  const int shard_count = static_cast<int>(topo->shards.size());
+  std::map<int, ManifestShardEntry> entries;
+  std::vector<std::string> superseded;
+  {
+    std::lock_guard<std::mutex> lg(ledger_.mu);
+    if (!ledger_.dirty && epoch == manifest_epoch_ &&
+        shard_count == manifest_shard_count_ && manifest_generation_ > 0) {
+      return Status::OK();  // nothing changed since the last commit
+    }
+    entries = ledger_.entries;
+    superseded.swap(ledger_.superseded);
+    ledger_.dirty = false;
+  }
+  // Any failure from here re-dirties the ledger (and returns the taken
+  // superseded list, unswept) so the next tick retries.
+  auto fail = [this, &superseded](Status st) {
+    {
+      std::lock_guard<std::mutex> lg(ledger_.mu);
+      ledger_.dirty = true;
+      ledger_.superseded.insert(ledger_.superseded.end(), superseded.begin(),
+                                superseded.end());
+    }
+    metrics_.manifest_commit_failures->Increment();
+    return st;
+  };
+
+  if (epoch != routing_epoch_written_) {
+    std::string file;
+    std::uint64_t cksum = 0;
+    Status st = PersistRoutingLocked(*table, &file, &cksum);
+    if (!st.ok()) return fail(st);
+    routing_epoch_written_ = epoch;
+    routing_file_ = file;
+    routing_checksum_ = cksum;
+  }
+
+  ConstellationManifest m;
+  m.generation = manifest_generation_ + 1;
+  m.epoch = epoch;
+  m.shard_count = shard_count;
+  m.routing_file = routing_file_;
+  m.routing_checksum = routing_checksum_;
+  for (int s = 0; s < shard_count; ++s) {
+    ManifestShardEntry e;
+    e.index = s;  // no ledger row yet = never persisted, encoded "-"
+    auto it = entries.find(s);
+    if (it != entries.end()) e = it->second;
+    m.shards.push_back(std::move(e));
+  }
+  Status st = CommitManifestSlot(options_.shard.persist_path, m);
+  if (!st.ok()) return fail(st);
+  manifest_generation_ = m.generation;
+  manifest_epoch_ = epoch;
+  manifest_shard_count_ = shard_count;
+  metrics_.manifest_commits->Increment();
+  metrics_.manifest_generation->Set(static_cast<double>(m.generation));
+
+  // Unlink snapshots that just dropped out of the two-generation window
+  // (this commit's slot + the other slot), plus saves a newer save
+  // superseded before any manifest referenced them. Only ever files an
+  // older manifest referenced or the ledger reported replaced — never a
+  // directory scan — so a snapshot a shard writer lands concurrently can't
+  // be swept before it is referenced.
+  std::vector<std::string> current;
+  if (!m.routing_file.empty()) current.push_back(m.routing_file);
+  for (const ManifestShardEntry& e : m.shards) {
+    if (!e.file.empty()) current.push_back(e.file);
+  }
+  std::set<std::string> need(current.begin(), current.end());
+  need.insert(prev_referenced_.begin(), prev_referenced_.end());
+  std::set<std::string> drop(superseded.begin(), superseded.end());
+  drop.insert(disk_referenced_.begin(), disk_referenced_.end());
+  for (const std::string& name : drop) {
+    if (need.count(name) == 0) {
+      std::error_code ec;
+      std::filesystem::remove(
+          JoinDirOf(options_.shard.persist_path, name), ec);
+    }
+  }
+  disk_referenced_.assign(need.begin(), need.end());
+  prev_referenced_ = std::move(current);
+  return Status::OK();
+}
+
+Status ShardedFdRmsService::BuildResumedTopologyLocked() {
+  const std::string& base = options_.shard.persist_path;
+  if (!versioned_persist_) {
+    return Status::Invalid(
+        "resume_path requires persistence (persist_every_batches > 0 and "
+        "persist_path set)");
+  }
+  if (options_.shard.resume_path != base) {
+    return Status::Invalid("resume_path must equal persist_path ('" +
+                           options_.shard.resume_path + "' vs '" + base +
+                           "'): the manifest names the per-shard files");
+  }
+  Result<LoadedManifest> loaded_or = LoadNewestManifest(base);
+  if (!loaded_or.ok()) {
+    if (loaded_or.status().code() != StatusCode::kNotFound) {
+      return loaded_or.status();  // slots exist but none valid: stay down
+    }
+    ConstellationFileScan scan = ScanConstellationFiles(base);
+    if (scan.any_legacy) {
+      return Status::FailedPrecondition(
+          "pre-manifest snapshot layout at " + base +
+          " (.shard<i>/.routing): nothing binds those files to one "
+          "consistent cut; refusing to resume from them");
+    }
+    if (scan.any_versioned) {
+      return Status::FailedPrecondition(
+          "snapshot files at " + base +
+          " but no manifest references them (manifest lost or store torn); "
+          "refusing to guess a topology");
+    }
+    // Fresh directory: fall through to a normal first boot with the
+    // configured shard count (the Start-end commit then writes gen 1).
+    auto topo = std::make_shared<Topology>();
+    topo->table = initial_table_;
+    topo->shards.reserve(static_cast<size_t>(options_.num_shards));
+    for (int s = 0; s < options_.num_shards; ++s) {
+      topo->shards.push_back(MakeShard(s, /*resume_file=*/""));
+    }
+    router_ = std::make_unique<EpochShardRouter>(initial_table_);
+    merged_cache_.store(nullptr, std::memory_order_release);
+    UpdateTopologyGauges(initial_table_->epoch(), topo->shards.size());
+    topology_.store(std::move(topo), std::memory_order_release);
+    return Status::OK();
+  }
+  const LoadedManifest& loaded = loaded_or.value();
+  const ConstellationManifest& m = loaded.manifest;
+
+  // Routing table at the manifest's epoch.
+  std::shared_ptr<const RoutingTable> table;
+  if (m.routing_file.empty()) {
+    if (m.epoch != 0) {
+      return Status::Internal("manifest generation " +
+                              std::to_string(m.generation) + " is at epoch " +
+                              std::to_string(m.epoch) +
+                              " but names no routing snapshot");
+    }
+    table = RoutingTable::Slotted(m.shard_count);
+  } else {
+    const std::string path = JoinDirOf(base, m.routing_file);
+    Result<std::string> bytes_or = ReadFileToString(path);
+    if (!bytes_or.ok()) {
+      return Status::Internal("manifest references routing snapshot " + path +
+                              ": " + bytes_or.status().ToString());
+    }
+    const std::string& bytes = bytes_or.value();
+    if (Fnv1a64(bytes.data(), bytes.size()) != m.routing_checksum) {
+      return Status::Internal("routing snapshot " + path +
+                              " fails its manifest checksum");
+    }
+    std::istringstream in(bytes);
+    auto table_or = RoutingTable::Load(&in);
+    if (!table_or.ok()) return table_or.status();
+    table = *table_or;
+    if (table->num_shards() != m.shard_count) {
+      return Status::Internal(
+          "routing snapshot partitions " +
+          std::to_string(table->num_shards()) + " shards, manifest says " +
+          std::to_string(m.shard_count));
+    }
+    if (static_cast<long long>(table->epoch()) != m.epoch) {
+      return Status::Internal("routing snapshot is epoch " +
+                              std::to_string(table->epoch()) +
+                              ", manifest says " + std::to_string(m.epoch));
+    }
+  }
+
+  // Verify every referenced shard snapshot against its manifest checksum
+  // before constructing anything: resume is all-or-nothing.
+  std::vector<std::string> resume_files(
+      static_cast<size_t>(m.shard_count));
+  for (const ManifestShardEntry& e : m.shards) {
+    if (e.file.empty()) continue;  // never persisted: shard resumes empty
+    const std::string path = JoinDirOf(base, e.file);
+    Result<std::uint64_t> cksum = ChecksumFile(path);
+    if (!cksum.ok()) {
+      return Status::Internal("manifest references shard snapshot " + path +
+                              ": " + cksum.status().ToString());
+    }
+    if (cksum.value() != e.checksum) {
+      return Status::Internal("shard snapshot " + path +
+                              " fails its manifest checksum");
+    }
+    resume_files[static_cast<size_t>(e.index)] = path;
+  }
+
+  // Seed persist generations and the ledger from the manifest: reborn
+  // filenames stay unique across restarts, and an immediate re-commit
+  // reproduces the same rows.
+  persist_gen_seeds_.assign(static_cast<size_t>(m.shard_count), 0);
+  {
+    std::lock_guard<std::mutex> lg(ledger_.mu);
+    ledger_.entries.clear();
+    for (const ManifestShardEntry& e : m.shards) {
+      persist_gen_seeds_[static_cast<size_t>(e.index)] = e.gen;
+      if (!e.file.empty()) ledger_.entries[e.index] = e;
+    }
+    ledger_.dirty = false;
+  }
+
+  auto topo = std::make_shared<Topology>();
+  topo->table = table;
+  topo->shards.reserve(static_cast<size_t>(m.shard_count));
+  for (int s = 0; s < m.shard_count; ++s) {
+    topo->shards.push_back(MakeShard(s, resume_files[static_cast<size_t>(s)]));
+  }
+  router_ = std::make_unique<EpochShardRouter>(table);
+  merged_cache_.store(nullptr, std::memory_order_release);
+  UpdateTopologyGauges(table->epoch(), topo->shards.size());
+  topology_.store(std::move(topo), std::memory_order_release);
+
+  manifest_generation_ = m.generation;
+  manifest_epoch_ = -1;  // force the Start-end commit to write a new one
+  manifest_shard_count_ = m.shard_count;
+  routing_epoch_written_ = m.epoch;
+  routing_file_ = m.routing_file;
+  routing_checksum_ = m.routing_checksum;
+  prev_referenced_.clear();
+  if (!m.routing_file.empty()) prev_referenced_.push_back(m.routing_file);
+  for (const ManifestShardEntry& e : m.shards) {
+    if (!e.file.empty()) prev_referenced_.push_back(e.file);
+  }
+  disk_referenced_ = loaded.referenced;
+
+  // No writer lives yet, so a directory sweep is safe: drop `.tmp` orphans
+  // and snapshots no valid manifest slot references (crash leftovers).
+  GarbageCollectConstellationFiles(base, loaded.referenced,
+                                   /*include_tmp=*/true);
+  resumed_ = true;
+  return Status::OK();
+}
+
+void ShardedFdRmsService::StartManifestTickerLocked() {
+  if (!versioned_persist_ || options_.manifest_commit_every_ms <= 0 ||
+      manifest_ticker_.joinable()) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lg(ticker_mu_);
+    ticker_stop_ = false;
+  }
+  manifest_ticker_ =
+      std::thread(&ShardedFdRmsService::ManifestTickerLoop, this);
+}
+
+void ShardedFdRmsService::StopManifestTicker() {
+  if (!manifest_ticker_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lg(ticker_mu_);
+    ticker_stop_ = true;
+  }
+  ticker_cv_.notify_all();
+  manifest_ticker_.join();
+}
+
+void ShardedFdRmsService::ManifestTickerLoop() {
+  const auto interval =
+      std::chrono::milliseconds(options_.manifest_commit_every_ms);
+  std::unique_lock<std::mutex> lk(ticker_mu_);
+  while (!ticker_stop_) {
+    ticker_cv_.wait_for(lk, interval, [this] { return ticker_stop_; });
+    if (ticker_stop_) return;
+    lk.unlock();
+    bool dirty;
+    {
+      std::lock_guard<std::mutex> lg(ledger_.mu);
+      dirty = ledger_.dirty;
+    }
+    if (dirty) {
+      // try_to_lock: while a migration or Stop holds the control plane the
+      // tick is skipped — the cutover/Stop commits its own manifest, and a
+      // mid-migration commit could bind a half-moved constellation.
+      std::unique_lock<std::mutex> admin(admin_mutex_, std::try_to_lock);
+      if (admin.owns_lock()) {
+        (void)CommitConstellationLocked(/*persist_shards=*/false);
+      }
+    }
+    lk.lock();
+  }
 }
 
 uint64_t ShardedFdRmsService::ops_submitted() const {
@@ -751,6 +1188,7 @@ std::shared_ptr<const MergedSnapshot> ShardedFdRmsService::Query() const {
   metrics_.reads->Increment();
   std::shared_ptr<const Topology> topo = topology();
   const size_t num_shards = topo->shards.size();
+  if (num_shards == 0) return nullptr;  // resume-deferred, Start not yet run
   const uint64_t epoch = topo->table->epoch();
   std::vector<std::shared_ptr<const ResultSnapshot>> parts(num_shards);
   for (size_t s = 0; s < num_shards; ++s) {
@@ -885,6 +1323,15 @@ std::string ShardedFdRmsService::DebugString() const {
       << " ops_replayed=" << metrics_.migration_ops_replayed->Value()
       << " ops_side_buffered="
       << metrics_.migration_ops_side_buffered->Value() << "\n";
+  if (versioned_persist_) {
+    out << "durability: manifest_gen="
+        << static_cast<long long>(metrics_.manifest_generation->Value())
+        << " commits=" << metrics_.manifest_commits->Value()
+        << " commit_failures=" << metrics_.manifest_commit_failures->Value()
+        << " routing_persists=" << metrics_.routing_persists->Value()
+        << " routing_failures=" << metrics_.routing_persist_failures->Value()
+        << " resumed=" << (resumed_ ? "yes" : "no") << "\n";
+  }
   for (size_t s = 0; s < topo->shards.size(); ++s) {
     out << "--- shard " << s << " ---\n" << topo->shards[s]->DebugString();
   }

@@ -63,16 +63,21 @@
 /// drains the last shard and retires it).
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/status.h"
 #include "core/fdrms.h"
 #include "serve/fdrms_service.h"
+#include "shard/manifest.h"
 #include "shard/merged_snapshot.h"
 #include "shard/migration.h"
 #include "shard/shard_router.h"
@@ -89,15 +94,37 @@ struct ShardedServiceOptions {
   /// Options handed to every shard. The shared algo.seed means all shards
   /// sample the same utility sequence, which is what makes the merged
   /// result's regret guarantee testable on the shared prefix (see
-  /// MergedSnapshot::min_sample_size_m). When persistence is on, shard s
-  /// writes to `persist_path + ".shard<s>"` and the routing table is saved
-  /// to `persist_path + ".routing"` at every epoch publication. When
-  /// `shard.resume_path` is set, Start() restores the routing table from
-  /// `resume_path + ".routing"` (if present) and each shard from
-  /// `resume_path + ".shard<s>"` — pass an empty initial set when
-  /// resuming; the constellation must be constructed with the same
-  /// num_shards it was persisted with.
+  /// MergedSnapshot::min_sample_size_m).
+  ///
+  /// Durability (see shard/manifest.h for the full protocol): when
+  /// persistence is on (`shard.persist_every_batches > 0`), shard s writes
+  /// immutable versioned snapshots `persist_path + ".shard<s>.g<G>.b<B>"`
+  /// on its own batch cadence, the routing table is saved to
+  /// `persist_path + ".routing.e<epoch>"`, and a checksummed constellation
+  /// manifest (`persist_path + ".manifest.{a,b}"`) binding one snapshot
+  /// per shard to one routing epoch is committed crash-durably at every
+  /// cutover, on the manifest tick below, and at Stop(). Superseded
+  /// snapshot files are garbage-collected after each commit.
+  ///
+  /// Resume: when `shard.resume_path` is set it must equal `persist_path`
+  /// (with persistence on); Start() then resolves the whole topology —
+  /// shard count, epoch, per-shard snapshot files — from the newest valid
+  /// manifest, verifying every referenced file's checksum. The `num_shards`
+  /// the constellation was constructed with is ignored on resume: the
+  /// manifest is self-describing. A torn newest manifest falls back to the
+  /// previous generation; snapshot files with no manifest at all (or the
+  /// pre-manifest `.shard<s>`/`.routing` layout) fail Start loudly rather
+  /// than risk serving a torn constellation.
   FdRmsServiceOptions shard;
+
+  /// Manifest commit cadence: a background tick that commits a new
+  /// manifest generation whenever shard saves have landed since the last
+  /// commit, bounding how much applied-but-unreferenced work a crash can
+  /// lose. Skipped while a migration holds the control plane (cutover
+  /// commits its own). 0 disables the ticker (deterministic tests); commits
+  /// still happen at every cutover and at Stop(). Ignored when persistence
+  /// is off.
+  int manifest_commit_every_ms = 250;
 
   /// Global result budget of the merged view: 0 serves the pure union
   /// (|Q| <= num_shards * algo.r); > 0 greedily re-covers the union down
@@ -146,7 +173,9 @@ class ShardedFdRmsService {
   ShardedFdRmsService(int dim, const ShardedServiceOptions& options,
                       std::unique_ptr<ShardRouter> router = nullptr);
 
-  ~ShardedFdRmsService() = default;
+  /// Joins the manifest ticker (shard writers are joined when the topology
+  /// releases the FdRmsService instances).
+  ~ShardedFdRmsService();
   ShardedFdRmsService(const ShardedFdRmsService&) = delete;
   ShardedFdRmsService& operator=(const ShardedFdRmsService&) = delete;
 
@@ -248,6 +277,27 @@ class ShardedFdRmsService {
   /// Completed Migrate() calls (AddShard/RemoveShard count theirs).
   uint64_t migrations() const { return metrics_.migrations->Value(); }
 
+  /// Routing-table snapshot writes completed / failed (failures used to be
+  /// swallowed; now every write step — serialize, fsync, rename — counts).
+  uint64_t routing_persists() const {
+    return metrics_.routing_persists->Value();
+  }
+  uint64_t routing_persist_failures() const {
+    return metrics_.routing_persist_failures->Value();
+  }
+
+  /// Constellation manifest commits completed / failed.
+  uint64_t manifest_commits() const {
+    return metrics_.manifest_commits->Value();
+  }
+  uint64_t manifest_commit_failures() const {
+    return metrics_.manifest_commit_failures->Value();
+  }
+
+  /// True when Start() restored the topology from a persisted manifest
+  /// instead of bulk-loading `initial`.
+  bool resumed() const { return resumed_; }
+
   bool running() const;
 
   /// The constellation's shared registry: every shard's series (labelled
@@ -305,12 +355,15 @@ class ShardedFdRmsService {
     return topology_.load(std::memory_order_acquire);
   }
 
-  /// Builds one shard service (publication hook, per-shard persist/resume
-  /// paths) for slot `index`. The first instance at an index is labelled
+  /// Builds one shard service (publication hook, versioned persist wiring,
+  /// optional resume file) for slot `index`. `resume_file` is the exact
+  /// snapshot file the manifest references for this shard (empty = start
+  /// empty/from initial). The first instance at an index is labelled
   /// {shard=index}; rebirths (RemoveShard→AddShard, failed-Start rebuild,
   /// AddShard rollback retry) add a {gen=n} label so the new instance never
   /// inherits the retired instance's registry series.
-  std::shared_ptr<FdRmsService> MakeShard(int index, bool resumable);
+  std::shared_ptr<FdRmsService> MakeShard(int index,
+                                          const std::string& resume_file);
 
   /// (Re)creates the S-shard epoch-0 topology. Used at construction and to
   /// reset a constellation whose Start failed partway.
@@ -334,9 +387,36 @@ class ShardedFdRmsService {
   void AbortFreeze(const std::shared_ptr<MigrationState>& state,
                    const Topology& topo);
 
-  /// Best-effort save of `table` to persist_path + ".routing" (no-op when
-  /// persistence is off).
-  void PersistRoutingTable(const RoutingTable& table) const;
+  /// Resume path of Start (admin lock held): loads the newest valid
+  /// manifest, verifies every referenced file's checksum, and swaps in the
+  /// topology it describes (router at the manifest epoch, one shard per
+  /// manifest row with its exact snapshot file). kNotFound when no
+  /// manifest slot exists; then the caller decides between fresh boot
+  /// (empty directory) and loud failure (snapshot files without a
+  /// manifest).
+  Status BuildResumedTopologyLocked();
+
+  /// The commit point (admin lock held): optionally forces every shard to
+  /// persist its current state (PersistNow), writes the routing snapshot
+  /// for the current epoch if not yet on disk, commits the next manifest
+  /// generation crash-durably, and garbage-collects snapshot files no
+  /// longer referenced by the current or previous generation. No-op when
+  /// persistence is off or nothing changed since the last commit.
+  Status CommitConstellationLocked(bool persist_shards);
+
+  /// Durably writes the routing snapshot for `table` (immutable
+  /// `.routing.e<epoch>` file) and reports its checksum. Every failure is
+  /// counted in fdrms_routing_persist_failures_total.
+  Status PersistRoutingLocked(const RoutingTable& table, std::string* file,
+                              std::uint64_t* checksum);
+
+  /// on_persist hook target (shard writer threads): records shard
+  /// `index`'s newest durable snapshot in the ledger and marks it dirty.
+  void OnShardPersist(int index, const PersistEvent& ev);
+
+  void StartManifestTickerLocked();
+  void StopManifestTicker();
+  void ManifestTickerLoop();
 
   std::shared_ptr<const MergedSnapshot> BuildMerged(
       std::vector<std::shared_ptr<const ResultSnapshot>> parts,
@@ -355,6 +435,15 @@ class ShardedFdRmsService {
   std::unique_ptr<EpochShardRouter> router_;
   std::vector<Point> merge_directions_;
   std::atomic<bool> started_{false};
+  bool resumed_ = false;  ///< written under admin_mutex_ in Start
+
+  /// Manifest-backed versioned persistence is on (persist interval + path
+  /// both configured). Const after construction.
+  bool versioned_persist_ = false;
+
+  /// Topology construction is deferred to Start (resume_path set): the
+  /// manifest, not the constructor argument, decides the shard count.
+  bool defer_topology_ = false;
 
   /// Constellation-wide batch ceiling; fan-out target of SetBatchBound and
   /// the value MakeShard seeds new instances with.
@@ -372,6 +461,50 @@ class ShardedFdRmsService {
   /// Guarded by admin_mutex_ (the constructor's use is pre-publication).
   std::vector<uint64_t> shard_incarnations_;
 
+  /// Persist-generation floor per shard index (decoupled from the metric
+  /// gen label above): seeded from the manifest at resume and from the
+  /// ledger when an index retires, so a reborn shard's snapshot filenames
+  /// never collide with a dead incarnation's. Guarded by admin_mutex_.
+  std::vector<long long> persist_gen_seeds_;
+
+  /// Each shard's newest durable snapshot, fed by OnShardPersist from the
+  /// shard writer threads; `dirty` means some save landed (or a shard
+  /// retired) since the last manifest commit.
+  struct PersistLedger {
+    std::mutex mu;
+    std::map<int, ManifestShardEntry> entries;
+    bool dirty = false;
+    /// Snapshot files a newer save replaced before any manifest referenced
+    /// them (writer cadence can outpace the commit cadence). No current or
+    /// future manifest can name them, so the next successful commit's GC
+    /// unlinks them — without this they would leak until the next resume.
+    std::vector<std::string> superseded;
+  };
+  PersistLedger ledger_;
+
+  /// Manifest commit state, guarded by admin_mutex_ (all commits hold it).
+  long long manifest_generation_ = 0;   ///< last committed generation
+  long long manifest_epoch_ = -1;       ///< epoch of the last commit
+  int manifest_shard_count_ = -1;       ///< shard count of the last commit
+  long long routing_epoch_written_ = -1;  ///< newest .routing.e<E> on disk
+  std::string routing_file_;            ///< its basename
+  std::uint64_t routing_checksum_ = 0;
+  /// Basenames the last committed generation references, and the union the
+  /// last two reference. Live GC unlinks only files that drop out of the
+  /// two-generation union — never scans the directory — so a snapshot a
+  /// shard writer lands concurrently (not yet in any manifest) can't be
+  /// swept; the other slot's fallback set always stays restorable.
+  std::vector<std::string> prev_referenced_;
+  std::vector<std::string> disk_referenced_;
+
+  /// Manifest ticker (manifest_commit_every_ms): wakes, try-locks the
+  /// admin mutex (never contends with a live migration or Stop), and
+  /// commits when the ledger is dirty.
+  std::thread manifest_ticker_;
+  std::mutex ticker_mu_;
+  std::condition_variable ticker_cv_;
+  bool ticker_stop_ = false;
+
   /// Constellation-level handles into registry_ (unlabelled — the shard
   /// label belongs to per-shard series). Counters/histograms are
   /// multi-writer-safe; the gauges are written under admin/route locking
@@ -386,9 +519,15 @@ class ShardedFdRmsService {
     obs::Counter* migration_failures;
     obs::Counter* migration_ops_replayed;
     obs::Counter* migration_ops_side_buffered;
+    obs::Counter* routing_persists;
+    obs::Counter* routing_persist_failures;
+    obs::Counter* manifest_commits;
+    obs::Counter* manifest_commit_failures;
     obs::Gauge* epoch;
     obs::Gauge* shards;
     obs::Gauge* migration_side_buffer_depth;
+    obs::Gauge* manifest_generation;
+    obs::LatencyHistogram* manifest_commit_us;
     obs::LatencyHistogram* merge_build_us;
     obs::LatencyHistogram* merge_recover_us;
     obs::LatencyHistogram* migration_freeze_us;
