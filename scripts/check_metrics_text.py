@@ -59,6 +59,10 @@ REQUIRED_SERIES = [
     "fdrms_reads_total",
     "fdrms_merge_cache_hits_total",
     "fdrms_merge_cache_misses_total",
+    # Fault-domain gauge: every live shard exports its health bit. (The
+    # fault *counters* — deaths, restarts, degraded reads — are zero in a
+    # healthy run and so are only asserted by check_fault_smoke.py.)
+    "fdrms_shard_healthy",
     # Process-level series every registry snapshot synthesizes.
     "process_uptime_seconds",
     "obs_registry_series",

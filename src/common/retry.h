@@ -1,0 +1,75 @@
+#ifndef FDRMS_COMMON_RETRY_H_
+#define FDRMS_COMMON_RETRY_H_
+
+/// \file retry.h
+/// Bounded-exponential-backoff retry for transient Status codes.
+///
+/// The serving layer reports two retryable conditions: kResourceExhausted
+/// (queue full under Overflow::kReject — back off and the writer will
+/// drain it) and kUnavailable (a dead shard — back off and the health
+/// tracker / operator may revive it). Everything else is permanent and
+/// returned immediately.
+///
+///   RetryPolicy policy;  // 50us doubling to 5ms, ~200ms total budget
+///   uint64_t retries = 0;
+///   Status st = RetryTransient(policy, &retries, [&] {
+///     return service.Submit(op);
+///   });
+///
+/// Deliberately header-only and dependency-free so callers in any layer
+/// (eval drivers, tests, future client stubs) can use it.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "common/status.h"
+
+namespace fdrms {
+
+/// Tunables for RetryTransient. Defaults suit an in-process submit path:
+/// first back-off well under a batch interval, capped total delay so a
+/// permanently dead shard fails in ~hundreds of milliseconds, not forever.
+struct RetryPolicy {
+  uint64_t initial_backoff_us = 50;
+  uint64_t max_backoff_us = 5000;
+  /// Total sleep budget across all attempts; once exhausted the last
+  /// transient error is returned to the caller.
+  uint64_t max_total_backoff_us = 200000;
+  double multiplier = 2.0;
+};
+
+/// True for the codes a retry can plausibly outwait.
+inline bool IsTransient(const Status& st) {
+  return st.code() == StatusCode::kResourceExhausted ||
+         st.code() == StatusCode::kUnavailable;
+}
+
+/// Invokes `fn` until it returns OK or a non-transient error, sleeping an
+/// exponentially growing bounded interval between attempts. Returns the
+/// final Status; adds the number of re-invocations (not counting the
+/// first) to *retries when `retries` is non-null.
+template <typename Fn>
+Status RetryTransient(const RetryPolicy& policy, uint64_t* retries, Fn&& fn) {
+  uint64_t backoff_us = policy.initial_backoff_us;
+  uint64_t slept_us = 0;
+  for (;;) {
+    Status st = fn();
+    if (st.ok() || !IsTransient(st)) return st;
+    if (slept_us >= policy.max_total_backoff_us) return st;
+    const uint64_t nap =
+        std::min(backoff_us, policy.max_total_backoff_us - slept_us);
+    std::this_thread::sleep_for(std::chrono::microseconds(nap));
+    slept_us += nap;
+    backoff_us = std::min(
+        static_cast<uint64_t>(static_cast<double>(backoff_us) *
+                              policy.multiplier),
+        policy.max_backoff_us);
+    if (retries != nullptr) ++(*retries);
+  }
+}
+
+}  // namespace fdrms
+
+#endif  // FDRMS_COMMON_RETRY_H_

@@ -23,6 +23,7 @@ enum class StatusCode : int {
   kUnimplemented = 6,
   kInternal = 7,
   kResourceExhausted = 8,
+  kUnavailable = 9,
 };
 
 /// Returns a short human-readable name for a StatusCode ("OK", "Invalid", ...).
@@ -64,6 +65,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -36,6 +36,12 @@ void SloController::RegisterMetrics() {
   metrics_.batch_adjustments = r.GetCounter(
       "control_batch_adjustments_total",
       "Batch-bound raises and lowers the controller applied");
+  metrics_.revives = r.GetCounter(
+      "control_revives_total",
+      "Dead shards the controller revived (revive_unhealthy on)");
+  metrics_.unhealthy_shards = r.GetGauge(
+      "control_unhealthy_shards",
+      "Dead shards the controller observed at its last tick");
   metrics_.slo_violation_seconds = r.GetGauge(
       "control_slo_violation_seconds",
       "Cumulative window time with the windowed publish p99 over the SLO");
@@ -146,7 +152,35 @@ SloDecision SloController::Tick(const obs::RegistrySnapshot& snap,
   low_streak_ = slack ? low_streak_ + 1 : 0;
 
   bool acted = false;
-  if (options_.enable_topology && !d.in_cooldown) {
+
+  // Fault-domain gate: a dead shard makes the topology signals lies (its
+  // writer burns no CPU, so utilization under-reads and the slack streak
+  // would happily RemoveShard a constellation that is actually degraded),
+  // and any migration touching it would fail. Pause scaling, surface the
+  // state each tick, and optionally trigger the revive path.
+  d.unhealthy_shards = actuator_->num_unhealthy();
+  metrics_.unhealthy_shards->Set(static_cast<double>(d.unhealthy_shards));
+  if (d.unhealthy_shards > 0) {
+    registry_->trace().Record("control.shard_unhealthy", now_us, 0,
+                              static_cast<uint64_t>(d.unhealthy_shards),
+                              static_cast<uint64_t>(d.num_shards));
+    high_streak_ = 0;
+    low_streak_ = 0;
+    if (options_.revive_unhealthy) {
+      const int revived = actuator_->ReviveDeadShards();
+      d.revived = revived;
+      if (revived > 0) {
+        metrics_.revives->Increment(static_cast<uint64_t>(revived));
+        own_last_action_us_ = now_us;
+        acted = true;
+        registry_->trace().Record("control.revive", now_us, 0,
+                                  static_cast<uint64_t>(revived),
+                                  static_cast<uint64_t>(d.unhealthy_shards));
+      }
+    }
+  }
+
+  if (d.unhealthy_shards == 0 && options_.enable_topology && !d.in_cooldown) {
     if (high_streak_ >= options_.sustain_ticks &&
         d.num_shards < options_.max_shards) {
       const Status st = actuator_->AddShard();
@@ -291,6 +325,8 @@ std::string SloController::DebugString() const {
                 d.in_cooldown ? "(cooldown)" : "");
   out << line;
   out << "state: shards=" << d.num_shards << " batch_bound=" << d.batch_bound
+      << " unhealthy=" << d.unhealthy_shards
+      << " revives=" << metrics_.revives->Value()
       << " running=" << (running() ? "yes" : "no") << "\n";
   out << "decisions: total=" << metrics_.decisions->Value()
       << " scale_ups=" << metrics_.scale_ups->Value()

@@ -61,6 +61,19 @@ class SloActuator {
   /// none — covers operator-initiated migrations, not just the
   /// controller's own.
   virtual uint64_t last_topology_change_us() const = 0;
+
+  /// Shards whose writer thread is dead. While nonzero the controller
+  /// treats the constellation as a fault domain in flux: topology scaling
+  /// pauses (a dead writer's utilization reads zero — every scale-down
+  /// signal is a lie — and a migration touching it would fail anyway) and
+  /// each tick records a "control.shard_unhealthy" trace event. Default 0
+  /// for actuators without a health surface.
+  virtual int num_unhealthy() const { return 0; }
+
+  /// Revives every dead shard (ShardedFdRmsService::ReviveDeadShards);
+  /// returns how many came back. Only called when
+  /// SloControllerOptions::revive_unhealthy is set. Default no-op.
+  virtual int ReviveDeadShards() { return 0; }
 };
 
 /// The production actuator: forwards to a live ShardedFdRmsService.
@@ -81,6 +94,8 @@ class ShardedServiceActuator : public SloActuator {
   uint64_t last_topology_change_us() const override {
     return service_->last_topology_change_us();
   }
+  int num_unhealthy() const override { return service_->num_unhealthy(); }
+  int ReviveDeadShards() override { return service_->ReviveDeadShards(); }
 
  private:
   ShardedFdRmsService* service_;
@@ -126,6 +141,11 @@ struct SloControllerOptions {
   /// Kill switches for each actuator (both on by default).
   bool enable_topology = true;
   bool enable_batching = true;
+
+  /// Self-healing: when unhealthy shards are observed, call the actuator's
+  /// ReviveDeadShards() (off by default — revive replays a backlog and
+  /// commits a manifest, which an operator may want to own).
+  bool revive_unhealthy = false;
 };
 
 /// One Tick's evaluation, returned for tests and rendered on the status
@@ -145,6 +165,9 @@ struct SloDecision {
   bool scaled_down = false;
   bool scale_failed = false;       ///< an attempted topology action errored
   int batch_step = 0;              ///< +1 raised, -1 lowered, 0 held
+
+  int unhealthy_shards = 0;        ///< dead shards observed this tick
+  int revived = 0;                 ///< shards revived this tick
 };
 
 /// Decision core + production polling thread. Construction registers the
@@ -195,6 +218,8 @@ class SloController {
     obs::Counter* scale_downs;
     obs::Counter* scale_failures;
     obs::Counter* batch_adjustments;
+    obs::Counter* revives;              ///< shards revived by the controller
+    obs::Gauge* unhealthy_shards;       ///< dead shards at the last tick
     obs::Gauge* slo_violation_seconds;  ///< cumulative window time over SLO
     obs::Gauge* cooldown_seconds;       ///< cumulative window time in cooldown
     obs::Gauge* publish_p99_window_us;  ///< last non-empty window's p99

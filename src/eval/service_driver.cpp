@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/fault_point.h"
+#include "common/retry.h"
 #include "common/stopwatch.h"
 #include "obs/exporters.h"
 #include "obs/pow2_hist.h"
@@ -129,6 +131,7 @@ ServiceLoadResult RunServiceLoad(const Workload& workload,
   const std::vector<Operation>& ops = workload.operations();
   std::atomic<bool> readers_stop{false};
   std::atomic<uint64_t> submit_failures{0};
+  std::atomic<uint64_t> submit_retries{0};
 
   std::vector<ReaderTally> tallies(
       static_cast<size_t>(std::max(opts.num_readers, 0)));
@@ -169,15 +172,24 @@ ServiceLoadResult RunServiceLoad(const Workload& workload,
   for (int t = 0; t < opts.num_submitters; ++t) {
     threads.emplace_back([&, t] {
       // Round-robin partition: submitter t owns ops t, t+M, t+2M, ...
+      uint64_t retries = 0;
       for (size_t i = static_cast<size_t>(t); i < ops.size();
            i += static_cast<size_t>(opts.num_submitters)) {
-        Status st = ops[i].is_insert
-                        ? service.SubmitInsert(ops[i].id,
-                                               workload.data().Get(ops[i].id))
-                        : service.SubmitDelete(ops[i].id);
+        auto submit = [&] {
+          return ops[i].is_insert
+                     ? service.SubmitInsert(ops[i].id,
+                                            workload.data().Get(ops[i].id))
+                     : service.SubmitDelete(ops[i].id);
+        };
+        Status st = opts.retry_submits
+                        ? RetryTransient(opts.submit_retry, &retries, submit)
+                        : submit();
         if (!st.ok()) {
           submit_failures.fetch_add(1, std::memory_order_relaxed);
         }
+      }
+      if (retries > 0) {
+        submit_retries.fetch_add(retries, std::memory_order_relaxed);
       }
     });
   }
@@ -201,6 +213,7 @@ ServiceLoadResult RunServiceLoad(const Workload& workload,
   result.ops_applied = last->ops_applied;
   result.ops_rejected = last->ops_rejected;
   result.submit_failures = submit_failures.load();
+  result.submit_retries = submit_retries.load();
   result.batches = last->batches;
   result.wall_seconds = wall_seconds;
   result.writer_busy_seconds = last->writer_busy_seconds;
@@ -254,6 +267,8 @@ namespace {
 struct ShardedReaderTally {
   uint64_t queries = 0;
   uint64_t null_queries = 0;
+  uint64_t degraded_queries = 0;  ///< merged reads flagged degraded
+  int max_degraded_shards = 0;
   double staleness_sum = 0.0;
   double staleness_max = 0.0;
   std::vector<double> per_shard_staleness_sum;
@@ -276,15 +291,21 @@ ShardedLoadResult RunShardedLoad(const Workload& workload,
   // previous process) sit ahead of this process's submitted count, so the
   // backlog arithmetic below is meaningless there — skip it like a
   // changing topology.
-  const bool fixed_topology =
-      opts.migrations.empty() && !controller_topology && !opts.resume;
+  // A fault drill swaps a dead shard instance for a fresh one: the retired
+  // incarnation's lifetime counters stay in the aggregate while the
+  // successor's restart at zero, so the fixed-topology backlog identities
+  // stop holding even though the shard *count* never changes.
+  const bool fixed_topology = opts.migrations.empty() &&
+                              !controller_topology && !opts.resume &&
+                              !opts.fault.enabled;
   // Staleness is derived from service.ops_submitted() (which keeps counting
   // retired shards, monotone) minus the merged view's consumed ops (live
   // shards only). Once a shard retires, its lifetime op count inflates that
   // difference forever, so runs with kRemoveShard events (or a controller
   // that may scale down) skip the staleness tally instead of reporting a
   // phantom backlog.
-  bool track_staleness = !controller_topology && !opts.resume;
+  bool track_staleness =
+      !controller_topology && !opts.resume && !opts.fault.enabled;
   for (const ShardedLoadOptions::MigrationEvent& event : opts.migrations) {
     if (event.kind == ShardedLoadOptions::MigrationEvent::Kind::kRemoveShard) {
       track_staleness = false;
@@ -328,6 +349,8 @@ ShardedLoadResult RunShardedLoad(const Workload& workload,
       BuildArrivalSchedule(opts.arrival, ops.size());
   std::atomic<bool> readers_stop{false};
   std::atomic<uint64_t> submit_failures{0};
+  std::atomic<uint64_t> submit_retries{0};
+  std::atomic<uint64_t> unavailable_submits{0};
   // Workload operations pushed so far (excludes migration-internal ops, so
   // the controller's event fractions track the stream, not the churn).
   std::atomic<uint64_t> workload_submitted{0};
@@ -364,6 +387,11 @@ ShardedLoadResult RunShardedLoad(const Workload& workload,
         }
         if (snap->versions.size() != snap->shards.size()) {
           tally.consistent = false;
+        }
+        if (snap->degraded_shards > 0) {
+          ++tally.degraded_queries;
+          tally.max_degraded_shards =
+              std::max(tally.max_degraded_shards, snap->degraded_shards);
         }
         if (!first) {
           if (snap->epoch < last_epoch) tally.consistent = false;
@@ -427,17 +455,29 @@ ShardedLoadResult RunShardedLoad(const Workload& workload,
 
   for (int t = 0; t < opts.num_submitters; ++t) {
     threads.emplace_back([&, t] {
+      uint64_t retries = 0;
       for (size_t i = static_cast<size_t>(t); i < ops.size();
            i += static_cast<size_t>(opts.num_submitters)) {
         if (!arrival_at.empty()) WaitUntil(wall, arrival_at[i]);
-        Status st = ops[i].is_insert
-                        ? service.SubmitInsert(ops[i].id,
-                                               workload.data().Get(ops[i].id))
-                        : service.SubmitDelete(ops[i].id);
+        auto submit = [&] {
+          return ops[i].is_insert
+                     ? service.SubmitInsert(ops[i].id,
+                                            workload.data().Get(ops[i].id))
+                     : service.SubmitDelete(ops[i].id);
+        };
+        Status st = opts.retry_submits
+                        ? RetryTransient(opts.submit_retry, &retries, submit)
+                        : submit();
         if (!st.ok()) {
           submit_failures.fetch_add(1, std::memory_order_relaxed);
+          if (st.code() == StatusCode::kUnavailable) {
+            unavailable_submits.fetch_add(1, std::memory_order_relaxed);
+          }
         }
         workload_submitted.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (retries > 0) {
+        submit_retries.fetch_add(retries, std::memory_order_relaxed);
       }
     });
   }
@@ -499,6 +539,41 @@ ShardedLoadResult RunShardedLoad(const Workload& workload,
     });
   }
 
+  // Fault drill: arm a one-shot writer death once the stream crosses the
+  // kill fraction (the next shard writer to apply a batch dies), wait for
+  // the death to land so the outage window is real, then revive at the
+  // revive fraction. Readers keep tallying degraded merges in between.
+  std::thread drill;
+  std::atomic<int> drill_revived{0};
+  if (opts.fault.enabled) {
+    drill = std::thread([&] {
+      const uint64_t kill_at = static_cast<uint64_t>(
+          opts.fault.kill_at_fraction * static_cast<double>(ops.size()));
+      while (workload_submitted.load(std::memory_order_relaxed) < kill_at &&
+             !submitters_done.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      FaultSpec die;
+      die.kind = FaultKind::kDie;
+      FaultPoints::Arm("writer.apply.pre", die);
+      while (service.num_unhealthy() == 0 &&
+             !submitters_done.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      if (opts.fault.revive_at_fraction >= 0.0) {
+        const uint64_t revive_at = static_cast<uint64_t>(
+            opts.fault.revive_at_fraction * static_cast<double>(ops.size()));
+        while (workload_submitted.load(std::memory_order_relaxed) <
+                   revive_at &&
+               !submitters_done.load(std::memory_order_acquire)) {
+          std::this_thread::yield();
+        }
+        drill_revived.fetch_add(service.ReviveDeadShards(),
+                                std::memory_order_relaxed);
+      }
+    });
+  }
+
   // Join submitters (they were appended after the readers).
   for (size_t i = static_cast<size_t>(opts.num_readers); i < threads.size();
        ++i) {
@@ -506,6 +581,17 @@ ShardedLoadResult RunShardedLoad(const Workload& workload,
   }
   submitters_done.store(true, std::memory_order_release);
   if (controller.joinable()) controller.join();
+  if (drill.joinable()) drill.join();
+  if (opts.fault.enabled) {
+    // Always hand back a healthy constellation: clear any unconsumed arm
+    // (the Flush below must not kill a writer), then revive whatever is
+    // still dead so the final drain doesn't fail kUnavailable.
+    FaultPoints::Reset();
+    drill_revived.fetch_add(service.ReviveDeadShards(),
+                            std::memory_order_relaxed);
+    result.shards_revived = drill_revived.load();
+    result.revive_ok = service.num_unhealthy() == 0;
+  }
   if (slo_controller != nullptr) {
     slo_controller->Stop();
     result.controller_debug_text = slo_controller->DebugString();
@@ -525,6 +611,8 @@ ShardedLoadResult RunShardedLoad(const Workload& workload,
   result.ops_applied = last->ops_applied;
   result.ops_rejected = last->ops_rejected;
   result.submit_failures = submit_failures.load();
+  result.submit_retries = submit_retries.load();
+  result.unavailable_submits = unavailable_submits.load();
   result.batches = last->batches;
   result.wall_seconds = wall_seconds;
   result.final_versions = last->versions;
@@ -561,6 +649,9 @@ ShardedLoadResult RunShardedLoad(const Workload& workload,
   for (const ShardedReaderTally& tally : tallies) {
     total_queries += tally.queries;
     result.null_queries += tally.null_queries;
+    result.degraded_queries += tally.degraded_queries;
+    result.max_degraded_shards =
+        std::max(result.max_degraded_shards, tally.max_degraded_shards);
     staleness_sum += tally.staleness_sum;
     result.max_staleness_ops =
         std::max(result.max_staleness_ops, tally.staleness_max);
@@ -606,12 +697,20 @@ ShardedLoadResult RunShardedLoad(const Workload& workload,
     result.control_slo_violation_seconds =
         gauge("control_slo_violation_seconds");
   }
+  result.writer_restarts = counter("fdrms_shard_writer_restarts_total");
+  // Counter, not a trace scan: the ring is fixed-size, and a death early in
+  // a long run gets overwritten by writer/merge events before the scrape.
+  result.shards_killed =
+      static_cast<int>(counter("fdrms_shard_deaths_total"));
   for (const obs::TraceEvent& event : scrape.trace) {
     if (event.name.rfind("migration.", 0) == 0) {
       result.migration_trace.push_back(event);
     }
     if (event.name.rfind("control.", 0) == 0) {
       result.control_trace.push_back(event);
+    }
+    if (event.name == "shard.unhealthy" || event.name == "shard.revive") {
+      result.fault_trace.push_back(event);
     }
   }
   result.prometheus_text = obs::PrometheusText(scrape);

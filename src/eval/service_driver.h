@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/retry.h"
 #include "common/status.h"
 #include "control/slo_controller.h"
 #include "eval/workload.h"
@@ -53,6 +54,13 @@ struct ServiceLoadOptions {
   int num_readers = 4;     ///< Query() threads
   int num_submitters = 2;  ///< threads splitting the workload's op stream
   FdRmsServiceOptions service;
+
+  /// Transient-submit retry (common/retry.h): when enabled, a submitter
+  /// retries kResourceExhausted/kUnavailable with bounded exponential
+  /// backoff before counting a submit failure. Off by default so
+  /// saturation tests still observe raw rejection counts.
+  bool retry_submits = false;
+  RetryPolicy submit_retry;
 };
 
 /// What happened during the run.
@@ -62,6 +70,7 @@ struct ServiceLoadResult {
   uint64_t ops_applied = 0;
   uint64_t ops_rejected = 0;   ///< consumed but refused by the algorithm
   uint64_t submit_failures = 0;  ///< kResourceExhausted under Overflow::kReject
+  uint64_t submit_retries = 0;   ///< re-submissions (retry_submits only)
   uint64_t queries = 0;
   uint64_t batches = 0;
 
@@ -156,6 +165,29 @@ struct ShardedLoadOptions {
   /// loaded — the persisted state stands in for it. The op stream still
   /// replays on top.
   bool resume = false;
+
+  /// Transient-submit retry (common/retry.h): when enabled, a submitter
+  /// retries kResourceExhausted/kUnavailable with bounded exponential
+  /// backoff before counting a submit failure. Off by default so
+  /// saturation tests still observe raw rejection counts.
+  bool retry_submits = false;
+  RetryPolicy submit_retry;
+
+  /// Kill-a-shard-writer drill: when the submitters have pushed
+  /// `kill_at_fraction` of the op stream, the driver arms a one-shot
+  /// writer-death fault ("writer.apply.pre", FaultKind::kDie) — the next
+  /// shard writer to drain a batch dies. Readers then tally degraded
+  /// merged reads (the dead shard's last snapshot keeps serving) until the
+  /// driver calls ReviveDeadShards() at `revive_at_fraction`. Any shard
+  /// still dead after the submitters finish is revived before the final
+  /// drain, and the leftover fault arms are cleared, so the run always
+  /// ends on a healthy constellation.
+  struct FaultDrill {
+    bool enabled = false;
+    double kill_at_fraction = 0.4;
+    double revive_at_fraction = 0.75;  ///< < 0: revive only at end of stream
+  };
+  FaultDrill fault;
 };
 
 /// What happened during a sharded run.
@@ -165,6 +197,8 @@ struct ShardedLoadResult {
   uint64_t ops_applied = 0;
   uint64_t ops_rejected = 0;
   uint64_t submit_failures = 0;
+  uint64_t submit_retries = 0;       ///< re-submissions (retry_submits only)
+  uint64_t unavailable_submits = 0;  ///< submits that failed kUnavailable
   uint64_t queries = 0;
   uint64_t batches = 0;
 
@@ -207,8 +241,22 @@ struct ShardedLoadResult {
   uint64_t resume_epoch = 0;
   int resume_num_shards = 0;
   /// Merged reads that returned nullptr after the service was up — must
-  /// stay 0: a live migration never blocks or errors a read.
+  /// stay 0: a live migration never blocks or errors a read, and a dead
+  /// shard's last snapshot keeps the merge serving through an outage.
   uint64_t null_queries = 0;
+
+  // Fault-drill outcome (zeroed unless opts.fault.enabled). The degraded
+  // tallies come from the readers (merged snapshots whose degraded
+  // annotation was set); the kill/revive counts from the drill thread.
+  uint64_t degraded_queries = 0;  ///< merged reads flagged degraded
+  int max_degraded_shards = 0;    ///< worst simultaneous degraded count seen
+  int shards_killed = 0;          ///< writers observed dead during the run
+  int shards_revived = 0;         ///< ReviveDeadShards successes
+  bool revive_ok = true;          ///< constellation healthy at final drain
+  uint64_t writer_restarts = 0;   ///< fdrms_shard_writer_restarts_total
+  /// Fault-domain lifecycle trace ("shard.unhealthy"/"shard.revive"
+  /// events), oldest first.
+  std::vector<obs::TraceEvent> fault_trace;
 
   // Per-shard load balance and cost.
   std::vector<uint64_t> per_shard_applied;

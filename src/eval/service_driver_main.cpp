@@ -30,6 +30,16 @@
 ///                      live constellation for the submission phase
 ///   --slo-p99-us N     publish-p99 objective in microseconds (default
 ///                      20000)
+///   --fault-kill-at F  kill-a-shard-writer drill: at fraction F of the op
+///                      stream, arm a one-shot writer death
+///                      ("writer.apply.pre" = die) — the next shard writer
+///                      to apply a batch dies. Implies --retry-submits so
+///                      the stream survives the outage window.
+///   --fault-revive-at F  call ReviveDeadShards() at fraction F (default
+///                      0.75; -1 = revive only after the stream ends — the
+///                      driver always revives before the final drain)
+///   --retry-submits    retry kResourceExhausted/kUnavailable submits with
+///                      bounded exponential backoff (common/retry.h)
 ///   --dump-every-ms N  periodic dumper interval (default 200; 0 disables)
 ///   --persist PATH     durable store base path: versioned per-shard
 ///                      snapshots + routing + constellation manifest are
@@ -89,6 +99,9 @@ int main(int argc, char** argv) {
   double burst_frac = 0.4;
   bool slo = false;
   double slo_p99_us = 20000.0;
+  double fault_kill_at = -1.0;
+  double fault_revive_at = 0.75;
+  bool retry_submits = false;
   std::string persist_path;
   int persist_every = 1;
   bool resume = false;
@@ -123,6 +136,12 @@ int main(int argc, char** argv) {
       slo = true;
     } else if (std::strcmp(argv[i], "--slo-p99-us") == 0) {
       slo_p99_us = ArgDouble(argc, argv, &i, slo_p99_us);
+    } else if (std::strcmp(argv[i], "--fault-kill-at") == 0) {
+      fault_kill_at = ArgDouble(argc, argv, &i, fault_kill_at);
+    } else if (std::strcmp(argv[i], "--fault-revive-at") == 0) {
+      fault_revive_at = ArgDouble(argc, argv, &i, fault_revive_at);
+    } else if (std::strcmp(argv[i], "--retry-submits") == 0) {
+      retry_submits = true;
     } else if (std::strcmp(argv[i], "--persist") == 0 && i + 1 < argc) {
       persist_path = argv[++i];
     } else if (std::strcmp(argv[i], "--persist-every") == 0) {
@@ -181,6 +200,24 @@ int main(int argc, char** argv) {
               << " (expected none|flash|diurnal)\n";
     return 2;
   }
+  if (fault_kill_at >= 0.0) {
+    opts.fault.enabled = true;
+    opts.fault.kill_at_fraction = fault_kill_at;
+    opts.fault.revive_at_fraction = fault_revive_at;
+    // A dead shard rejects submits kUnavailable until the revive; without
+    // the retry path a paced stream would tally thousands of raw failures.
+    // Keep the backoff budget tight: a submit to the dead shard is *meant*
+    // to fail fast during the outage — the retries are there to absorb
+    // transient kResourceExhausted bursts, not to park the stream on a
+    // shard that cannot drain until ReviveShard runs.
+    retry_submits = true;
+    opts.submit_retry.initial_backoff_us = 50;
+    opts.submit_retry.max_backoff_us = 1000;
+    opts.submit_retry.max_total_backoff_us = 2000;
+  }
+  if (retry_submits) {
+    opts.retry_submits = true;
+  }
   if (slo) {
     opts.enable_slo_controller = true;
     opts.slo.publish_p99_slo_us = slo_p99_us;
@@ -206,6 +243,11 @@ int main(int argc, char** argv) {
   }
   std::cout << " slo=" << (slo ? "on" : "off");
   if (slo) std::cout << " slo_p99_us=" << slo_p99_us;
+  if (opts.fault.enabled) {
+    std::cout << " fault_kill_at=" << fault_kill_at
+              << " fault_revive_at=" << fault_revive_at;
+  }
+  if (opts.retry_submits) std::cout << " retry_submits=on";
   if (!persist_path.empty()) {
     std::cout << " persist=" << persist_path << " persist_every="
               << persist_every << (resume ? " resume=yes" : "");
@@ -217,6 +259,8 @@ int main(int argc, char** argv) {
   std::cout << "applied=" << res.ops_applied
             << " update_ops_per_s=" << res.update_throughput
             << " reads_per_s=" << res.query_throughput
+            << " submit_retries=" << res.submit_retries
+            << " submit_failures=" << res.submit_failures
             << " merge_cache_hits=" << res.merge_cache_hits
             << " merge_cache_misses=" << res.merge_cache_misses << "\n"
             << "migrations=" << res.migrations_attempted << " (failed "
@@ -250,6 +294,20 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (opts.fault.enabled) {
+    std::cout << "fault: shards_killed=" << res.shards_killed
+              << " shards_revived=" << res.shards_revived
+              << " writer_restarts=" << res.writer_restarts
+              << " degraded_queries=" << res.degraded_queries
+              << " max_degraded_shards=" << res.max_degraded_shards
+              << " unavailable_submits=" << res.unavailable_submits
+              << " revive_ok=" << (res.revive_ok ? "yes" : "no") << "\n";
+    for (const obs::TraceEvent& ev : res.fault_trace) {
+      std::cout << "  " << ev.name << " start_us=" << ev.start_us
+                << " arg0=" << ev.arg0 << " arg1=" << ev.arg1 << "\n";
+    }
+  }
+
   // The periodic dumper already wrote its final dump at Stop(); overwrite
   // with the post-run scrape so the files carry the terminal counters even
   // when the dumper was disabled (--dump-every-ms 0).
@@ -269,13 +327,20 @@ int main(int argc, char** argv) {
   }
 
   const bool resume_ok = !resume || res.resumed;
+  // Drill runs must end on a revived, healthy constellation with at least
+  // one real writer restart behind them (the annotation/metric gates live
+  // in scripts/check_fault_smoke.py, which reads the JSON scrape).
+  const bool fault_ok =
+      !opts.fault.enabled || (res.revive_ok && res.writer_restarts >= 1);
   const bool ok = res.consistent && res.null_queries == 0 &&
-                  res.migrations_failed == 0 && wrote && resume_ok;
+                  res.migrations_failed == 0 && wrote && resume_ok &&
+                  fault_ok;
   if (!ok) {
     std::cout << "FAILED: consistent=" << res.consistent
               << " null_queries=" << res.null_queries
               << " migrations_failed=" << res.migrations_failed
-              << " wrote=" << wrote << " resume_ok=" << resume_ok << "\n";
+              << " wrote=" << wrote << " resume_ok=" << resume_ok
+              << " fault_ok=" << fault_ok << "\n";
     return 1;
   }
   std::cout << "OK\n";

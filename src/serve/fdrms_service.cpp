@@ -8,6 +8,7 @@
 
 #include "common/check.h"
 #include "common/durable_io.h"
+#include "common/fault_point.h"
 #include "common/stopwatch.h"
 #include "core/snapshot.h"
 #include "obs/phase_span.h"
@@ -32,6 +33,7 @@ FdRmsService::FdRmsService(int dim, const FdRmsServiceOptions& options)
       options.adaptive_batching ? options.min_batch : options.max_batch;
   RegisterMetrics();
   metrics_.batch_bound->Set(static_cast<double>(options.max_batch));
+  metrics_.healthy->Set(1.0);
 }
 
 size_t FdRmsService::SetBatchBound(size_t bound) {
@@ -67,6 +69,18 @@ void FdRmsService::RegisterMetrics() {
   metrics_.persist_failures = r.GetCounter(
       "fdrms_persist_failures_total",
       "Background persistence runs that failed (never fatal)", l);
+  metrics_.writer_faults = r.GetCounter(
+      "fdrms_writer_faults_total",
+      "Injected fault actions the writer observed (delays, errors, deaths)",
+      l);
+  metrics_.healthy = r.GetGauge(
+      "fdrms_shard_healthy",
+      "1 while the writer thread is alive (0 after a writer death)", l);
+  metrics_.heartbeat = r.GetGauge(
+      "fdrms_writer_heartbeat",
+      "Writer-loop iterations; frozen with a non-empty queue = stalled "
+      "writer",
+      l);
   metrics_.version = r.GetGauge(
       "fdrms_snapshot_version", "Version of the latest published snapshot",
       l);
@@ -118,7 +132,8 @@ Status FdRmsService::Start(const std::vector<std::pair<int, Point>>& initial) {
     return Status::FailedPrecondition("service already started");
   }
   FDRMS_RETURN_NOT_OK(InitializeAlgo(initial));
-  PublishSnapshot();  // version 0: the post-Initialize state
+  version_ = options_.initial_version;
+  PublishSnapshot();  // the post-Initialize state (version 0 on first boot)
   if (options_.metrics_dump_every_ms > 0) {
     obs::PeriodicDumperOptions dopt;
     dopt.prometheus_path = options_.metrics_dump_path;
@@ -192,18 +207,38 @@ Status FdRmsService::Stop(StopPolicy policy) {
 }
 
 Status FdRmsService::Submit(FdRms::BatchOp op) {
+  if (health() == Health::kDead) {
+    // Fail fast instead of parking against a queue no writer will ever
+    // drain. The hint is advisory: a revive typically lands within one
+    // health-tracker poll plus a cold restart.
+    return Status::Unavailable(
+        "shard writer is dead; retry after revive (suggested backoff 50ms)");
+  }
   if (state_.load() != State::kRunning) {
     return Status::FailedPrecondition("service is not running");
   }
   if (options_.overflow == FdRmsServiceOptions::Overflow::kReject) {
     if (!queue_.TryPush(std::move(op))) {
       if (queue_.closed()) {
+        if (health() == Health::kDead) {
+          return Status::Unavailable(
+              "shard writer died; retry after revive (suggested backoff "
+              "50ms)");
+        }
         return Status::FailedPrecondition("service is shutting down");
       }
       return Status::ResourceExhausted("update queue full");
     }
   } else {
     if (!queue_.Push(std::move(op))) {
+      // The queue only refuses a blocking Push once it is closed: either a
+      // Stop() (shutdown) or the writer's death epilogue (health is kDead
+      // by the time the close wakes parked producers).
+      if (health() == Health::kDead) {
+        return Status::Unavailable(
+            "shard writer died while the submit was parked; retry after "
+            "revive (suggested backoff 50ms)");
+      }
       return Status::FailedPrecondition("service is shutting down");
     }
   }
@@ -222,11 +257,19 @@ Status FdRmsService::Flush() {
   flush_cv_.wait(lock,
                  [&] { return consumed_published_ >= target || writer_done_; });
   if (consumed_published_ >= target) return Status::OK();
+  if (health() == Health::kDead) {
+    return Status::Unavailable(
+        "shard writer died before the backlog drained; revive the shard and "
+        "retry");
+  }
   return Status::FailedPrecondition(
       "writer exited before the backlog drained (aborted?)");
 }
 
 Status FdRmsService::Inspect(const std::function<void(const FdRms&)>& fn) {
+  if (health() == Health::kDead) {
+    return Status::Unavailable("shard writer is dead; revive before Inspect");
+  }
   if (state_.load() != State::kRunning) {
     return Status::FailedPrecondition("service is not running");
   }
@@ -234,6 +277,10 @@ Status FdRmsService::Inspect(const std::function<void(const FdRms&)>& fn) {
   {
     std::lock_guard<std::mutex> lock(inspect_mutex_);
     if (inspect_closed_) {
+      if (health() == Health::kDead) {
+        return Status::Unavailable(
+            "shard writer died; revive before Inspect");
+      }
       return Status::FailedPrecondition("writer already exited");
     }
     inspect_queue_.push_back(&req);
@@ -280,12 +327,41 @@ void FdRmsService::RunPendingInspections() {
 void FdRmsService::CloseInspections() {
   std::lock_guard<std::mutex> lock(inspect_mutex_);
   inspect_closed_ = true;
+  const Status refusal =
+      health() == Health::kDead
+          ? Status::Unavailable("shard writer died; revive before Inspect")
+          : Status::FailedPrecondition("writer exited");
   for (InspectRequest* req : inspect_queue_) {
-    req->status = Status::FailedPrecondition("writer exited");
+    req->status = refusal;
     req->done = true;
   }
   inspect_queue_.clear();
   inspect_cv_.notify_all();
+}
+
+Status FdRmsService::DrainDeadBacklog(std::vector<FdRms::BatchOp>* out) {
+  out->clear();
+  if (health() != Health::kDead) {
+    return Status::FailedPrecondition(
+        "DrainDeadBacklog requires a dead writer");
+  }
+  {
+    std::unique_lock<std::mutex> lock(flush_mutex_);
+    if (!writer_done_) {
+      return Status::FailedPrecondition("writer has not finished dying yet");
+    }
+  }
+  // The writer thread is gone, so this thread can take over the queue's
+  // single-consumer role. The dead-letter batch was popped first, so it
+  // leads; the queue remnants follow in submission order.
+  out->insert(out->end(), dead_letter_.begin(), dead_letter_.end());
+  dead_letter_.clear();
+  std::vector<FdRms::BatchOp> chunk;
+  while (queue_.PopBatch(1024, &chunk)) {
+    if (chunk.empty()) break;  // closed queues never Kick; paranoia
+    out->insert(out->end(), chunk.begin(), chunk.end());
+  }
+  return Status::OK();
 }
 
 const std::vector<FdRms::BatchOp>& FdRmsService::journal() const {
@@ -300,9 +376,27 @@ const FdRms& FdRmsService::algorithm() const {
   return algo_;
 }
 
+Status FdRmsService::WriterFaultSite(const char* prefix, const char* step) {
+  FaultAction act = FaultPoints::Hit(prefix, step);
+  if (act.none()) return Status::OK();
+  metrics_.writer_faults->Increment();
+  if (act.kind == FaultKind::kDelay) return Status::OK();
+  if (act.die()) {
+    writer_die_ = true;
+    return Status::OK();
+  }
+  // Injected error: the writer survives and the state stays correct, but
+  // the operator should know something is throwing in the fault domain.
+  Health expected = Health::kRunning;
+  health_.compare_exchange_strong(expected, Health::kDegraded);
+  return act.ToStatus();
+}
+
 void FdRmsService::WriterLoop() {
   std::vector<FdRms::BatchOp> batch;
   for (;;) {
+    metrics_.heartbeat->Set(static_cast<double>(
+        heartbeat_.fetch_add(1, std::memory_order_relaxed) + 1));
     RunPendingInspections();
     // Observe the backlog before draining and steer the effective batch
     // bound: double while the burst runs at least two bounds deep, halve
@@ -331,15 +425,34 @@ void FdRmsService::WriterLoop() {
       // PopBatch is not a drain phase worth charging.
       metrics_.drain_us->Record(drain_watch.ElapsedMicros());
       metrics_.batch_size_pow2->Record(batch.size());
+      // A drain-site death leaves the popped batch unapplied: stash it as
+      // the dead letter so a revive can replay the acknowledged ops.
+      (void)WriterFaultSite("writer.drain", "post");
+      if (writer_die_) {
+        dead_letter_ = std::move(batch);
+        break;
+      }
       ApplyAndPublish(batch);
+      if (writer_die_) break;
     }
   }
+  const bool faulted = writer_die_;
   // Serve inspections that raced shutdown (they observe the final drained
   // state, which is as point-in-time as any other), then refuse the rest.
   RunPendingInspections();
-  // Final save on the way out (drain or abort — the applied prefix is a
-  // consistent state either way), so a clean shutdown persists everything.
+  // Final save on the way out (drain, abort, or death — the applied prefix
+  // is a consistent state either way), so a clean shutdown persists
+  // everything and a revive restarts from the dying writer's last applied
+  // batch instead of the last cadence save.
   MaybePersist(/*force=*/true);
+  if (faulted) {
+    // Death epilogue. Order matters: health flips to kDead *before* the
+    // queue closes, so a kBlock submitter woken by the close always
+    // observes a dead service (kUnavailable), never "shutting down".
+    health_.store(Health::kDead, std::memory_order_release);
+    metrics_.healthy->Set(0.0);
+    queue_.Close();
+  }
   {
     std::lock_guard<std::mutex> lock(flush_mutex_);
     writer_done_ = true;
@@ -358,6 +471,15 @@ void FdRmsService::ApplyAndPublish(const std::vector<FdRms::BatchOp>& batch) {
   }
   if (options_.record_journal) {
     journal_.insert(journal_.end(), batch.begin(), batch.end());
+  }
+  // An apply-site death strikes before any op of this batch lands: the
+  // whole batch becomes the dead letter. (An injected *error* here just
+  // degrades health — the batch still applies; correctness is the
+  // algorithm's job, liveness is this loop's.)
+  (void)WriterFaultSite("writer.apply", "pre");
+  if (writer_die_) {
+    dead_letter_ = batch;
+    return;
   }
   // The whole drain goes down as one ApplyBatch. On a rejected operation
   // (duplicate insert, vanished delete target, ...) resume from the next
@@ -386,7 +508,16 @@ void FdRmsService::ApplyAndPublish(const std::vector<FdRms::BatchOp>& batch) {
   ++batches_;
   ++version_;
   metrics_.batches->Increment();
+  // Journal tap: the batch is applied, hand it to the follower before the
+  // publication so a standby is never behind a snapshot readers can see.
+  if (options_.on_apply) options_.on_apply(batch);
+  // A publish-site death leaves this batch applied but unpublished: the
+  // algorithm state (and the exit-path save above all else) carries it, so
+  // no dead letter — only the snapshot goes stale by one batch.
+  (void)WriterFaultSite("writer.publish", "pre");
+  if (writer_die_) return;
   MaybePersist(/*force=*/false);
+  if (writer_die_) return;  // a persist-site death also skips the publish
   {
     obs::PhaseSpan publish_span(registry_.get(), metrics_.publish_us,
                                 "writer.publish");
@@ -436,6 +567,20 @@ void FdRmsService::MaybePersist(bool force) {
 
 Status FdRmsService::DoPersist() {
   attempted_persist_batches_ = batches_;
+  // An injected persist error exercises the real failure path (counted,
+  // never fatal). A persist-site death aborts only *this* save — the flag
+  // check must not trip for a writer already dying from another site, or
+  // the epilogue's forced exit save (the one a revive restarts from) would
+  // never land.
+  const bool was_dying = writer_die_;
+  Status injected = WriterFaultSite("writer.persist", "pre");
+  if (writer_die_ && !was_dying) {
+    return Status::Internal("fault injected: writer died at persist");
+  }
+  if (!injected.ok()) {
+    metrics_.persist_failures->Increment();
+    return injected;
+  }
   // Serialize to memory first: the checksum handed to on_persist must be
   // over the exact bytes that land on disk, with no re-read race.
   std::ostringstream buf;
@@ -575,6 +720,14 @@ std::string FdRmsService::DebugString() const {
   out << "  persists=" << metrics_.persists->Value()
       << " persist_failures=" << metrics_.persist_failures->Value()
       << " resumed=" << (resumed_ ? "yes" : "no") << "\n";
+  const char* health_name = "running";
+  switch (health()) {
+    case Health::kRunning: health_name = "running"; break;
+    case Health::kDegraded: health_name = "DEGRADED"; break;
+    case Health::kDead: health_name = "DEAD"; break;
+  }
+  out << "  health=" << health_name << " heartbeat=" << writer_heartbeat()
+      << " writer_faults=" << metrics_.writer_faults->Value() << "\n";
   return out.str();
 }
 

@@ -137,11 +137,28 @@ struct FdRmsServiceOptions {
   /// is reported by resumed().
   std::string resume_path;
 
+  /// Version stamped on the Start() publication; every batch publication
+  /// increments from it. The sharded layer seeds a revived shard's
+  /// successor with (dead incarnation's last published version + 1) so the
+  /// per-shard version sequence stays strictly monotone across the restart
+  /// — readers' component-wise monotonicity check survives a revive.
+  uint64_t initial_version = 0;
+
   /// Writer-thread hook invoked after every snapshot publication (the
   /// version-0 publication runs on the Start() caller's thread). The shard
   /// layer uses it to observe publication cadence. Must be cheap and must
   /// not call back into the service.
   std::function<void(const ResultSnapshot&)> on_publish;
+
+  /// Writer-thread hook fired after each batch is applied (before its
+  /// publication), with the exact operation sequence the writer consumed —
+  /// the live journal tap. A follower replica applying the same batches
+  /// through the same deterministic algorithm tracks this instance state-
+  /// for-state (rejects and all), which is what the sharded layer's
+  /// warm-standby failover rides on. Runs on the writer thread: it adds
+  /// directly to apply latency, so keep it cheap. Must not call back into
+  /// the service.
+  std::function<void(const std::vector<FdRms::BatchOp>&)> on_apply;
 
   /// Test/debug hook: record every consumed operation in application order
   /// (retrievable via journal() after Stop). Off in production — it grows
@@ -183,6 +200,19 @@ class FdRmsService {
   /// writer exits; kAbort discards the backlog (counted in ops_dropped())
   /// and exits after the in-flight batch.
   enum class StopPolicy { kDrain, kAbort };
+
+  /// Liveness of the writer thread, the service's single fault domain.
+  ///  * kRunning — writer alive, no injected faults survived.
+  ///  * kDegraded — writer alive but it survived an injected error (or kept
+  ///    serving through a persist failure); snapshots stay correct, the
+  ///    operator should look.
+  ///  * kDead — the writer thread exited while the service was nominally
+  ///    running (injected kDie fault). The last published snapshot keeps
+  ///    serving reads; Submit/Flush/Inspect fail fast with kUnavailable
+  ///    instead of hanging, and the queue is closed so parked kBlock
+  ///    submitters wake. Recovery is the sharded layer's ReviveShard /
+  ///    PromoteStandby.
+  enum class Health { kRunning, kDegraded, kDead };
 
   FdRmsService(int dim, const FdRmsServiceOptions& options);
 
@@ -285,6 +315,29 @@ class FdRmsService {
 
   bool running() const { return state_.load() == State::kRunning; }
 
+  /// Writer liveness (see Health). Safe from any thread; kDead is visible
+  /// before the queue closes, so a submitter failed out of a blocked Push
+  /// always observes it.
+  Health health() const { return health_.load(std::memory_order_acquire); }
+
+  /// Writer-loop iteration counter (also the fdrms_writer_heartbeat gauge).
+  /// A frozen heartbeat with a non-empty queue means a stalled writer; the
+  /// sharded layer's health tracker polls it.
+  uint64_t writer_heartbeat() const {
+    return heartbeat_.load(std::memory_order_relaxed);
+  }
+
+  /// Injected fault actions the writer observed (delays, errors, deaths).
+  uint64_t writer_faults() const { return metrics_.writer_faults->Value(); }
+
+  /// After a writer death (health() == kDead, writer_done_): moves every
+  /// operation that was accepted into the queue but never applied — the
+  /// in-flight dead-letter batch first, then the remaining queue backlog,
+  /// in submission order — into *out. These ops were acknowledged to
+  /// submitters, so a revive must replay them into the successor shard.
+  /// Fails with kFailedPrecondition while the writer is still alive.
+  Status DrainDeadBacklog(std::vector<FdRms::BatchOp>* out);
+
   /// The registry every stat of this service lives in — the one passed via
   /// options, or the private one created when none was. Scrape it with
   /// registry()->PrometheusText() / JsonText(). Never null.
@@ -326,6 +379,13 @@ class FdRmsService {
   void ApplyAndPublish(const std::vector<FdRms::BatchOp>& batch);
   void PublishSnapshot();
 
+  /// Writer-thread only: consults the fault site `<prefix>.<step>`
+  /// (common/fault_point.h). A kDelay already slept inside the hit; an
+  /// injected error degrades health and is returned; kDie latches
+  /// writer_die_ so the loop falls through to the death epilogue at the
+  /// next check. Returns OK when nothing (or only a delay/die) fired.
+  Status WriterFaultSite(const char* prefix, const char* step);
+
   /// Initializes algo_ from `initial` or, when configured and present, the
   /// resume snapshot. Start()-caller thread, pre-writer.
   Status InitializeAlgo(const std::vector<std::pair<int, Point>>& initial);
@@ -361,7 +421,18 @@ class FdRmsService {
   std::atomic<size_t> batch_bound_;
   std::thread writer_;
   std::atomic<State> state_{State::kNew};
+  std::atomic<Health> health_{Health::kRunning};
+  std::atomic<uint64_t> heartbeat_{0};
   bool resumed_ = false;  ///< written before the writer spawns, const after
+
+  /// Writer-thread only: a fault site requested writer death; the loop
+  /// exits through the death epilogue at its next check.
+  bool writer_die_ = false;
+
+  /// The in-flight batch the dying writer popped but never applied — set in
+  /// the death path, handed to DrainDeadBacklog. Writer-thread written;
+  /// read only after writer_done_.
+  std::vector<FdRms::BatchOp> dead_letter_;
 
   std::atomic<std::shared_ptr<const ResultSnapshot>> snapshot_;
 
@@ -384,6 +455,9 @@ class FdRmsService {
     obs::Counter* publications;
     obs::Counter* persists;
     obs::Counter* persist_failures;
+    obs::Counter* writer_faults;     ///< injected fault actions observed
+    obs::Gauge* healthy;             ///< 1 while health() != kDead
+    obs::Gauge* heartbeat;           ///< writer-loop iterations
     obs::Gauge* version;
     obs::Gauge* live_tuples;
     obs::Gauge* sample_size_m;

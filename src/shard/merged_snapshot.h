@@ -40,6 +40,17 @@ struct MergedSnapshot {
   /// re-indexes the components.
   std::vector<uint64_t> versions;
 
+  /// Degraded-read annotation, aligned with `versions`: degraded[s] is true
+  /// when component s is the *last* snapshot a now-dead shard writer
+  /// published. A degraded component keeps serving but stops advancing —
+  /// its versions[s] is frozen while healthy components advance, which is
+  /// exactly the staleness bound a reader gets: everything the dead shard
+  /// applied before its death is visible, everything submitted after is
+  /// not (those submits fail fast with kUnavailable). Empty or all-false
+  /// when every shard is healthy.
+  std::vector<bool> degraded;
+  int degraded_shards = 0;
+
   /// Operation counters summed across shards.
   uint64_t ops_applied = 0;
   uint64_t ops_rejected = 0;

@@ -15,6 +15,7 @@
 #include "common/check.h"
 #include "common/crash_point.h"
 #include "common/durable_io.h"
+#include "common/fault_point.h"
 #include "common/rng.h"
 #include "geometry/sampling.h"
 #include "obs/phase_span.h"
@@ -45,13 +46,24 @@ void ForEachShardConcurrently(size_t num_shards,
 
 /// Submits a migration-internal operation, absorbing kResourceExhausted
 /// backpressure (Overflow::kReject shards shed load at the edge, but a
-/// migration's replay must land).
+/// migration's replay must land). kUnavailable is NOT retried: a dead
+/// writer never drains its queue, so spinning here would hang the control
+/// plane — the caller gets the error and the revive path owns recovery.
 Status SubmitWithRetry(FdRmsService* shard, FdRms::BatchOp op) {
   for (;;) {
     Status st = shard->Submit(op);
     if (st.code() != StatusCode::kResourceExhausted) return st;
     std::this_thread::sleep_for(std::chrono::microseconds(50));
   }
+}
+
+/// Consults a control-plane fault site (common/fault_point.h). kDie is not
+/// meaningful off the writer thread, so it acts like kError here: the
+/// surrounding operation fails with the injected status.
+Status ControlFaultSite(const char* prefix, const char* step) {
+  FaultAction act = FaultPoints::Hit(prefix, step);
+  if (act.error() || act.die()) return act.ToStatus();
+  return Status::OK();
 }
 
 }  // namespace
@@ -124,6 +136,7 @@ ShardedFdRmsService::~ShardedFdRmsService() {
   // Runs before member destruction, so the ticker can still see every
   // member; shard writer threads are joined when topology_ (declared last,
   // destroyed first) releases the FdRmsService instances.
+  StopHealthTracker();
   StopManifestTicker();
 }
 
@@ -168,10 +181,26 @@ void ShardedFdRmsService::RegisterMetrics() {
       "fdrms_manifest_commit_failures_total",
       "Manifest commit attempts that failed (shard save, routing write, "
       "or manifest slot write)");
+  metrics_.writer_restarts = r.GetCounter(
+      "fdrms_shard_writer_restarts_total",
+      "Dead shards brought back by ReviveShard (cold restart from the "
+      "newest snapshot, or warm-standby promotion)");
+  metrics_.shard_deaths = r.GetCounter(
+      "fdrms_shard_deaths_total",
+      "Shard writer deaths observed by the health tracker (one per dead "
+      "instance; a revived shard's next death counts again)");
+  metrics_.degraded_reads = r.GetCounter(
+      "fdrms_degraded_reads_total",
+      "Merged Query() calls served while at least one shard was dead "
+      "(that component frozen at its last published snapshot)");
   metrics_.epoch = r.GetGauge(
       "fdrms_epoch", "Published routing epoch");
   metrics_.shards = r.GetGauge(
       "fdrms_shards", "Live shard count of the current topology");
+  metrics_.shards_unhealthy = r.GetGauge(
+      "fdrms_shards_unhealthy",
+      "Live shards whose writer thread is dead, per the health tracker's "
+      "last poll");
   metrics_.migration_side_buffer_depth = r.GetGauge(
       "fdrms_migration_side_buffer_depth",
       "Operations currently parked in the in-flight migration's side buffer");
@@ -210,8 +239,9 @@ void ShardedFdRmsService::UpdateTopologyGauges(uint64_t epoch,
 }
 
 std::shared_ptr<FdRmsService> ShardedFdRmsService::MakeShard(
-    int index, const std::string& resume_file) {
+    int index, const std::string& resume_file, uint64_t initial_version) {
   FdRmsServiceOptions per_shard = options_.shard;
+  per_shard.initial_version = initial_version;
   if (versioned_persist_) {
     // Manifest mode: every save goes to a fresh immutable
     // `<base>.shard<i>.g<G>.b<B>` file and reports into the ledger; the
@@ -261,6 +291,14 @@ std::shared_ptr<FdRmsService> ShardedFdRmsService::MakeShard(
                              const ResultSnapshot& snap) {
     metrics_.publications->Increment();
     if (user_hook) user_hook(snap);
+  };
+  // Journal tap for warm standby: every shard gets the hook (one relaxed
+  // load per batch when no standby is enabled anywhere).
+  auto user_apply = per_shard.on_apply;
+  per_shard.on_apply = [this, index, user_apply = std::move(user_apply)](
+                           const std::vector<FdRms::BatchOp>& batch) {
+    OnShardApply(index, batch);
+    if (user_apply) user_apply(batch);
   };
   auto shard = std::make_shared<FdRmsService>(dim_, per_shard);
   // A shard born under an active controller override must start throttled:
@@ -373,6 +411,7 @@ Status ShardedFdRmsService::Start(
     dumper_ = std::make_unique<obs::PeriodicDumper>(registry_, dump);
     dumper_->Start();
   }
+  StartHealthTrackerLocked();
   return combined;
 }
 
@@ -383,7 +422,9 @@ Status ShardedFdRmsService::Stop(StopPolicy policy) {
   }
   // The ticker only try-locks admin_mutex_, so joining it while holding the
   // lock cannot deadlock; stopping it first means no commit races the
-  // shard shutdown below.
+  // shard shutdown below. The health tracker goes first for the same
+  // reason (it takes no locks at all — pure atomic polling).
+  StopHealthTracker();
   StopManifestTicker();
   std::shared_ptr<const Topology> topo = topology();
   std::vector<Status> statuses(topo->shards.size());
@@ -466,6 +507,9 @@ Status ShardedFdRmsService::MigrateLockedImpl(const MigrationPlan& plan) {
   if (!next_or.ok()) return next_or.status();
   std::shared_ptr<const RoutingTable> next = *next_or;
 
+  // Nothing installed yet: an injected freeze failure is a clean reject.
+  FDRMS_RETURN_NOT_OK(ControlFaultSite("migration.freeze", "pre"));
+
   // (1) Freeze: divert new mutations of the moving range into the side
   // buffer. The exclusive section is only the pointer swap, so no submit
   // can be mid-route across the freeze.
@@ -494,6 +538,11 @@ Status ShardedFdRmsService::MigrateLockedImpl(const MigrationPlan& plan) {
     obs::PhaseSpan drain(registry_.get(), metrics_.migration_drain_us,
                          "migration.drain");
     drain.set_args(next->epoch());
+    Status injected = ControlFaultSite("migration.drain", "pre");
+    if (!injected.ok()) {
+      AbortFreeze(state, *topo);
+      return injected;
+    }
     for (int s = 0; s < num_shards; ++s) {
       Status st = topo->shards[s]->Flush();
       if (!st.ok()) {
@@ -539,6 +588,13 @@ Status ShardedFdRmsService::MigrateLockedImpl(const MigrationPlan& plan) {
     if (!st.ok() && first_error.ok()) first_error = std::move(st);
   };
   {
+    // Still nothing moved: an injected replay failure aborts cleanly (the
+    // sources keep the range, the side buffer replays to them).
+    Status injected = ControlFaultSite("migration.replay", "pre");
+    if (!injected.ok()) {
+      AbortFreeze(state, *topo);
+      return injected;
+    }
     obs::PhaseSpan replay(registry_.get(), metrics_.migration_replay_us,
                           "migration.replay");
     replay.set_args(next->epoch(), moved.size());
@@ -561,6 +617,10 @@ Status ShardedFdRmsService::MigrateLockedImpl(const MigrationPlan& plan) {
   // Buffer order is preserved, and every buffered op follows the replayed
   // inserts already flushed into its target, so per-id order holds.
   {
+    // Tuples have moved; aborting now would strand the range. Like any
+    // post-replay failure the injected error is noted and reported after
+    // the cutover unfreezes the range.
+    note(ControlFaultSite("migration.cutover", "pre"));
     obs::PhaseSpan cutover(registry_.get(), metrics_.migration_cutover_us,
                            "migration.cutover");
     uint64_t drained = 0;
@@ -776,6 +836,14 @@ Status ShardedFdRmsService::RemoveShard() {
     UpdateTopologyGauges(shrunk->epoch(), next->shards.size());
     topology_.store(std::move(next), std::memory_order_release);
   }
+  {
+    // A retired index has no primary to follow; drop its standby.
+    std::lock_guard<std::mutex> lg(standby_mu_);
+    if (standbys_.erase(victim) > 0) {
+      standby_count_.store(static_cast<int>(standbys_.size()),
+                           std::memory_order_release);
+    }
+  }
   Status stopped = victim_shard->Stop(FdRmsService::StopPolicy::kDrain);
   // Retire the victim from the durable constellation: drop its ledger row
   // (the exit save above already reported into it) but remember its persist
@@ -805,6 +873,292 @@ Status ShardedFdRmsService::RemoveShard() {
                                    std::memory_order_relaxed);
   }
   return stopped;
+}
+
+Status ShardedFdRmsService::ReviveShard(int s) {
+  std::lock_guard<std::mutex> admin(admin_mutex_);
+  if (!started_.load()) {
+    return Status::FailedPrecondition("sharded service never started");
+  }
+  return ReviveShardLocked(s);
+}
+
+int ShardedFdRmsService::ReviveDeadShards() {
+  std::lock_guard<std::mutex> admin(admin_mutex_);
+  if (!started_.load()) return 0;
+  int revived = 0;
+  std::shared_ptr<const Topology> topo = topology();
+  for (int s = 0; s < static_cast<int>(topo->shards.size()); ++s) {
+    if (topo->shards[s]->health() == FdRmsService::Health::kDead &&
+        ReviveShardLocked(s).ok()) {
+      ++revived;
+    }
+  }
+  return revived;
+}
+
+Status ShardedFdRmsService::ReviveShardLocked(int s) {
+  std::shared_ptr<const Topology> topo = topology();
+  if (s < 0 || s >= static_cast<int>(topo->shards.size())) {
+    return Status::Invalid("no shard " + std::to_string(s));
+  }
+  std::shared_ptr<FdRmsService> dead = topo->shards[static_cast<size_t>(s)];
+  if (dead->health() != FdRmsService::Health::kDead) {
+    return Status::FailedPrecondition(
+        "shard " + std::to_string(s) + " is not dead; nothing to revive");
+  }
+  const uint64_t t0 = registry_->NowMicros();
+
+  // Join the dead writer. kDrain, not kAbort: kAbort would Clear() the
+  // queue and drop the acknowledged-but-unapplied backlog we are about to
+  // replay. The Stop status itself is uninteresting (the writer is already
+  // gone); the backlog drain below is what matters.
+  (void)dead->Stop(FdRmsService::StopPolicy::kDrain);
+  std::vector<FdRms::BatchOp> backlog;
+  (void)dead->DrainDeadBacklog(&backlog);
+
+  // Successor seed, in preference order: warm standby (already tracking
+  // the applied stream, promotion is just the instance swap), the newest
+  // durable snapshot (the death epilogue force-saved the last applied
+  // state, so it is current), or the dead instance's in-memory algorithm
+  // state (no persistence configured — an in-process revive must still
+  // lose nothing).
+  std::vector<std::pair<int, Point>> seed;
+  bool warm = false;
+  {
+    std::lock_guard<std::mutex> lg(standby_mu_);
+    auto it = standbys_.find(s);
+    if (it != standbys_.end() && it->second.follower != nullptr) {
+      it->second.follower->topk().tree().ForEach(
+          [&seed](int id, const Point& p) { seed.emplace_back(id, p); });
+      warm = true;
+      standbys_.erase(it);
+      standby_count_.store(static_cast<int>(standbys_.size()),
+                           std::memory_order_release);
+    }
+  }
+  std::string resume_file;
+  if (!warm) {
+    if (versioned_persist_) {
+      std::lock_guard<std::mutex> lg(ledger_.mu);
+      auto it = ledger_.entries.find(s);
+      if (it != ledger_.entries.end() && !it->second.file.empty()) {
+        resume_file = JoinDirOf(options_.shard.persist_path, it->second.file);
+        // The successor's save generations must not collide with the dead
+        // incarnation's filenames.
+        if (static_cast<size_t>(s) >= persist_gen_seeds_.size()) {
+          persist_gen_seeds_.resize(static_cast<size_t>(s) + 1, 0);
+        }
+        persist_gen_seeds_[static_cast<size_t>(s)] =
+            std::max(persist_gen_seeds_[static_cast<size_t>(s)],
+                     it->second.gen);
+      }
+    } else if (options_.shard.persist_every_batches > 0 &&
+               !options_.shard.persist_path.empty()) {
+      resume_file = options_.shard.persist_path + ".shard" + std::to_string(s);
+    }
+    if (resume_file.empty()) {
+      // algorithm() is valid now that the dead service is stopped.
+      dead->algorithm().topk().tree().ForEach(
+          [&seed](int id, const Point& p) { seed.emplace_back(id, p); });
+    }
+  }
+  std::sort(seed.begin(), seed.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  // The successor continues the dead incarnation's publication sequence:
+  // its seed publication is stamped one past the last version the dead
+  // writer published, so readers' per-component version monotonicity holds
+  // straight through the revive (the epoch does not change).
+  std::shared_ptr<const ResultSnapshot> last_pub = dead->Query();
+  const uint64_t next_version = last_pub != nullptr ? last_pub->version + 1 : 0;
+  std::shared_ptr<FdRmsService> fresh = MakeShard(s, resume_file, next_version);
+  Status st = fresh->Start(seed);
+  if (!st.ok()) return st;  // dead shard left in place; ReviveShard may retry
+
+  // Cutover: the routing table (and so the epoch) is unchanged — the
+  // successor owns exactly the slots the dead instance did — so the swap
+  // is the in-place instance replacement under the route lock. The dead
+  // instance retires for post-mortem inspection.
+  {
+    std::unique_lock<std::shared_mutex> lock(route_mutex_);
+    std::shared_ptr<const Topology> now = topology();
+    auto next = std::make_shared<Topology>(*now);
+    next->retired.push_back(next->shards[static_cast<size_t>(s)]);
+    next->shards[static_cast<size_t>(s)] = fresh;
+    topology_.store(std::move(next), std::memory_order_release);
+    merged_cache_.store(nullptr, std::memory_order_release);
+  }
+
+  // Replay the dead writer's acknowledged-but-unapplied ops, in submission
+  // order, then flush: once this returns the revived shard's applied state
+  // equals an unfaulted run over the same submit sequence.
+  Status first = Status::OK();
+  for (FdRms::BatchOp& op : backlog) {
+    Status rst = SubmitWithRetry(fresh.get(), std::move(op));
+    if (!rst.ok() && first.ok()) first = rst;
+  }
+  Status flushed = fresh->Flush();
+  if (!flushed.ok() && first.ok()) first = flushed;
+
+  metrics_.writer_restarts->Increment();
+  registry_->trace().Record("shard.revive", t0, registry_->NowMicros() - t0,
+                            static_cast<uint64_t>(s), backlog.size());
+  if (versioned_persist_) {
+    // Bind the successor's state into the durable constellation (forces
+    // its first save): a crash after the revive must resume post-replay.
+    (void)CommitConstellationLocked(/*persist_shards=*/true);
+  }
+  // Cooldown anchor: a revive is a topology event for the SLO controller —
+  // let the constellation stabilize before scaling resumes.
+  last_topology_change_us_.store(registry_->NowMicros(),
+                                 std::memory_order_relaxed);
+  return first;
+}
+
+Status ShardedFdRmsService::EnableStandby(int s) {
+  std::lock_guard<std::mutex> admin(admin_mutex_);
+  if (!started_.load()) {
+    return Status::FailedPrecondition("sharded service never started");
+  }
+  std::shared_ptr<const Topology> topo = topology();
+  if (s < 0 || s >= static_cast<int>(topo->shards.size())) {
+    return Status::Invalid("no shard " + std::to_string(s));
+  }
+  {
+    std::lock_guard<std::mutex> lg(standby_mu_);
+    if (standbys_.count(s) > 0) {
+      return Status::FailedPrecondition(
+          "shard " + std::to_string(s) + " already has a standby");
+    }
+  }
+  std::shared_ptr<FdRmsService> shard = topo->shards[static_cast<size_t>(s)];
+  auto follower = std::make_unique<FdRms>(dim_, options_.shard.algo);
+  Status seeded = Status::OK();
+  // The writer is parked between batches for the duration of the callback:
+  // the clone and the tap installation are atomic with respect to the
+  // apply stream, so the follower misses no batch and doubles none.
+  Status st = shard->Inspect([&](const FdRms& algo) {
+    std::vector<std::pair<int, Point>> tuples;
+    algo.topk().tree().ForEach([&tuples](int id, const Point& p) {
+      tuples.emplace_back(id, p);
+    });
+    std::sort(tuples.begin(), tuples.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    seeded = follower->Initialize(tuples);
+    if (!seeded.ok()) return;
+    std::lock_guard<std::mutex> lg(standby_mu_);
+    Standby& sb = standbys_[s];
+    sb.follower = std::move(follower);
+    sb.batches_applied = 0;
+    standby_count_.store(static_cast<int>(standbys_.size()),
+                         std::memory_order_release);
+  });
+  if (!st.ok()) return st;  // kUnavailable when the writer is already dead
+  return seeded;
+}
+
+bool ShardedFdRmsService::has_standby(int s) const {
+  std::lock_guard<std::mutex> lg(standby_mu_);
+  return standbys_.count(s) > 0;
+}
+
+uint64_t ShardedFdRmsService::standby_batches_applied(int s) const {
+  std::lock_guard<std::mutex> lg(standby_mu_);
+  auto it = standbys_.find(s);
+  return it == standbys_.end() ? 0 : it->second.batches_applied;
+}
+
+void ShardedFdRmsService::OnShardApply(
+    int index, const std::vector<FdRms::BatchOp>& batch) {
+  if (standby_count_.load(std::memory_order_acquire) == 0) return;
+  std::lock_guard<std::mutex> lg(standby_mu_);
+  auto it = standbys_.find(index);
+  if (it == standbys_.end() || it->second.follower == nullptr) return;
+  // Same resume-past-reject loop as the primary's writer: the follower is
+  // state-for-state identical, so it rejects exactly the operations the
+  // primary rejected and stays identical.
+  FdRms& f = *it->second.follower;
+  size_t pos = 0;
+  while (pos < batch.size()) {
+    size_t applied = 0;
+    Status st = f.ApplyBatch(batch, pos, &applied);
+    pos += applied;
+    if (!st.ok()) ++pos;  // skip the offender, like the primary did
+  }
+  ++it->second.batches_applied;
+}
+
+std::vector<int> ShardedFdRmsService::unhealthy_shards() const {
+  std::shared_ptr<const Topology> topo = topology();
+  std::vector<int> out;
+  for (int s = 0; s < static_cast<int>(topo->shards.size()); ++s) {
+    if (topo->shards[s]->health() == FdRmsService::Health::kDead) {
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+int ShardedFdRmsService::num_unhealthy() const {
+  std::shared_ptr<const Topology> topo = topology();
+  int n = 0;
+  for (const auto& shard : topo->shards) {
+    if (shard->health() == FdRmsService::Health::kDead) ++n;
+  }
+  return n;
+}
+
+void ShardedFdRmsService::StartHealthTrackerLocked() {
+  if (options_.health_poll_every_ms <= 0 || health_tracker_.joinable()) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lg(health_mu_);
+    health_stop_ = false;
+  }
+  health_tracker_ = std::thread(&ShardedFdRmsService::HealthTrackerLoop, this);
+}
+
+void ShardedFdRmsService::StopHealthTracker() {
+  if (!health_tracker_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lg(health_mu_);
+    health_stop_ = true;
+  }
+  health_cv_.notify_all();
+  health_tracker_.join();
+}
+
+void ShardedFdRmsService::HealthTrackerLoop() {
+  const auto interval =
+      std::chrono::milliseconds(options_.health_poll_every_ms);
+  // Death transitions already traced, keyed by instance (a revived index
+  // is a new instance, so its next death traces again).
+  std::set<const FdRmsService*> traced;
+  std::unique_lock<std::mutex> lk(health_mu_);
+  while (!health_stop_) {
+    health_cv_.wait_for(lk, interval, [this] { return health_stop_; });
+    if (health_stop_) return;
+    lk.unlock();
+    std::shared_ptr<const Topology> topo = topology();
+    int dead = 0;
+    for (size_t s = 0; s < topo->shards.size(); ++s) {
+      const FdRmsService* shard = topo->shards[s].get();
+      if (shard->health() == FdRmsService::Health::kDead) {
+        ++dead;
+        if (traced.insert(shard).second) {
+          metrics_.shard_deaths->Increment();
+          registry_->trace().Record("shard.unhealthy", registry_->NowMicros(),
+                                    0, static_cast<uint64_t>(s),
+                                    shard->writer_heartbeat());
+        }
+      }
+    }
+    num_unhealthy_.store(dead, std::memory_order_relaxed);
+    metrics_.shards_unhealthy->Set(static_cast<double>(dead));
+    lk.lock();
+  }
 }
 
 Status ShardedFdRmsService::PersistRoutingLocked(const RoutingTable& table,
@@ -857,6 +1211,15 @@ Status ShardedFdRmsService::CommitConstellationLocked(bool persist_shards) {
   if (CrashPoints::crashed()) {
     metrics_.manifest_commit_failures->Increment();
     return Status::Internal("crash injected: process is dead");
+  }
+  {
+    // Before the ledger swap, so the ledger stays dirty and the next tick
+    // retries — an injected commit failure must behave like a real one.
+    Status injected = ControlFaultSite("manifest.commit", "pre");
+    if (!injected.ok()) {
+      metrics_.manifest_commit_failures->Increment();
+      return injected;
+    }
   }
   obs::PhaseSpan span(registry_.get(), metrics_.manifest_commit_us,
                       "manifest.commit");
@@ -1191,14 +1554,24 @@ std::shared_ptr<const MergedSnapshot> ShardedFdRmsService::Query() const {
   if (num_shards == 0) return nullptr;  // resume-deferred, Start not yet run
   const uint64_t epoch = topo->table->epoch();
   std::vector<std::shared_ptr<const ResultSnapshot>> parts(num_shards);
+  // A dead shard's last published snapshot keeps serving — reads degrade,
+  // they do not fail — but the merged view must say so: the degraded bits
+  // join the cache key, so a death (or revive) transition invalidates any
+  // cached merge even though the frozen component's version is unchanged.
+  std::vector<bool> degraded(num_shards, false);
+  int num_degraded = 0;
   for (size_t s = 0; s < num_shards; ++s) {
     parts[s] = topo->shards[s]->Query();
     if (parts[s] == nullptr) return nullptr;  // not every shard is up yet
+    if (topo->shards[s]->health() == FdRmsService::Health::kDead) {
+      degraded[s] = true;
+      ++num_degraded;
+    }
   }
   std::shared_ptr<const MergedSnapshot> cached =
       merged_cache_.load(std::memory_order_acquire);
   if (cached != nullptr && cached->epoch == epoch &&
-      cached->versions.size() == num_shards) {
+      cached->versions.size() == num_shards && cached->degraded == degraded) {
     bool fresh = true;
     for (size_t s = 0; s < num_shards; ++s) {
       if (cached->versions[s] != parts[s]->version) {
@@ -1208,6 +1581,7 @@ std::shared_ptr<const MergedSnapshot> ShardedFdRmsService::Query() const {
     }
     if (fresh) {
       metrics_.merge_cache_hits->Increment();
+      if (num_degraded > 0) metrics_.degraded_reads->Increment();
       return cached;
     }
   }
@@ -1217,8 +1591,10 @@ std::shared_ptr<const MergedSnapshot> ShardedFdRmsService::Query() const {
     obs::PhaseSpan span(registry_.get(), metrics_.merge_build_us,
                         "read.merge_build");
     span.set_args(epoch, num_shards);
-    merged = BuildMerged(std::move(parts), epoch);
+    merged = BuildMerged(std::move(parts), epoch, std::move(degraded),
+                         num_degraded);
   }
+  if (num_degraded > 0) metrics_.degraded_reads->Increment();
   // Racing readers may each publish their own merge; every candidate is
   // internally consistent and version-keyed, so last-writer-wins is safe —
   // a reader that loads a "stale" cache entry just rebuilds.
@@ -1228,10 +1604,12 @@ std::shared_ptr<const MergedSnapshot> ShardedFdRmsService::Query() const {
 
 std::shared_ptr<const MergedSnapshot> ShardedFdRmsService::BuildMerged(
     std::vector<std::shared_ptr<const ResultSnapshot>> parts,
-    uint64_t epoch) const {
+    uint64_t epoch, std::vector<bool> degraded, int num_degraded) const {
   auto merged = std::make_shared<MergedSnapshot>();
   const size_t num_shards = parts.size();
   merged->epoch = epoch;
+  merged->degraded = std::move(degraded);
+  merged->degraded_shards = num_degraded;
   merged->versions.reserve(num_shards);
 
   std::vector<int> ids;
@@ -1323,6 +1701,25 @@ std::string ShardedFdRmsService::DebugString() const {
       << " ops_replayed=" << metrics_.migration_ops_replayed->Value()
       << " ops_side_buffered="
       << metrics_.migration_ops_side_buffered->Value() << "\n";
+  {
+    std::vector<int> dead = unhealthy_shards();
+    size_t standbys;
+    {
+      std::lock_guard<std::mutex> lg(standby_mu_);
+      standbys = standbys_.size();
+    }
+    out << "health: unhealthy=" << dead.size();
+    if (!dead.empty()) {
+      out << " [";
+      for (size_t i = 0; i < dead.size(); ++i) {
+        out << (i > 0 ? "," : "") << dead[i];
+      }
+      out << "]";
+    }
+    out << " degraded_reads=" << metrics_.degraded_reads->Value()
+        << " writer_restarts=" << metrics_.writer_restarts->Value()
+        << " standbys=" << standbys << "\n";
+  }
   if (versioned_persist_) {
     out << "durability: manifest_gen="
         << static_cast<long long>(metrics_.manifest_generation->Value())

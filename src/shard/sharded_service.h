@@ -126,6 +126,14 @@ struct ShardedServiceOptions {
   /// is off.
   int manifest_commit_every_ms = 250;
 
+  /// Shard health poll cadence: a background tracker polls every shard's
+  /// health() / writer_heartbeat(), keeps the fdrms_shards_unhealthy gauge
+  /// current, and records a "shard.unhealthy" trace event once per death
+  /// transition. 0 disables the tracker (deterministic tests); health stays
+  /// readable via num_unhealthy()/unhealthy_shards(), which scan the live
+  /// topology directly.
+  int health_poll_every_ms = 50;
+
   /// Global result budget of the merged view: 0 serves the pure union
   /// (|Q| <= num_shards * algo.r); > 0 greedily re-covers the union down
   /// to this size when it is larger.
@@ -239,6 +247,55 @@ class ShardedFdRmsService {
   /// epoch, drains and stops the victim, and retires it. Requires the
   /// default hash router and at least two shards.
   Status RemoveShard();
+
+  /// Recovers shard `s` after its writer died (health() == kDead): joins
+  /// the dead writer, drains its acknowledged-but-unapplied backlog, builds
+  /// a successor — seeded from the warm standby when one is enabled, else
+  /// from the shard's newest durable snapshot (the death epilogue force-
+  /// saves the last applied state), else from the dead instance's in-memory
+  /// algorithm state — swaps it into the topology under the route lock (the
+  /// routing table is unchanged: same slots, same epoch), replays the
+  /// backlog in submission order, and flushes. When the replay completes
+  /// the revived shard's applied state equals an unfaulted run's. Fails
+  /// with kFailedPrecondition when the shard is not dead; on a failed
+  /// successor Start the dead shard stays in place and the call may be
+  /// retried. Serialized with the rest of the control plane.
+  Status ReviveShard(int s);
+
+  /// Revives every currently dead shard; returns how many came back.
+  int ReviveDeadShards();
+
+  /// Warm standby: seeds a follower FdRms with shard `s`'s live tuple set
+  /// (cloned on the shard's writer thread between batches, so the
+  /// journaled-batch tap that keeps it current misses no batch and doubles
+  /// none) and applies every batch the primary applies from then on, via
+  /// the on_apply journal tap. A later ReviveShard(s) then promotes the
+  /// follower instead of re-reading a snapshot from disk: the cutover is
+  /// the in-place instance swap under the route lock. One standby per
+  /// shard index; the follower costs one extra ApplyBatch per batch on the
+  /// primary's writer thread.
+  Status EnableStandby(int s);
+
+  /// True when shard index `s` currently has a warm-standby follower.
+  bool has_standby(int s) const;
+
+  /// Batches the standby follower of shard `s` has applied (0 when none) —
+  /// the lag oracle: equal to the primary's applied batch count whenever
+  /// the primary is idle.
+  uint64_t standby_batches_applied(int s) const;
+
+  /// Shard indices whose writer is dead, scanned from the live topology.
+  std::vector<int> unhealthy_shards() const;
+  int num_unhealthy() const;
+
+  /// Successful ReviveShard completions (fdrms_shard_writer_restarts_total).
+  uint64_t writer_restarts() const {
+    return metrics_.writer_restarts->Value();
+  }
+
+  /// Merged Query() calls served while >= 1 shard was dead
+  /// (fdrms_degraded_reads_total).
+  uint64_t degraded_reads() const { return metrics_.degraded_reads->Value(); }
 
   /// Fans FdRmsService::SetBatchBound out to every live shard and remembers
   /// the override so shards created later (AddShard, rebirths) inherit it.
@@ -362,8 +419,12 @@ class ShardedFdRmsService {
   /// {shard=index}; rebirths (RemoveShard→AddShard, failed-Start rebuild,
   /// AddShard rollback retry) add a {gen=n} label so the new instance never
   /// inherits the retired instance's registry series.
+  /// `initial_version` seeds the instance's publication version counter
+  /// (nonzero only for a revive successor continuing the dead
+  /// incarnation's sequence).
   std::shared_ptr<FdRmsService> MakeShard(int index,
-                                          const std::string& resume_file);
+                                          const std::string& resume_file,
+                                          uint64_t initial_version = 0);
 
   /// (Re)creates the S-shard epoch-0 topology. Used at construction and to
   /// reset a constellation whose Start failed partway.
@@ -414,13 +475,25 @@ class ShardedFdRmsService {
   /// `index`'s newest durable snapshot in the ledger and marks it dirty.
   void OnShardPersist(int index, const PersistEvent& ev);
 
+  /// on_apply hook target (shard writer threads): forwards the applied
+  /// batch to shard `index`'s warm-standby follower when one is enabled.
+  /// One relaxed atomic load when no standby exists anywhere.
+  void OnShardApply(int index, const std::vector<FdRms::BatchOp>& batch);
+
+  /// ReviveShard body; caller holds admin_mutex_.
+  Status ReviveShardLocked(int s);
+
   void StartManifestTickerLocked();
   void StopManifestTicker();
   void ManifestTickerLoop();
 
+  void StartHealthTrackerLocked();
+  void StopHealthTracker();
+  void HealthTrackerLoop();
+
   std::shared_ptr<const MergedSnapshot> BuildMerged(
       std::vector<std::shared_ptr<const ResultSnapshot>> parts,
-      uint64_t epoch) const;
+      uint64_t epoch, std::vector<bool> degraded, int num_degraded) const;
 
   /// Greedily selects <= merged_budget_r entries of the union that keep
   /// every merge direction covered at (1-merge_eps) of the union's best
@@ -505,6 +578,28 @@ class ShardedFdRmsService {
   std::condition_variable ticker_cv_;
   bool ticker_stop_ = false;
 
+  /// Health tracker (health_poll_every_ms): polls every live shard's
+  /// health, maintains the fdrms_shards_unhealthy gauge + num_unhealthy_,
+  /// and traces each death transition once.
+  std::thread health_tracker_;
+  std::mutex health_mu_;
+  std::condition_variable health_cv_;
+  bool health_stop_ = false;
+  std::atomic<int> num_unhealthy_{0};  ///< tracker's last poll result
+
+  /// One warm-standby follower per shard index. standby_count_ gates the
+  /// writer-thread hot path (OnShardApply) with a single relaxed load;
+  /// standby_mu_ guards the map and the followers behind it (each follower
+  /// is only ever applied under the mutex, so the map's mutation sites and
+  /// the per-batch tap serialize).
+  struct Standby {
+    std::unique_ptr<FdRms> follower;
+    uint64_t batches_applied = 0;
+  };
+  mutable std::mutex standby_mu_;
+  std::map<int, Standby> standbys_;
+  std::atomic<int> standby_count_{0};
+
   /// Constellation-level handles into registry_ (unlabelled — the shard
   /// label belongs to per-shard series). Counters/histograms are
   /// multi-writer-safe; the gauges are written under admin/route locking
@@ -523,8 +618,12 @@ class ShardedFdRmsService {
     obs::Counter* routing_persist_failures;
     obs::Counter* manifest_commits;
     obs::Counter* manifest_commit_failures;
+    obs::Counter* writer_restarts;     ///< ReviveShard successes
+    obs::Counter* shard_deaths;        ///< tracker-observed death transitions
+    obs::Counter* degraded_reads;      ///< merged reads with a dead shard
     obs::Gauge* epoch;
     obs::Gauge* shards;
+    obs::Gauge* shards_unhealthy;      ///< health tracker's last poll
     obs::Gauge* migration_side_buffer_depth;
     obs::Gauge* manifest_generation;
     obs::LatencyHistogram* manifest_commit_us;
